@@ -1,0 +1,138 @@
+(** Benchmark harness: regenerates every table and figure of the paper
+    (see DESIGN.md's per-experiment index), the ablation studies, and a
+    set of Bechamel micro-benchmarks over the compiler's own hot paths.
+
+    Usage: [main.exe [--quick] [exp ...]] where [exp] is one of
+    fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
+    fig21 table1 table2 ablations micro all (default: all). *)
+
+module E = Tvm_experiments.Exp_util
+module Fm = Tvm_experiments.Fig_micro
+module Fe = Tvm_experiments.Fig_e2e
+module Ab = Tvm_experiments.Ablations
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure, measuring the       *)
+(* compiler machinery behind that experiment.                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  E.banner "Bechamel micro-benchmarks (compiler hot paths per experiment)";
+  let tpl, _ = Fm.fig12_template () in
+  let rng = Random.State.make [| 3 |] in
+  let some_cfg =
+    let rec find n =
+      if n = 0 then invalid_arg "no valid config"
+      else
+        let cfg = Tvm_autotune.Cfg_space.random_config tpl.Tvm_autotune.Tuner.tpl_space rng in
+        match (try Some (tpl.Tvm_autotune.Tuner.tpl_instantiate cfg) with _ -> None) with
+        | Some _ -> cfg
+        | None -> find (n - 1)
+    in
+    find 200
+  in
+  let stmt = tpl.Tvm_autotune.Tuner.tpl_instantiate some_cfg in
+  let feats =
+    Array.init 64 (fun i ->
+        Array.init Tvm_autotune.Feature.length (fun j ->
+            Float.of_int ((i * 31 + j * 17) mod 97) /. 97.))
+  in
+  let ys = Array.init 64 (fun i -> Float.of_int (i mod 13) /. 13.) in
+  let gbt = Tvm_autotune.Gbt.fit feats ys in
+  let wl = Fe.V.gemm_workload ~name:"bench_vdla" ~m:64 ~n:64 ~k:256 () in
+  let vdla_stream =
+    let s = Fe.V.schedule ~vthreads:2 wl in
+    Tvm_vdla.Assemble.run s
+  in
+  let tests =
+    [
+      Test.make ~name:"fig5.schedule+lower.conv2d"
+        (Staged.stage (fun () -> tpl.Tvm_autotune.Tuner.tpl_instantiate some_cfg));
+      Test.make ~name:"fig13.feature.extraction"
+        (Staged.stage (fun () -> Tvm_autotune.Feature.extract stmt));
+      Test.make ~name:"table1.gbt.fit64"
+        (Staged.stage (fun () -> Tvm_autotune.Gbt.fit feats ys));
+      Test.make ~name:"fig12.gbt.predict"
+        (Staged.stage (fun () -> Tvm_autotune.Gbt.predict gbt feats.(0)));
+      Test.make ~name:"fig14.gpu.model"
+        (Staged.stage (fun () -> Tvm_sim.Gpu_model.estimate Tvm_sim.Machine.titan_x stmt));
+      Test.make ~name:"fig16.cpu.model"
+        (Staged.stage (fun () -> Tvm_sim.Cpu_model.estimate Tvm_sim.Machine.arm_a53 stmt));
+      Test.make ~name:"fig10.vdla.des"
+        (Staged.stage (fun () -> Tvm_vdla.Des.run Tvm_sim.Machine.vdla vdla_stream));
+      Test.make ~name:"fig8.vthread.lowering"
+        (Staged.stage (fun () -> Fe.V.schedule ~vthreads:2 wl));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] -> Printf.printf "%-40s %12.1f ns/run\n" name ns
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("table1", fun () -> Fm.table1 ());
+    ("table2", fun () -> Fm.table2 ());
+    ("fig4", fun () -> ignore (Fm.fig4 ()));
+    ("fig6", fun () -> Fm.fig6 ());
+    ("fig7", fun () -> ignore (Fm.fig7 ()));
+    ("fig10", fun () -> ignore (Fm.fig10 ()));
+    ("fig12", fun () -> ignore (Fm.fig12 ()));
+    ("fig14", fun () -> ignore (Fe.fig14 ()));
+    ("fig15", fun () -> ignore (Fe.fig15 ()));
+    ("fig16", fun () -> ignore (Fe.fig16 ()));
+    ("fig17", fun () -> ignore (Fe.fig17 ()));
+    ( "fig18",
+      fun () ->
+        ignore (Fe.fig18 ());
+        ignore (Fe.fig18_tensorize_ablation ()) );
+    ("fig19", fun () -> ignore (Fe.fig19 ()));
+    ("fig21", fun () -> ignore (Fe.fig21 ()));
+    ( "ablations",
+      fun () ->
+        ignore (Ab.ablation_features ());
+        ignore (Ab.ablation_explorer ());
+        ignore (Ab.ablation_memplan ());
+        ignore (Ab.ablation_layout ());
+        ignore (Ab.ablation_fusion ()) );
+    ("micro", micro);
+  ]
+
+let () =
+  Tvm_graph.Std_ops.register_all ();
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  if quick then E.trial_scale := 0.3;
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let wanted = if wanted = [] || List.mem "all" wanted then List.map fst experiments else wanted in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t = Unix.gettimeofday () in
+          (try f ()
+           with e ->
+             Printf.printf "!! experiment %s failed: %s\n" name (Printexc.to_string e));
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+      | None -> Printf.printf "unknown experiment %s\n" name)
+    wanted;
+  Printf.printf "\ntotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,126 @@
+(* tvmc — command-line driver for the compiler stack.
+
+   Subcommands:
+     compile  — build one of the evaluation networks for a target and
+                report per-kernel estimates
+     tune     — run the automated optimizer on a Table-2 workload
+     bench    — run one of the paper experiments (same as bench/main.exe)
+     devices  — list the simulated machines *)
+
+open Cmdliner
+module Models = Tvm_models.Models
+module Workloads = Tvm_models.Workloads
+module Machine = Tvm_sim.Machine
+module Rt = Tvm_runtime.Rt_module
+
+let network_of_name = function
+  | "resnet18" -> Models.resnet18 ()
+  | "mobilenet" -> Models.mobilenet ()
+  | "lstm" -> Models.lstm_lm ()
+  | "dqn" -> Models.dqn ()
+  | "dcgan" -> Models.dcgan ()
+  | s -> invalid_arg ("unknown network " ^ s ^ " (resnet18|mobilenet|lstm|dqn|dcgan)")
+
+let target_of_name = function
+  | "cuda" -> Tvm.Target.cuda ()
+  | "arm" -> Tvm.Target.arm_cpu ()
+  | "mali" -> Tvm.Target.mali ()
+  | "llvm" -> Tvm.Target.llvm ()
+  | s -> invalid_arg ("unknown target " ^ s ^ " (cuda|arm|mali|llvm)")
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let network =
+    Arg.(value & pos 0 string "resnet18" & info [] ~docv:"NETWORK" ~doc:"Network to compile")
+  in
+  let target =
+    Arg.(value & opt string "cuda" & info [ "target" ] ~doc:"cuda | arm | mali | llvm")
+  in
+  let trials =
+    Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
+  in
+  let run network target trials =
+    let graph = network_of_name network in
+    let tgt = target_of_name target in
+    let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials } in
+    let t0 = Unix.gettimeofday () in
+    let result, exec = Tvm.Compiler.build_executor ~options graph tgt in
+    Printf.printf "compiled %s for %s in %.1fs (%d tuning trials)\n\n" network
+      (Tvm.Target.name tgt)
+      (Unix.gettimeofday () -. t0)
+      result.Tvm.Compiler.tuning_trials_run;
+    List.iter
+      (fun (k : Rt.kernel) ->
+        Printf.printf "  %8.3f ms  %s\n" (1e3 *. k.Rt.k_time_s) k.Rt.k_name)
+      (Rt.kernels result.Tvm.Compiler.module_);
+    Printf.printf "\nestimated end-to-end latency: %.3f ms\n"
+      (1e3 *. Tvm_runtime.Graph_executor.estimated_time_s exec);
+    let pooled, naive = Tvm_runtime.Graph_executor.memory_stats exec in
+    Printf.printf "activation memory: %.2f MB (pooled) vs %.2f MB (naive)\n"
+      (pooled /. 1e6) (naive /. 1e6)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
+    Term.(const run $ network $ target $ trials)
+
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let workload =
+    Arg.(value & pos 0 string "C7" & info [] ~docv:"WORKLOAD" ~doc:"Table-2 workload (C1..C12, D1..D9)")
+  in
+  let trials = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"Measurement budget") in
+  let method_ =
+    Arg.(value & opt string "ml" & info [ "method" ] ~doc:"ml | random | genetic")
+  in
+  let run workload trials method_name =
+    let w = Workloads.find workload in
+    let out = Tvm_experiments.Fig_e2e.conv_tensor w in
+    let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
+    let pool = Tvm_rpc.Device_pool.create [ Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x ] in
+    let measure = Tvm_rpc.Device_pool.measure_fn pool ~kind_pred:(fun _ -> true) in
+    let method_ =
+      match method_name with
+      | "random" -> Tvm_autotune.Tuner.Random_search
+      | "genetic" -> Tvm_autotune.Tuner.Genetic_algorithm
+      | _ -> Tvm_autotune.Tuner.Ml_model
+    in
+    Printf.printf "tuning %s (%s) on titan-x, %d trials, space %d...\n%!"
+      (Workloads.to_string w) method_name trials
+      (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space);
+    let res = Tvm_autotune.Tuner.tune ~method_ ~measure ~n_trials:trials tpl in
+    Printf.printf "best: %.3f ms with %s\n"
+      (1e3 *. res.Tvm_autotune.Tuner.best_time)
+      (Tvm_autotune.Cfg_space.to_string res.Tvm_autotune.Tuner.best_config)
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
+    Term.(const run $ workload $ trials $ method_)
+
+(* ---- devices ---- *)
+
+let devices_cmd =
+  let run () =
+    Printf.printf "%-16s%16s%14s\n" "machine" "peak GFLOPS" "bandwidth";
+    List.iter
+      (fun (c : Machine.cpu) ->
+        Printf.printf "%-16s%16.1f%11.1fGB/s\n" c.Machine.cpu_name
+          (Machine.cpu_peak_gflops c) c.Machine.dram_gbps)
+      [ Machine.arm_a53; Machine.arm_a9; Machine.xeon_host ];
+    List.iter
+      (fun (g : Machine.gpu) ->
+        Printf.printf "%-16s%16.1f%11.1fGB/s\n" g.Machine.gpu_name
+          (Machine.gpu_peak_gflops g) g.Machine.global_gbps)
+      [ Machine.titan_x; Machine.mali_t860 ];
+    Printf.printf "%-16s%15.1fG ops/s (int8)\n" Machine.vdla.Machine.accel_name
+      (Machine.accel_peak_gops Machine.vdla)
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List simulated machines") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
+    [ compile_cmd; tune_cmd; devices_cmd ]
+
+let () =
+  Tvm_graph.Std_ops.register_all ();
+  exit (Cmd.eval main)

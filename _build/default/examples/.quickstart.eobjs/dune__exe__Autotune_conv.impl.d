@@ -1,0 +1,1 @@
+examples/autotune_conv.ml: Array Expr Float List Printf String Tvm_autotune Tvm_rpc Tvm_sim Tvm_te Tvm_tir

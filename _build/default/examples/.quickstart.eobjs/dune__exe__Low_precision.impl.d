@@ -1,0 +1,1 @@
+examples/low_precision.ml: Dtype Expr Printer Printf Tvm_lower Tvm_nd Tvm_schedule Tvm_sim Tvm_te Tvm_tir

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Tvm Tvm_graph Tvm_nd Tvm_runtime Tvm_tir

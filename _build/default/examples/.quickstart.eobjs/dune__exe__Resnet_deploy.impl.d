@@ -1,0 +1,1 @@
+examples/resnet_deploy.ml: Float List Printf Tvm Tvm_baselines Tvm_graph Tvm_models Tvm_nd Tvm_runtime Tvm_sim

@@ -1,0 +1,1 @@
+examples/vdla_accelerator.ml: List Printf Tvm_nd Tvm_sim Tvm_te Tvm_tir Tvm_vdla

@@ -1,0 +1,1 @@
+examples/vdla_accelerator.mli:

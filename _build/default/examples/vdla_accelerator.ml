@@ -1,0 +1,69 @@
+(* Targeting a specialized accelerator (§4.3/§4.4/§6.4): schedule a
+   GEMM for the VDLA design with tensorization onto its 16x16 matrix
+   unit and virtual threading for latency hiding, then watch the
+   decoupled access-execute pipeline recover parallelism from the
+   dependence tokens.
+
+   Run with: dune exec examples/vdla_accelerator.exe *)
+
+module V = Tvm_vdla.Vdla_schedule
+module Des = Tvm_vdla.Des
+module Isa = Tvm_vdla.Isa
+module Assemble = Tvm_vdla.Assemble
+module Machine = Tvm_sim.Machine
+module Nd = Tvm_nd.Ndarray
+module Tensor = Tvm_te.Tensor
+module Interp = Tvm_sim.Interp
+
+let () =
+  (* A 128x128x512 int8 GEMM (e.g. an im2col'd convolution tile). *)
+  let wl = V.gemm_workload ~name:"demo" ~m:128 ~n:128 ~k:512 () in
+
+  (* 1. Functional correctness through the full accelerator path:
+        tensorized + vthread-lowered code, interpreted. *)
+  let m, n, k = (32, 32, 64) in
+  let small = V.gemm_workload ~name:"demo_small" ~m ~n ~k () in
+  let stmt = V.schedule ~vthreads:2 ~kchunk:32 small in
+  let av = Nd.random ~dtype:Tvm_tir.Dtype.Int8 ~seed:1 ~lo:(-4.) ~hi:4. [ m; k ] in
+  let wv = Nd.random ~dtype:Tvm_tir.Dtype.Int8 ~seed:2 ~lo:(-4.) ~hi:4. [ n; k ] in
+  let cv = Nd.create ~dtype:Tvm_tir.Dtype.Int32 [ m; n ] in
+  Interp.run stmt
+    ~bindings:
+      [ (Tensor.buffer small.V.wl_a, av); (Tensor.buffer small.V.wl_w, wv);
+        (Tensor.buffer small.V.wl_c, cv) ];
+  let reference =
+    Nd.init [ m; n ] (fun idx ->
+        match idx with
+        | [ y; x ] ->
+            let acc = ref 0. in
+            for kk = 0 to k - 1 do
+              acc := !acc +. (Nd.get av [ y; kk ] *. Nd.get wv [ x; kk ])
+            done;
+            !acc
+        | _ -> 0.)
+  in
+  Printf.printf "functional check (32x32x64): max diff = %g\n"
+    (Nd.max_abs_diff reference cv);
+
+  (* 2. The generated instruction stream: explicit dependence tokens
+        between the LD / EX / ST units (Fig 8's output). *)
+  let stream = Assemble.run (V.schedule ~vthreads:2 ~kchunk:32 small) in
+  Printf.printf "\nfirst instructions of the stream (%d total):\n"
+    (List.length stream);
+  List.iteri
+    (fun i insn -> if i < 16 then Printf.printf "  %s\n" (Isa.to_string insn))
+    stream;
+
+  (* 3. Latency hiding: the same workload with 1, 2 and 4 virtual
+        threads on the discrete-event pipeline simulator (Fig 9/10). *)
+  Printf.printf "\n%-10s%14s%18s%12s\n" "vthreads" "cycles" "compute util" "GOPS";
+  List.iter
+    (fun vt ->
+      let stream, stats = V.simulate ~vthreads:vt wl in
+      let _, gops = Des.roofline_point Machine.vdla stream stats in
+      Printf.printf "%-10d%14.0f%17.0f%%%12.1f\n" vt stats.Des.total_cycles
+        (100. *. stats.Des.compute_utilization)
+        gops)
+    [ 1; 2; 4 ];
+  Printf.printf "\npeak: %.1f GOPS — latency hiding closes part of the gap\n"
+    (Machine.accel_peak_gops Machine.vdla)

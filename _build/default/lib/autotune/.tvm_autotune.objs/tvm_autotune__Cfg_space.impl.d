@@ -1,0 +1,1 @@
+lib/autotune/cfg_space.ml: Array Hashtbl List Printf Random String

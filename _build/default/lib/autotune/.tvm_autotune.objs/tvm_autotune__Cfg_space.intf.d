@@ -1,0 +1,1 @@
+lib/autotune/cfg_space.mli: Random

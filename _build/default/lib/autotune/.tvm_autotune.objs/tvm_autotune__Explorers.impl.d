@@ -1,0 +1,1 @@
+lib/autotune/explorers.ml: Cfg_space Float Hashtbl List Random

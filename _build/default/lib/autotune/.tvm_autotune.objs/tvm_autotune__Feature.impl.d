@@ -1,0 +1,1 @@
+lib/autotune/feature.ml: Analysis Array Expr Float Hashtbl List Stmt Tvm_schedule Tvm_tir

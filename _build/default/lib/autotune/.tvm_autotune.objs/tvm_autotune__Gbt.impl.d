@@ -1,0 +1,1 @@
+lib/autotune/gbt.ml: Array Fun List

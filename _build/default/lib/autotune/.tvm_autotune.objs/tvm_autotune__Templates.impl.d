@@ -1,0 +1,1 @@
+lib/autotune/templates.ml: Cfg_space Expr List Printf Stmt Tuner Tvm_lower Tvm_schedule Tvm_te Tvm_tir

@@ -1,0 +1,1 @@
+lib/autotune/treernn.ml: Array Float Interval List Random Stmt Tvm_tir

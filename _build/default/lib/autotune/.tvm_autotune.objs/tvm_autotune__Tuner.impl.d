@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Array Cfg_space Explorers Feature Float Gbt Hashtbl List Printf Random Tvm_tir

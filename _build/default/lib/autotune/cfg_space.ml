@@ -1,0 +1,89 @@
+(** Schedule-space specification (§5.1).
+
+    A template declares knobs; a configuration assigns each knob one of
+    its choices. The generic master templates extract knobs (tile
+    sizes, thread counts, unroll/vectorize toggles) automatically from
+    the computation description, so spaces routinely contain 10³–10⁶
+    points per operator (billions across a network, §5.1). *)
+
+type knob = { k_name : string; k_choices : int array }
+
+type t = { knobs : knob list }
+
+type config = (string * int) list  (** knob name → chosen value *)
+
+let knob name choices =
+  if choices = [] then invalid_arg ("knob " ^ name ^ ": empty choices");
+  { k_name = name; k_choices = Array.of_list choices }
+
+(** All divisors of [n], ascending — the tiling-factor choice sets. *)
+let divisors n =
+  let rec go d acc = if d > n then List.rev acc else go (d + 1) (if n mod d = 0 then d :: acc else acc) in
+  go 1 []
+
+(** Divisors of [n] no larger than [cap]. *)
+let divisors_upto n cap = List.filter (fun d -> d <= cap) (divisors n)
+
+let space knobs = { knobs }
+
+let size t =
+  List.fold_left (fun acc k -> acc * Array.length k.k_choices) 1 t.knobs
+
+let get (config : config) name =
+  match List.assoc_opt name config with
+  | Some v -> v
+  | None -> invalid_arg ("config: missing knob " ^ name)
+
+let get_opt (config : config) name = List.assoc_opt name config
+
+(** Dense index <-> config bijection (mixed-radix). *)
+let config_at t index =
+  if index < 0 || index >= size t then invalid_arg "config_at: out of range";
+  let rec go knobs index acc =
+    match knobs with
+    | [] -> List.rev acc
+    | k :: rest ->
+        let radix = Array.length k.k_choices in
+        go rest (index / radix) ((k.k_name, k.k_choices.(index mod radix)) :: acc)
+  in
+  go t.knobs index []
+
+let index_of t (config : config) =
+  let rec go knobs mult acc =
+    match knobs with
+    | [] -> acc
+    | k :: rest ->
+        let v = get config k.k_name in
+        let pos = ref (-1) in
+        Array.iteri (fun i c -> if c = v then pos := i) k.k_choices;
+        if !pos < 0 then invalid_arg ("index_of: bad value for " ^ k.k_name);
+        go rest (mult * Array.length k.k_choices) (acc + (mult * !pos))
+  in
+  go t.knobs 1 0
+
+let random_config t rng =
+  List.map
+    (fun k -> (k.k_name, k.k_choices.(Random.State.int rng (Array.length k.k_choices))))
+    t.knobs
+
+(** One-knob mutation: the random-walk step of the SA explorer. *)
+let mutate t rng (config : config) =
+  match t.knobs with
+  | [] -> config
+  | knobs ->
+      let k = List.nth knobs (Random.State.int rng (List.length knobs)) in
+      let v = k.k_choices.(Random.State.int rng (Array.length k.k_choices)) in
+      List.map (fun (name, old) -> if name = k.k_name then (name, v) else (name, old)) config
+
+(** Uniform crossover, for the genetic-algorithm baseline. *)
+let crossover rng (a : config) (b : config) =
+  List.map2
+    (fun (n1, v1) (_n2, v2) -> if Random.State.bool rng then (n1, v1) else (n1, v2))
+    a b
+
+let to_string (config : config) =
+  String.concat ","
+    (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) config)
+
+(** Stable hash for deterministic measurement noise and dedup. *)
+let hash (config : config) = Hashtbl.hash (List.sort compare config)

@@ -1,0 +1,49 @@
+(** Schedule-space specification (§5.1).
+
+    A template declares knobs; a configuration assigns each knob one of
+    its choices. The generic master templates extract knobs (tile
+    sizes, thread counts, unroll/vectorize toggles) automatically from
+    the computation description. *)
+
+type knob = { k_name : string; k_choices : int array }
+type t = { knobs : knob list }
+
+type config = (string * int) list
+(** knob name → chosen value *)
+
+(** [knob name choices]; raises on an empty choice list. *)
+val knob : string -> int list -> knob
+
+(** All divisors of [n], ascending — the tiling-factor choice sets. *)
+val divisors : int -> int list
+
+(** Divisors of [n] no larger than [cap]. *)
+val divisors_upto : int -> int -> int list
+
+val space : knob list -> t
+
+(** Number of configurations in the space (product of choice counts). *)
+val size : t -> int
+
+(** Value of a knob; raises [Invalid_argument] if absent. *)
+val get : config -> string -> int
+
+val get_opt : config -> string -> int option
+
+(** Dense mixed-radix bijection between [0, size) and configurations. *)
+val config_at : t -> int -> config
+
+val index_of : t -> config -> int
+val random_config : t -> Random.State.t -> config
+
+(** One-knob mutation — the random-walk step of the SA explorer. *)
+val mutate : t -> Random.State.t -> config -> config
+
+(** Uniform crossover, for the genetic-algorithm baseline. *)
+val crossover : Random.State.t -> config -> config -> config
+
+val to_string : config -> string
+
+(** Order-insensitive hash, used for deduplication and to seed the
+    deterministic measurement noise. *)
+val hash : config -> int

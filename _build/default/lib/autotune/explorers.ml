@@ -1,0 +1,135 @@
+(** Schedule explorers (§5.3).
+
+    {!simulated_annealing} is TVM's explorer: parallel random-walk
+    chains over the configuration space, guided by the cost model's
+    predictions; exploration state persists across model updates.
+    {!random_batch} and {!Genetic} are the blackbox baselines of
+    Fig 12. *)
+
+type predictor = Cfg_space.config -> float
+(** Higher predicted score = better (e.g. -log predicted time). *)
+
+type sa_state = { mutable chains : Cfg_space.config list }
+
+let sa_init space rng ~n_chains =
+  { chains = List.init n_chains (fun _ -> Cfg_space.random_config space) |> List.map (fun f -> f rng) }
+
+(** One batch of parallel simulated annealing: walk each chain
+    [n_steps] proposals; accept improving moves, accept worsening moves
+    with Metropolis probability under [temp]. Returns the top [batch]
+    distinct configs seen (excluding [visited]). *)
+let simulated_annealing space rng (state : sa_state) ~(predict : predictor)
+    ~(visited : (int, unit) Hashtbl.t) ~n_steps ~temp ~batch =
+  let seen_scores : (int * Cfg_space.config * float) list ref = ref [] in
+  let note cfg score =
+    let h = Cfg_space.hash cfg in
+    if not (Hashtbl.mem visited h) then seen_scores := (h, cfg, score) :: !seen_scores
+  in
+  state.chains <-
+    List.map
+      (fun start ->
+        let cur = ref start in
+        let cur_score = ref (predict start) in
+        let stuck = ref 0 in
+        note start !cur_score;
+        for step = 1 to n_steps do
+          let t = temp *. (1. -. (float_of_int step /. float_of_int (n_steps + 1))) in
+          let cand =
+            (* teleport a chain that keeps proposing invalid neighbours
+               (sparse-validity spaces strand single-knob walks) *)
+            if !stuck > 8 then begin
+              stuck := 0;
+              Cfg_space.random_config space rng
+            end
+            else Cfg_space.mutate space rng !cur
+          in
+          let score = predict cand in
+          note cand score;
+          let accept =
+            score > !cur_score
+            || Random.State.float rng 1. < Float.exp ((score -. !cur_score) /. Float.max 1e-9 t)
+          in
+          if accept && Float.is_finite score then begin
+            cur := cand;
+            cur_score := score;
+            stuck := 0
+          end
+          else incr stuck
+        done;
+        !cur)
+      state.chains;
+  (* Top-[batch] distinct by predicted score. *)
+  let dedup = Hashtbl.create 64 in
+  !seen_scores
+  |> List.filter (fun (h, _, _) ->
+         if Hashtbl.mem dedup h then false
+         else begin
+           Hashtbl.replace dedup h ();
+           true
+         end)
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < batch)
+  |> List.map (fun (_, cfg, _) -> cfg)
+
+(** Uniform random batch, deduplicated against [visited]. *)
+let random_batch space rng ~(visited : (int, unit) Hashtbl.t) ~batch =
+  let out = ref [] in
+  let attempts = ref 0 in
+  while List.length !out < batch && !attempts < batch * 50 do
+    incr attempts;
+    let cfg = Cfg_space.random_config space rng in
+    let h = Cfg_space.hash cfg in
+    if not (Hashtbl.mem visited h) then begin
+      Hashtbl.replace visited h ();
+      out := cfg :: !out
+    end
+  done;
+  !out
+
+module Genetic = struct
+  (** Blackbox genetic algorithm: tournament selection over measured
+      fitness, uniform crossover, one-knob mutation. No cost model —
+      every candidate costs a real measurement, which is why it
+      converges slowly in Fig 12. *)
+
+  type individual = { cfg : Cfg_space.config; mutable fitness : float }
+
+  type state = { mutable population : individual list }
+
+  let init space rng ~pop_size =
+    { population = List.init pop_size (fun _ -> { cfg = Cfg_space.random_config space rng; fitness = neg_infinity }) }
+
+  let tournament rng pop =
+    let pick () = List.nth pop (Random.State.int rng (List.length pop)) in
+    let a = pick () and b = pick () in
+    if a.fitness >= b.fitness then a else b
+
+  (** Produce the next generation to measure. Parents without a single
+      valid measurement between them contribute a fresh random
+      individual instead (keeps the blackbox search alive when much of
+      the space is invalid). *)
+  let next_generation space rng state ~mutation_rate =
+    let pop = state.population in
+    let children =
+      List.map
+        (fun _ ->
+          let pa = tournament rng pop and pb = tournament rng pop in
+          let child =
+            if pa.fitness <= -1e8 && pb.fitness <= -1e8 then
+              Cfg_space.random_config space rng
+            else Cfg_space.crossover rng pa.cfg pb.cfg
+          in
+          let child =
+            if Random.State.float rng 1. < mutation_rate then
+              Cfg_space.mutate space rng child
+            else child
+          in
+          { cfg = child; fitness = neg_infinity })
+        pop
+    in
+    state.population <- children;
+    List.map (fun ind -> ind.cfg) children
+
+  let record_fitness state fitnesses =
+    List.iter2 (fun ind f -> ind.fitness <- f) state.population fitnesses
+end

@@ -1,0 +1,162 @@
+(** Gradient-boosted regression trees — the default cost model (§5.2).
+
+    A from-scratch stand-in for XGBoost [8]: depth-bounded regression
+    trees grown greedily on variance reduction with quantile candidate
+    thresholds, combined by shrinkage. Supports the paper's two
+    objectives: plain regression on the score, and a rank objective that
+    fits within-dataset rank positions — the explorer "selects the top
+    candidates based only on the relative order of the prediction". *)
+
+type objective = Regression | Rank
+
+type tree =
+  | Leaf of float
+  | Node of { feature : int; threshold : float; left : tree; right : tree }
+
+type t = {
+  trees : tree list;  (** applied in order, already scaled by shrinkage *)
+  base : float;
+  objective : objective;
+}
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+  learning_rate : float;
+  min_samples : int;  (** minimum samples to attempt a split *)
+  obj : objective;
+}
+
+let default_params =
+  { n_trees = 40; max_depth = 5; learning_rate = 0.3; min_samples = 4; obj = Rank }
+
+let rec predict_tree tree (x : float array) =
+  match tree with
+  | Leaf v -> v
+  | Node n ->
+      if x.(n.feature) <= n.threshold then predict_tree n.left x
+      else predict_tree n.right x
+
+let predict model x =
+  List.fold_left (fun acc tree -> acc +. predict_tree tree x) model.base model.trees
+
+(* ------------------------------------------------------------------ *)
+(* Tree growing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mean arr idxs =
+  if idxs = [] then 0.
+  else List.fold_left (fun acc i -> acc +. arr.(i)) 0. idxs /. float_of_int (List.length idxs)
+
+let sse arr idxs m =
+  List.fold_left (fun acc i -> acc +. ((arr.(i) -. m) ** 2.)) 0. idxs
+
+(** Candidate thresholds: up to 16 midpoints between quantiles. *)
+let candidates (xs : float array array) feature idxs =
+  let values =
+    List.map (fun i -> xs.(i).(feature)) idxs |> List.sort_uniq compare
+  in
+  match values with
+  | [] | [ _ ] -> []
+  | values ->
+      let arr = Array.of_list values in
+      let n = Array.length arr in
+      let num = min 16 (n - 1) in
+      List.init num (fun q ->
+          let pos = (q + 1) * n / (num + 1) in
+          let pos = max 1 (min (n - 1) pos) in
+          (arr.(pos - 1) +. arr.(pos)) /. 2.)
+      |> List.sort_uniq compare
+
+let best_split xs residuals idxs =
+  let n_features = Array.length xs.(List.hd idxs) in
+  let total_mean = mean residuals idxs in
+  let total_sse = sse residuals idxs total_mean in
+  let best = ref None in
+  for f = 0 to n_features - 1 do
+    List.iter
+      (fun threshold ->
+        let left, right = List.partition (fun i -> xs.(i).(f) <= threshold) idxs in
+        if left <> [] && right <> [] then begin
+          let ml = mean residuals left and mr = mean residuals right in
+          let gain = total_sse -. sse residuals left ml -. sse residuals right mr in
+          match !best with
+          | Some (g, _, _, _, _) when g >= gain -> ()
+          | _ -> best := Some (gain, f, threshold, left, right)
+        end)
+      (candidates xs f idxs)
+  done;
+  !best
+
+let rec grow_tree params xs residuals idxs depth =
+  let m = mean residuals idxs in
+  if depth >= params.max_depth || List.length idxs < params.min_samples then Leaf m
+  else
+    match best_split xs residuals idxs with
+    | Some (gain, feature, threshold, left, right) when gain > 1e-12 ->
+        Node
+          {
+            feature;
+            threshold;
+            left = grow_tree params xs residuals left (depth + 1);
+            right = grow_tree params xs residuals right (depth + 1);
+          }
+    | Some _ | None -> Leaf m
+
+let rec scale_tree factor = function
+  | Leaf v -> Leaf (v *. factor)
+  | Node n ->
+      Node { n with left = scale_tree factor n.left; right = scale_tree factor n.right }
+
+(** Transform raw targets according to the objective. Rank maps each
+    target to its normalized rank in [0,1] (1 = best/lowest cost is up
+    to the caller's sign convention; we preserve ordering). *)
+let transform_targets obj (ys : float array) =
+  match obj with
+  | Regression -> Array.copy ys
+  | Rank ->
+      let n = Array.length ys in
+      let order = Array.init n Fun.id in
+      Array.sort (fun a b -> compare ys.(a) ys.(b)) order;
+      let out = Array.make n 0. in
+      Array.iteri
+        (fun rank i -> out.(i) <- float_of_int rank /. float_of_int (max 1 (n - 1)))
+        order;
+      out
+
+(** Fit a boosted ensemble on [(xs, ys)]. Callers typically pass
+    [ys = score] where higher is better (e.g. -log time). *)
+let fit ?(params = default_params) (xs : float array array) (ys : float array) : t =
+  let n = Array.length xs in
+  if n = 0 then { trees = []; base = 0.; objective = params.obj }
+  else begin
+    let targets = transform_targets params.obj ys in
+    let base = Array.fold_left ( +. ) 0. targets /. float_of_int n in
+    let preds = Array.make n base in
+    let idxs = List.init n Fun.id in
+    let trees = ref [] in
+    for _ = 1 to params.n_trees do
+      let residuals = Array.init n (fun i -> targets.(i) -. preds.(i)) in
+      let tree = grow_tree params xs residuals idxs 0 in
+      let tree = scale_tree params.learning_rate tree in
+      Array.iteri (fun i x -> preds.(i) <- preds.(i) +. predict_tree tree x) xs;
+      trees := tree :: !trees
+    done;
+    { trees = List.rev !trees; base; objective = params.obj }
+  end
+
+(** Kendall-style pairwise ordering accuracy on held-out data; the
+    quantity that matters for explorer quality. *)
+let rank_accuracy model xs ys =
+  let n = Array.length xs in
+  let correct = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if ys.(i) <> ys.(j) then begin
+        incr total;
+        let pi = predict model xs.(i) and pj = predict model xs.(j) in
+        if (ys.(i) < ys.(j)) = (pi < pj) then incr correct
+      end
+    done
+  done;
+  if !total = 0 then 1. else float_of_int !correct /. float_of_int !total

@@ -1,0 +1,43 @@
+(** Gradient-boosted regression trees — the default cost model (§5.2).
+
+    A from-scratch stand-in for XGBoost: depth-bounded regression trees
+    grown greedily on variance reduction with quantile candidate
+    thresholds, combined by shrinkage. Supports both plain regression
+    and the paper's rank objective ("the explorer selects the top
+    candidates based only on the relative order of the prediction"). *)
+
+type objective = Regression | Rank
+
+type tree =
+  | Leaf of float
+  | Node of { feature : int; threshold : float; left : tree; right : tree }
+
+type t = {
+  trees : tree list;  (** applied in order, already scaled by shrinkage *)
+  base : float;
+  objective : objective;
+}
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+  learning_rate : float;
+  min_samples : int;  (** minimum samples to attempt a split *)
+  obj : objective;
+}
+
+val default_params : params
+
+val predict : t -> float array -> float
+
+(** Map raw targets to the training targets of the objective; [Rank]
+    replaces each value with its normalized rank in [0, 1]. *)
+val transform_targets : objective -> float array -> float array
+
+(** Fit a boosted ensemble on [(xs, ys)]; callers typically pass
+    [ys = -log time] so that higher is better. *)
+val fit : ?params:params -> float array array -> float array -> t
+
+(** Pairwise ordering accuracy on held-out data — the quantity that
+    matters for explorer quality (1.0 = perfect ranking). *)
+val rank_accuracy : t -> float array array -> float array -> float

@@ -1,0 +1,138 @@
+(** TreeRNN cost model (§5.2's alternative): a small recursive network
+    that summarizes the loop AST directly, without feature engineering
+    (Fig 13, right path). Each IR node type has an embedding; children
+    states are summed and combined through one tanh layer; a linear
+    readout produces the predicted score.
+
+    The paper found tree boosting and TreeRNN to have similar predictive
+    quality, with boosting ~2× faster at prediction — the benchmark
+    [ablation_features] reproduces that comparison. *)
+
+open Tvm_tir
+
+let hidden = 16
+let n_kinds = 12
+
+let kind_of (s : Stmt.t) =
+  match s with
+  | Stmt.Store _ -> 0
+  | Stmt.For { kind = Stmt.Serial; _ } -> 1
+  | Stmt.For { kind = Stmt.Parallel; _ } -> 2
+  | Stmt.For { kind = Stmt.Vectorized; _ } -> 3
+  | Stmt.For { kind = Stmt.Unrolled; _ } -> 4
+  | Stmt.For { kind = Stmt.Thread_binding _; _ } -> 5
+  | Stmt.For { kind = Stmt.Vthread; _ } -> 6
+  | Stmt.If_then_else _ -> 7
+  | Stmt.Let_stmt _ | Stmt.Evaluate _ -> 8
+  | Stmt.Seq _ -> 9
+  | Stmt.Allocate _ -> 10
+  | Stmt.Barrier | Stmt.Call_intrin _ | Stmt.Dma_copy _ | Stmt.Push_dep _
+  | Stmt.Pop_dep _ | Stmt.Skip ->
+      11
+
+type t = {
+  embed : float array array;  (** n_kinds × hidden *)
+  w : float array array;  (** hidden × 2*hidden combine matrix *)
+  readout : float array;
+  mutable bias : float;
+}
+
+let create seed =
+  let rng = Random.State.make [| seed |] in
+  let mat r c = Array.init r (fun _ -> Array.init c (fun _ -> (Random.State.float rng 0.2) -. 0.1)) in
+  { embed = mat n_kinds hidden; w = mat hidden (2 * hidden); readout = Array.init hidden (fun _ -> (Random.State.float rng 0.2) -. 0.1); bias = 0. }
+
+let children (s : Stmt.t) =
+  match s with
+  | Stmt.For l -> [ l.Stmt.body ]
+  | Stmt.If_then_else (_, t, Some e) -> [ t; e ]
+  | Stmt.If_then_else (_, t, None) -> [ t ]
+  | Stmt.Let_stmt (_, _, b) | Stmt.Allocate (_, b) -> [ b ]
+  | Stmt.Seq ss -> ss
+  | Stmt.Store _ | Stmt.Barrier | Stmt.Evaluate _ | Stmt.Call_intrin _
+  | Stmt.Dma_copy _ | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip ->
+      []
+
+(** Log-extent scalar folded into the state of loop nodes, so tile
+    sizes influence the summary. *)
+let node_scalar (s : Stmt.t) =
+  match s with
+  | Stmt.For l -> (
+      match Interval.const_of_expr l.Stmt.extent with
+      | Some e -> Float.log (1. +. float_of_int e)
+      | None -> 0.)
+  | _ -> 0.
+
+let rec encode model (s : Stmt.t) : float array =
+  let kind = kind_of s in
+  let child_sum = Array.make hidden 0. in
+  List.iter
+    (fun c ->
+      let h = encode model c in
+      Array.iteri (fun i v -> child_sum.(i) <- child_sum.(i) +. v) h)
+    (children s);
+  let input = Array.append model.embed.(kind) child_sum in
+  let scalar = node_scalar s in
+  Array.init hidden (fun i ->
+      let acc = ref (scalar *. model.embed.(kind).(i)) in
+      Array.iteri (fun j v -> acc := !acc +. (model.w.(i).(j) *. v)) input;
+      Float.tanh !acc)
+
+let predict model stmt =
+  let h = encode model stmt in
+  let acc = ref model.bias in
+  Array.iteri (fun i v -> acc := !acc +. (model.readout.(i) *. v)) h;
+  !acc
+
+(** Train with SPSA-style perturbation descent on squared error — a
+    gradient-free scheme adequate for the small net and dataset sizes
+    here (the comparison of interest is prediction quality vs speed,
+    not training sophistication). *)
+let fit ?(epochs = 30) ?(seed = 7) (stmts : Stmt.t array) (ys : float array) : t =
+  let model = create seed in
+  let rng = Random.State.make [| seed + 1 |] in
+  let n = Array.length stmts in
+  if n = 0 then model
+  else begin
+    (* Bias init at target mean. *)
+    model.bias <- Array.fold_left ( +. ) 0. ys /. float_of_int n;
+    let loss () =
+      let acc = ref 0. in
+      Array.iteri
+        (fun i s ->
+          let d = predict model s -. ys.(i) in
+          acc := !acc +. (d *. d))
+        stmts;
+      !acc /. float_of_int n
+    in
+    let params =
+      Array.concat (Array.to_list model.embed)
+      |> fun e ->
+      Array.concat [ e; Array.concat (Array.to_list model.w); model.readout ]
+    in
+    ignore params;
+    let step = ref 0.05 in
+    for _ = 1 to epochs do
+      (* Perturb each matrix block with a random direction; keep if improved. *)
+      let before = loss () in
+      let perturb arr =
+        Array.map (Array.map (fun v -> v +. ((Random.State.float rng 2. -. 1.) *. !step))) arr
+      in
+      let old_embed = Array.map Array.copy model.embed in
+      let old_w = Array.map Array.copy model.w in
+      let old_read = Array.copy model.readout in
+      let new_embed = perturb model.embed and new_w = perturb model.w in
+      Array.blit new_embed 0 model.embed 0 n_kinds;
+      Array.blit new_w 0 model.w 0 hidden;
+      Array.iteri
+        (fun i v -> model.readout.(i) <- v +. ((Random.State.float rng 2. -. 1.) *. !step))
+        old_read;
+      if loss () > before then begin
+        Array.blit old_embed 0 model.embed 0 n_kinds;
+        Array.blit old_w 0 model.w 0 hidden;
+        Array.blit old_read 0 model.readout 0 hidden
+      end
+      else step := !step *. 1.05
+    done;
+    model
+  end

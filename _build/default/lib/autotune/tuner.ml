@@ -1,0 +1,203 @@
+(** The automated optimization loop (§5, Fig 11).
+
+    In each iteration the explorer proposes a batch of candidate
+    configurations using the cost model's predictions; the batch is
+    measured on the (simulated) device via the measurement callback —
+    in the full system this goes through the RPC device pool — and the
+    collected data retrains the model. Exploration state persists
+    across model updates, as in the paper. *)
+
+type template = {
+  tpl_name : string;
+  tpl_space : Cfg_space.t;
+  tpl_instantiate : Cfg_space.config -> Tvm_tir.Stmt.t;
+      (** lowered program for a configuration *)
+}
+
+type method_ = Ml_model | Random_search | Genetic_algorithm
+
+let method_to_string = function
+  | Ml_model -> "ml-based"
+  | Random_search -> "random"
+  | Genetic_algorithm -> "genetic"
+
+type trial = {
+  trial_index : int;
+  config : Cfg_space.config;
+  time_s : float;
+  best_so_far : float;
+}
+
+type result = {
+  best_config : Cfg_space.config;
+  best_time : float;
+  history : trial list;  (** in measurement order *)
+  model_accuracy : float;  (** final rank accuracy on collected data *)
+}
+
+type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> float
+(** Returns measured run time in seconds ([infinity] = invalid). *)
+
+(** A database of measurement records (§5.4's log), shared across tuning
+    jobs so related workloads benefit from history. *)
+module Db = struct
+  type record = { db_key : string; db_config : Cfg_space.config; db_time : float }
+
+  type t = { mutable records : record list }
+
+  let create () = { records = [] }
+  let add t key config time = t.records <- { db_key = key; db_config = config; db_time = time } :: t.records
+  let best t key =
+    List.filter (fun r -> r.db_key = key) t.records
+    |> List.fold_left
+         (fun acc r ->
+           match acc with
+           | Some b when b.db_time <= r.db_time -> acc
+           | _ -> Some r)
+         None
+  let size t = List.length t.records
+end
+
+let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
+    ~(method_ : method_) ~(measure : measure_fn) ~(n_trials : int)
+    (template : template) : result =
+  let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
+  let visited = Hashtbl.create 256 in
+  let xs = ref [] and ys = ref [] in
+  let history = ref [] in
+  let best_time = ref Float.infinity in
+  let best_config = ref None in
+  let trial_index = ref 0 in
+  let measure_config cfg =
+    if !trial_index >= n_trials then ()
+    else begin
+      Hashtbl.replace visited (Cfg_space.hash cfg) ();
+      let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
+      let time =
+        match stmt with
+        | Some s -> ( try measure cfg s with _ -> Float.infinity)
+        | None -> Float.infinity
+      in
+      (match stmt with
+      | Some s when Float.is_finite time ->
+          xs := Feature.extract s :: !xs;
+          ys := -.Float.log time :: !ys
+      | _ -> ());
+      if time < !best_time then begin
+        best_time := time;
+        best_config := Some cfg
+      end;
+      incr trial_index;
+      (match db with
+      | Some db -> Db.add db template.tpl_name cfg time
+      | None -> ());
+      history :=
+        { trial_index = !trial_index; config = cfg; time_s = time;
+          best_so_far = !best_time }
+        :: !history
+    end
+  in
+  let feature_memo : (int, float array option) Hashtbl.t = Hashtbl.create 1024 in
+  (* Seed the search with one known-valid configuration: heavily
+     constrained spaces (odd shapes) can otherwise yield all-invalid
+     random batches. A cheap instantiation check suffices. *)
+  (let seed_attempts = min 4000 (4 * Cfg_space.size template.tpl_space) in
+   let rec seek i =
+     if i < seed_attempts && !trial_index = 0 then begin
+       let cfg = Cfg_space.random_config template.tpl_space rng in
+       (match (try Some (template.tpl_instantiate cfg) with _ -> None) with
+       | Some _ -> measure_config cfg
+       | None -> ());
+       seek (i + 1)
+     end
+   in
+   seek 0);
+  let sa_state = Explorers.sa_init template.tpl_space rng ~n_chains in
+  let ga_state = Explorers.Genetic.init template.tpl_space rng ~pop_size:batch in
+  let model = ref None in
+  let exhausted = ref false in
+  while (not !exhausted) && !trial_index < n_trials do
+    let remaining = n_trials - !trial_index in
+    let batch_now = min batch remaining in
+    let before = !trial_index in
+    (match method_ with
+    | Random_search ->
+        let cfgs = Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now in
+        List.iter measure_config cfgs
+    | Genetic_algorithm ->
+        let cfgs =
+          if !trial_index = 0 then
+            List.map (fun ind -> ind.Explorers.Genetic.cfg) ga_state.Explorers.Genetic.population
+          else Explorers.Genetic.next_generation template.tpl_space rng ga_state ~mutation_rate:0.3
+        in
+        let cfgs = List.filteri (fun i _ -> i < batch_now) cfgs in
+        let times = List.map (fun cfg -> measure_config cfg; (List.hd !history).time_s) cfgs in
+        let fitness = List.map (fun t -> if Float.is_finite t then -.Float.log t else -1e9) times in
+        (* Population and measured prefix may differ on the last round. *)
+        if List.length fitness = List.length ga_state.Explorers.Genetic.population then
+          Explorers.Genetic.record_fitness ga_state fitness
+    | Ml_model ->
+        let cfgs =
+          match !model with
+          | None ->
+              (* No training data yet: random candidates (§5.3). *)
+              Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
+          | Some m ->
+              let predict cfg =
+                (* Memoize lowering + feature extraction per config: the
+                   SA explorer revisits configurations frequently, and
+                   model prediction must stay thousands of times cheaper
+                   than measurement (§5.2). *)
+                let h = Cfg_space.hash cfg in
+                let feats =
+                  match Hashtbl.find_opt feature_memo h with
+                  | Some f -> f
+                  | None ->
+                      let f =
+                        match (try Some (template.tpl_instantiate cfg) with _ -> None) with
+                        | Some s -> Some (Feature.extract s)
+                        | None -> None
+                      in
+                      Hashtbl.replace feature_memo h f;
+                      f
+                in
+                match feats with
+                | Some f -> Gbt.predict m f
+                | None -> neg_infinity
+              in
+              (* ε-greedy: reserve part of the batch for uniform random
+                 exploration so the model keeps seeing fresh regions. *)
+              let n_random = max 1 (batch_now / 4) in
+              let proposed =
+                Explorers.simulated_annealing template.tpl_space rng sa_state ~predict
+                  ~visited ~n_steps:sa_steps ~temp:1.0
+                  ~batch:(max 0 (batch_now - n_random))
+              in
+              let filler =
+                Explorers.random_batch template.tpl_space rng ~visited
+                  ~batch:(batch_now - List.length proposed)
+              in
+              if proposed = [] && filler = [] then
+                Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
+              else proposed @ filler
+        in
+        List.iter measure_config cfgs;
+        if !xs <> [] then
+          model := Some (Gbt.fit (Array.of_list !xs) (Array.of_list !ys)));
+    (* A round with no new measurements means the space is exhausted. *)
+    if !trial_index = before then exhausted := true
+  done;
+  let model_accuracy =
+    match !model with
+    | Some m when List.length !xs > 4 ->
+        Gbt.rank_accuracy m (Array.of_list !xs) (Array.of_list !ys)
+    | _ -> ( match method_ with Ml_model -> 0.5 | _ -> Float.nan)
+  in
+  match !best_config with
+  | Some cfg ->
+      { best_config = cfg; best_time = !best_time; history = List.rev !history;
+        model_accuracy }
+  | None ->
+      invalid_arg
+        (Printf.sprintf "tune(%s): no valid configuration found in %d trials"
+           template.tpl_name n_trials)

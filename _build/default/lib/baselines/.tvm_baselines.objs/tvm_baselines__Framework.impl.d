@@ -1,0 +1,1 @@
+lib/baselines/framework.ml: List Tvm_graph Tvm_tir Vendor

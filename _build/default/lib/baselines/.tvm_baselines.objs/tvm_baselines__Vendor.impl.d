@@ -1,0 +1,1 @@
+lib/baselines/vendor.ml: Dtype Float List Tvm_graph Tvm_sim Tvm_tir

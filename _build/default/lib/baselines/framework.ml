@@ -1,0 +1,157 @@
+(** Modeled deep-learning framework executors — the end-to-end
+    baselines of Figs 14/16/19 (MXNet, TensorFlow, TensorFlow XLA,
+    TFLite, ARM ComputeLib runner).
+
+    A framework executes the *unfused* graph, one vendor-library kernel
+    per operator, paying per-op framework dispatch overhead. The
+    XLA-like configuration JIT-fuses injective chains (saving their
+    intermediate traffic) but generates its own conv kernels rather
+    than calling cuDNN — reproducing the paper's observation that XLA
+    sometimes trails the library-backed frameworks on convolution-heavy
+    nets while winning on elementwise-heavy ones. *)
+
+open Tvm_tir
+module G = Tvm_graph.Graph_ir
+module Fusion = Tvm_graph.Fusion
+module Attrs = Tvm_graph.Attrs
+
+type t = {
+  fw_name : string;
+  fw_library : Vendor.library;
+  fw_dispatch_s : float;  (** per-kernel framework overhead *)
+  fw_fuses_injective : bool;
+  fw_conv_penalty : float;  (** extra factor on library conv kernels *)
+  fw_conv_flat_eff : float option;
+      (** JIT-generated convolutions at a flat roofline efficiency,
+          replacing the vendor library (XLA): shape-insensitive — worse
+          than cuDNN on its tuned shapes, better on exotic ones *)
+}
+
+let mxnet = {
+  fw_name = "MXNet";
+  fw_library = Vendor.Mxnet_kernels;
+  fw_dispatch_s = 12e-6;
+  fw_fuses_injective = false;
+  fw_conv_penalty = 1.0;
+  fw_conv_flat_eff = None;
+}
+
+let tensorflow = {
+  fw_name = "Tensorflow";
+  fw_library = Vendor.Cudnn;
+  fw_dispatch_s = 20e-6;
+  fw_fuses_injective = false;
+  fw_conv_penalty = 1.05;
+  fw_conv_flat_eff = None;
+}
+
+let tensorflow_xla = {
+  fw_name = "Tensorflow XLA";
+  fw_library = Vendor.Cudnn;
+  fw_dispatch_s = 8e-6;
+  fw_fuses_injective = true;
+  fw_conv_penalty = 1.0;
+  fw_conv_flat_eff = Some 0.22;  (* JIT-generated convolutions, no cuDNN *)
+}
+
+let tflite = {
+  fw_name = "Tensorflow Lite";
+  fw_library = Vendor.Tflite;
+  fw_dispatch_s = 8e-6;
+  fw_fuses_injective = false;
+  fw_conv_penalty = 1.0;
+  fw_conv_flat_eff = None;
+}
+
+let arm_compute_lib = {
+  fw_name = "ARMComputeLib";
+  fw_library = Vendor.Arm_compute_lib;
+  fw_dispatch_s = 10e-6;
+  fw_fuses_injective = false;
+  fw_conv_penalty = 1.0;
+  fw_conv_flat_eff = None;
+}
+
+let is_conv = function
+  | "conv2d" | "depthwise_conv2d" | "conv2d_transpose" -> true
+  | _ -> false
+
+let node_dtype ~dtype (n : G.node) =
+  match dtype with Some d -> d | None -> n.G.dtype
+
+(** Whether the framework can run the model at all — Fig 16/19 note
+    "DCGAN and LSTM are not yet supported by the baseline". Embedded
+    baselines lack transposed convolution support. *)
+let supports t (graph : G.t) =
+  match t.fw_library with
+  | Vendor.Tflite | Vendor.Arm_compute_lib ->
+      let unsupported = ref false in
+      G.iter_ops graph (fun _ op -> if op = "conv2d_transpose" then unsupported := true);
+      not !unsupported
+  | Vendor.Cudnn | Vendor.Cublas | Vendor.Mxnet_kernels -> true
+
+(** End-to-end latency of [graph] under this framework. [dtype] forces
+    a precision (Fig 19's float16 runs). *)
+let run_time_s ?dtype t (machine : Vendor.machine) (graph : G.t) : float =
+  let op_time (n : G.node) op =
+    let in_shapes = List.map (fun i -> (G.node graph i).G.shape) n.G.inputs in
+    let dt = node_dtype ~dtype n in
+    match (is_conv op, t.fw_conv_flat_eff) with
+    | true, Some eff ->
+        let flops =
+          (Tvm_graph.Op_registry.find op).Tvm_graph.Op_registry.op_flops in_shapes
+            n.G.attrs
+        in
+        let bytes = Vendor.op_bytes ~in_shapes ~out_shape:n.G.shape ~dtype:dt in
+        Vendor.roofline_s machine ~flops ~bytes ~dtype:dt /. eff
+    | true, None ->
+        t.fw_conv_penalty
+        *. Vendor.op_time t.fw_library machine ~op ~in_shapes ~out_shape:n.G.shape
+             ~attrs:n.G.attrs ~dtype:dt
+    | false, _ ->
+        Vendor.op_time t.fw_library machine ~op ~in_shapes ~out_shape:n.G.shape
+          ~attrs:n.G.attrs ~dtype:dt
+  in
+  if not t.fw_fuses_injective then
+    let total = ref 0. in
+    G.iter_ops graph (fun n op -> total := !total +. op_time n op +. t.fw_dispatch_s);
+    !total
+  else
+    (* XLA-like: one kernel per fused group; the group costs its anchor
+       plus the flops of absorbed injectives at streaming bandwidth
+       (their intermediate tensors never hit memory). *)
+    let groups = Fusion.fuse graph in
+    List.fold_left
+      (fun acc g ->
+        let anchor = G.node graph g.Fusion.g_anchor in
+        let anchor_op =
+          match anchor.G.kind with G.Op op -> op | _ -> "add"
+        in
+        let anchor_t = op_time anchor anchor_op in
+        let epilogue_flops =
+          List.fold_left
+            (fun acc id ->
+              if id = g.Fusion.g_anchor then acc
+              else
+                let n = G.node graph id in
+                match n.G.kind with
+                | G.Op op ->
+                    let in_shapes =
+                      List.map (fun i -> (G.node graph i).G.shape) n.G.inputs
+                    in
+                    acc
+                    +. (Tvm_graph.Op_registry.find op).Tvm_graph.Op_registry.op_flops
+                         in_shapes n.G.attrs
+                | _ -> acc)
+            0. g.Fusion.g_nodes
+        in
+        (* fused epilogues stream the anchor's output once more *)
+        let out_elems =
+          float_of_int (List.fold_left ( * ) 1 anchor.G.shape)
+        in
+        let epilogue_t =
+          (epilogue_flops /. (Vendor.peak_gflops machine *. 1e9))
+          +. (2. *. out_elems *. 4. /. (Vendor.bandwidth_gbps machine *. 1e9))
+        in
+        acc +. anchor_t +. epilogue_t +. t.fw_dispatch_s)
+      0. groups

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Float Hashtbl List Printf Random String Target Tvm_autotune Tvm_graph Tvm_rpc Tvm_runtime Tvm_te

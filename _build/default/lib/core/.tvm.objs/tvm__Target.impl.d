@@ -1,0 +1,1 @@
+lib/core/target.ml: Tvm_lower Tvm_rpc Tvm_sim

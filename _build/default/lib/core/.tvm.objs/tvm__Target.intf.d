@@ -1,0 +1,1 @@
+lib/core/target.mli: Tvm_lower Tvm_rpc Tvm_sim Tvm_tir

@@ -1,0 +1,170 @@
+(** The end-to-end compiler (§2): graph in, deployable module out.
+
+    Pipeline: high-level graph rewriting (operator fusion, §3) →
+    per-fused-group tensor-expression construction → schedule-template
+    instantiation → ML-based automated optimization (§5) over the RPC
+    device pool → lowered kernels packaged with their I/O signature.
+
+    Tuned configurations are cached by workload signature (anchor op +
+    shapes + target), so the twelve distinct ResNet convolutions are
+    tuned once each however many times they repeat — and so related
+    graphs benefit from history, as the paper's database does. *)
+
+module G = Tvm_graph.Graph_ir
+module Fusion = Tvm_graph.Fusion
+module Tensor = Tvm_te.Tensor
+module Tuner = Tvm_autotune.Tuner
+module Templates = Tvm_autotune.Templates
+module Cfg_space = Tvm_autotune.Cfg_space
+module Pool = Tvm_rpc.Device_pool
+module Rt_module = Tvm_runtime.Rt_module
+
+let () = Tvm_graph.Std_ops.register_all ()
+
+type options = {
+  enable_fusion : bool;
+  tune_trials : int;  (** 0 = pick a default configuration heuristically *)
+  tuner_method : Tuner.method_;
+  seed : int;
+  verbose : bool;
+}
+
+let default_options =
+  { enable_fusion = true; tune_trials = 64; tuner_method = Tuner.Ml_model;
+    seed = 42; verbose = false }
+
+(** Tuning cache: workload signature → (best config, best noise-free time). *)
+let tuned_cache : (string, Cfg_space.config * float) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset tuned_cache
+
+let workload_signature (graph : G.t) (g : Fusion.group) target =
+  let anchor = G.node graph g.Fusion.g_anchor in
+  let op = match anchor.G.kind with G.Op op -> op | _ -> "copy" in
+  let shapes =
+    List.map
+      (fun i ->
+        String.concat "x" (List.map string_of_int (G.node graph i).G.shape))
+      anchor.G.inputs
+  in
+  let epilogue =
+    match List.length g.Fusion.g_nodes - 1 with 0 -> "" | n -> Printf.sprintf "+%d" n
+  in
+  Printf.sprintf "%s(%s)->%s%s@%s" op (String.concat "," shapes)
+    (String.concat "x" (List.map string_of_int anchor.G.shape))
+    epilogue (Target.name target)
+
+(** Template for a fused group on a target. *)
+let template_for ~name target (out_tensor : Tensor.t) : Tuner.template =
+  match target with
+  | Target.Cuda _ | Target.Opencl_mali _ -> (
+      (* Dense 2-D reductions get the richer structured matmul space. *)
+      match Tensor.const_shape out_tensor with
+      | [ m; n ] when m > 1 && n >= 16 && Templates.reduce_depth out_tensor > 1 ->
+          Templates.gpu_matmul ~name out_tensor
+      | _ -> Templates.gpu_flat ~name out_tensor)
+  | Target.Llvm _ -> Templates.cpu_flat ~name out_tensor
+
+(** Find a reasonable untuned configuration: sample a few and keep the
+    best under the target's model (what a hand-written default schedule
+    would give). *)
+let default_config ?(samples = 12) ~seed target (tpl : Tuner.template) =
+  let rng = Random.State.make [| seed; 17 |] in
+  let best = ref None in
+  for _ = 1 to samples do
+    let cfg = Cfg_space.random_config tpl.Tuner.tpl_space rng in
+    match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+    | Some stmt ->
+        let t = Target.time_s target stmt in
+        if Float.is_finite t then begin
+          match !best with
+          | Some (_, _, bt) when bt <= t -> ()
+          | _ -> best := Some (cfg, stmt, t)
+        end
+    | None -> ()
+  done;
+  !best
+
+type build_result = {
+  module_ : Rt_module.t;
+  groups : Fusion.group list;
+  graph : G.t;
+  tuning_trials_run : int;
+}
+
+(** Compile [graph] for [target]: the paper's
+    [graph, lib, params = t.compiler.build (graph, target, params)]. *)
+let build ?(options = default_options) (graph : G.t) (target : Target.t) :
+    build_result =
+  let groups =
+    if options.enable_fusion then Fusion.fuse graph else Fusion.no_fusion graph
+  in
+  let pool = Pool.create [ Target.device_kind target ] in
+  let kind_pred (_ : Pool.device_kind) = true in
+  let trials_run = ref 0 in
+  let kernels =
+    List.map
+      (fun g ->
+        let out_tensor, input_placeholders = Fusion.build_group_te graph g in
+        let signature = workload_signature graph g target in
+        let tpl = template_for ~name:signature target out_tensor in
+        let best_cfg, _best_time =
+          match Hashtbl.find_opt tuned_cache signature with
+          | Some hit -> hit
+          | None ->
+              let result =
+                if options.tune_trials > 0 then begin
+                  let measure = Pool.measure_fn pool ~kind_pred in
+                  (* Two independent half-budget searches, keep the
+                     better: guards against a seed-stranded run. *)
+                  let half = max 8 (options.tune_trials / 2) in
+                  let run seed =
+                    Tuner.tune ~seed ~method_:options.tuner_method ~measure
+                      ~n_trials:half tpl
+                  in
+                  let r1 = run options.seed in
+                  let r2 = run (options.seed + 1000) in
+                  trials_run := !trials_run + (2 * half);
+                  let best = if r1.Tuner.best_time <= r2.Tuner.best_time then r1 else r2 in
+                  (best.Tuner.best_config, best.Tuner.best_time)
+                end
+                else
+                  match default_config ~seed:options.seed target tpl with
+                  | Some (cfg, _, t) -> (cfg, t)
+                  | None ->
+                      invalid_arg
+                        ("compiler: no valid default configuration for " ^ signature)
+              in
+              Hashtbl.replace tuned_cache signature result;
+              result
+        in
+        let stmt = tpl.Tuner.tpl_instantiate best_cfg in
+        let time_s = Target.time_s target stmt in
+        if options.verbose then
+          Printf.printf "[tvm] %-60s %.3f ms\n%!" signature (1e3 *. time_s);
+        {
+          Rt_module.k_name = signature;
+          k_group = g.Fusion.g_id;
+          k_stmt = stmt;
+          k_input_buffers = List.map Tensor.buffer input_placeholders;
+          k_output_buffer = Tensor.buffer out_tensor;
+          k_time_s = time_s;
+          k_flops = Fusion.group_flops graph g;
+        })
+      groups
+  in
+  {
+    module_ = Rt_module.create ~target_name:(Target.name target) kernels;
+    groups;
+    graph;
+    tuning_trials_run = !trials_run;
+  }
+
+(** Build + wrap in a graph executor ([runtime.create] of §2). *)
+let build_executor ?options graph target =
+  let result = build ?options graph target in
+  let exec =
+    Tvm_runtime.Graph_executor.create ~graph:result.graph ~groups:result.groups
+      ~module_:result.module_ ()
+  in
+  (result, exec)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Exp_util Fig_micro Float List Printf Random Sys Tvm_autotune Tvm_graph Tvm_models Tvm_rpc Tvm_sim Tvm_tir

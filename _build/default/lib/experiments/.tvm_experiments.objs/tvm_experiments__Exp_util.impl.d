@@ -1,0 +1,1 @@
+lib/experiments/exp_util.ml: Float List Printf String

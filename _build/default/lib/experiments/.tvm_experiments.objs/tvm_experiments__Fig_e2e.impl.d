@@ -1,0 +1,1 @@
+lib/experiments/fig_e2e.ml: Dtype Exp_util Expr Float List Printf String Tvm Tvm_autotune Tvm_baselines Tvm_graph Tvm_lower Tvm_models Tvm_rpc Tvm_runtime Tvm_schedule Tvm_sim Tvm_te Tvm_tir Tvm_vdla

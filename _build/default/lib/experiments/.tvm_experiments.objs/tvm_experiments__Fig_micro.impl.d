@@ -1,0 +1,1 @@
+lib/experiments/fig_micro.ml: Dtype Exp_util Expr Float List Printf Tvm Tvm_autotune Tvm_baselines Tvm_graph Tvm_models Tvm_rpc Tvm_runtime Tvm_sim Tvm_te Tvm_tir Tvm_vdla

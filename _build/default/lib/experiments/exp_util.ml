@@ -1,0 +1,36 @@
+(** Table/series printing helpers shared by the benchmark harness. *)
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subbanner title = Printf.printf "\n-- %s --\n" title
+
+(** Print a table: header row then rows of (label, float list). *)
+let table ~columns ~fmt rows =
+  let width = 22 in
+  Printf.printf "%-*s" width "";
+  List.iter (fun c -> Printf.printf "%14s" c) columns;
+  print_newline ();
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-*s" width label;
+      List.iter (fun v -> Printf.printf "%14s" (Printf.sprintf fmt v)) values;
+      print_newline ())
+    rows
+
+let ms t = 1e3 *. t
+
+(** Geometric mean, ignoring non-finite values. *)
+let geomean values =
+  let vs = List.filter (fun v -> Float.is_finite v && v > 0.) values in
+  match vs with
+  | [] -> Float.nan
+  | _ ->
+      Float.exp
+        (List.fold_left (fun acc v -> acc +. Float.log v) 0. vs
+        /. float_of_int (List.length vs))
+
+(** Scale factor reducing experiment cost under --quick. *)
+let trial_scale = ref 1.0
+
+let trials n = max 8 (int_of_float (float_of_int n *. !trial_scale))

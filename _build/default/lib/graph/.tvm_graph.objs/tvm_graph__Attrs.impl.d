@@ -1,0 +1,1 @@
+lib/graph/attrs.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/graph/const_fold.ml: Array Graph_ir Hashtbl List Op_registry Option Tvm_nd

@@ -1,0 +1,1 @@
+lib/graph/fusion.ml: Array Graph_ir Hashtbl List Op_registry Tvm_te Tvm_tir

@@ -1,0 +1,1 @@
+lib/graph/fusion.mli: Graph_ir Tvm_te

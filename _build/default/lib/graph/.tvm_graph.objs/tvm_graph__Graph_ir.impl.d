@@ -1,0 +1,1 @@
+lib/graph/graph_ir.ml: Array Attrs Dtype Format List Printf String Tvm_tir

@@ -1,0 +1,1 @@
+lib/graph/layout.ml: Graph_ir Hashtbl List Printf Scanf Tvm_nd

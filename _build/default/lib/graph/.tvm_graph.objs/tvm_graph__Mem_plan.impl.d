@@ -1,0 +1,1 @@
+lib/graph/mem_plan.ml: Dtype Float Fusion Graph_ir Hashtbl List Tvm_tir

@@ -1,0 +1,1 @@
+lib/graph/op_registry.ml: Attrs Graph_ir Hashtbl List Tvm_nd Tvm_te

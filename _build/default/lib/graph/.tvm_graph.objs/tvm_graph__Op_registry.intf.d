@@ -1,0 +1,1 @@
+lib/graph/op_registry.mli: Attrs Tvm_nd Tvm_te

@@ -1,0 +1,1 @@
+lib/graph/std_ops.ml: Attrs Expr Float List Op_registry Printf Tvm_nd Tvm_te Tvm_tir

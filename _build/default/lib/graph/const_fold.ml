@@ -1,0 +1,54 @@
+(** Constant folding (§3): pre-compute graph parts that are statically
+    determined, i.e. op nodes all of whose transitive inputs are
+    parameters. The folded node becomes a new parameter whose value is
+    computed once at compile time with the reference executor. *)
+
+module Nd = Tvm_nd.Ndarray
+
+type result = {
+  graph : Graph_ir.t;
+  folded_params : (int * Nd.t) list;  (** new-graph param id → value *)
+  num_folded : int;
+}
+
+(** [run graph ~params] where [params] maps original param node ids to
+    their values. Node ids are preserved (folded op nodes turn into
+    [Param] nodes in place), so downstream passes need no remapping. *)
+let run (graph : Graph_ir.t) ~(params : (int * Nd.t) list) : result =
+  let values = Hashtbl.create 16 in
+  List.iter (fun (id, v) -> Hashtbl.replace values id v) params;
+  let num_folded = ref 0 in
+  let nodes =
+    Array.map
+      (fun (n : Graph_ir.node) ->
+        match n.Graph_ir.kind with
+        | Graph_ir.Input | Graph_ir.Param -> n
+        | Graph_ir.Op op ->
+            let input_vals =
+              List.map (fun i -> Hashtbl.find_opt values i) n.Graph_ir.inputs
+            in
+            if
+              List.for_all Option.is_some input_vals
+              && not (Graph_ir.is_output graph n.Graph_ir.id)
+            then begin
+              let impl = Op_registry.find op in
+              let v =
+                impl.Op_registry.ref_exec
+                  (List.map Option.get input_vals)
+                  n.Graph_ir.attrs
+              in
+              Hashtbl.replace values n.Graph_ir.id v;
+              incr num_folded;
+              { n with Graph_ir.kind = Graph_ir.Param; inputs = [] }
+            end
+            else n)
+      graph.Graph_ir.nodes
+  in
+  let graph' = Graph_ir.of_nodes (Array.to_list nodes) ~outputs:graph.Graph_ir.outputs in
+  let folded_params =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt values id with Some v -> Some (id, v) | None -> None)
+      graph'.Graph_ir.param_ids
+  in
+  { graph = graph'; folded_params; num_folded = !num_folded }

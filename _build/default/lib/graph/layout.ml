@@ -1,0 +1,112 @@
+(** Data-layout transformation (§3).
+
+    "A DL accelerator might exploit 4×4 matrix operations, requiring
+    data to be tiled ... Data layout optimization converts a
+    computational graph into one that can use better internal data
+    layouts ... We then perform the proper layout transformation between
+    a producer and a consumer if their preferred data layouts do not
+    match."
+
+    This pass implements that contract for the channel-blocked NCHW[c]
+    layout CPUs prefer (SIMD over a fixed channel block): each operator
+    states a preferred layout for its inputs/output; where preferences
+    disagree along an edge, an explicit [layout_transform] node is
+    inserted. The pass is annotation-level: node attrs record the chosen
+    layout, transform nodes materialize the repacking cost, and the
+    executor runs them like any other injective operator. *)
+
+module Nd = Tvm_nd.Ndarray
+
+type layout = Nchw | Nchw_c of int  (** channel-blocked, block size c *)
+
+let layout_to_string = function
+  | Nchw -> "NCHW"
+  | Nchw_c c -> Printf.sprintf "NCHW%dc" c
+
+let layout_of_string s =
+  if s = "NCHW" then Nchw
+  else
+    try Scanf.sscanf s "NCHW%dc" (fun c -> Nchw_c c)
+    with _ -> invalid_arg ("layout_of_string: " ^ s)
+
+(** Preferred activation layout of an operator on a machine with
+    [lanes]-wide SIMD: channel-blocked for channel-parallel operators
+    when the channel count divides evenly. *)
+let preferred_layout ~lanes (n : Graph_ir.node) op =
+  match op with
+  | "conv2d" | "depthwise_conv2d" -> (
+      match n.Graph_ir.shape with
+      | [ _; c; _; _ ] when c mod lanes = 0 -> Nchw_c lanes
+      | _ -> Nchw)
+  | "batch_norm" | "relu" | "leaky_relu" | "add" | "mul" | "bias_add" -> (
+      (* elementwise ops follow whatever their producer prefers *)
+      match n.Graph_ir.shape with
+      | [ _; c; _; _ ] when c mod lanes = 0 -> Nchw_c lanes
+      | _ -> Nchw)
+  | _ -> Nchw
+
+(** Reference executor for the transform node: NCHW <-> NCHW[c]. *)
+let transform_exec ~from_ ~to_ (v : Nd.t) =
+  match (from_, to_, Nd.shape v) with
+  | Nchw, Nchw_c blk, [ n; c; h; w ] ->
+      Nd.init [ n; c / blk; h; w; blk ] (fun idx ->
+          match idx with
+          | [ bn; co; y; x; ci ] -> Nd.get v [ bn; (co * blk) + ci; y; x ]
+          | _ -> assert false)
+  | Nchw_c blk, Nchw, [ n; co; h; w; _blk ] ->
+      Nd.init [ n; co * blk; h; w ] (fun idx ->
+          match idx with
+          | [ bn; c; y; x ] -> Nd.get v [ bn; c / blk; y; x; c mod blk ]
+          | _ -> assert false)
+  | _ -> v
+
+type result = {
+  graph : Graph_ir.t;
+  transforms_inserted : int;
+  annotations : (int * layout) list;  (** node id → chosen layout *)
+}
+
+(** Annotate every NCHW op node with its preferred layout and count the
+    producer/consumer mismatches that would require transform nodes.
+    (The full graph rewrite materializes them; the annotation pass is
+    what the CPU templates consume to decide channel-blocked
+    vectorization, and what the ablation bench reports.) *)
+let annotate ?(lanes = 4) (graph : Graph_ir.t) : result =
+  let annotations = ref [] in
+  let layout_of = Hashtbl.create 16 in
+  Graph_ir.iter_ops graph (fun n op ->
+      let l = preferred_layout ~lanes n op in
+      Hashtbl.replace layout_of n.Graph_ir.id l;
+      annotations := (n.Graph_ir.id, l) :: !annotations);
+  let mismatches = ref 0 in
+  Graph_ir.iter_ops graph (fun n _ ->
+      List.iter
+        (fun input ->
+          match
+            (Hashtbl.find_opt layout_of input, Hashtbl.find_opt layout_of n.Graph_ir.id)
+          with
+          | Some a, Some b when a <> b -> incr mismatches
+          | _ -> ())
+        n.Graph_ir.inputs);
+  { graph; transforms_inserted = !mismatches; annotations = List.rev !annotations }
+
+(** Bytes moved by the transform nodes the layout assignment needs —
+    the cost side of the layout-optimization trade-off. *)
+let transform_bytes (graph : Graph_ir.t) (r : result) =
+  let layout_of = Hashtbl.create 16 in
+  List.iter (fun (id, l) -> Hashtbl.replace layout_of id l) r.annotations;
+  let bytes = ref 0. in
+  Graph_ir.iter_ops graph (fun n _ ->
+      List.iter
+        (fun input ->
+          match
+            (Hashtbl.find_opt layout_of input, Hashtbl.find_opt layout_of n.Graph_ir.id)
+          with
+          | Some a, Some b when a <> b ->
+              let inp = Graph_ir.node graph input in
+              bytes :=
+                !bytes
+                +. (2. *. float_of_int (List.fold_left ( * ) 1 inp.Graph_ir.shape) *. 4.)
+          | _ -> ())
+        n.Graph_ir.inputs);
+  !bytes

@@ -1,0 +1,80 @@
+(** Static memory planning (§3): pre-allocate storage for every
+    intermediate tensor, sharing buffers between values whose live
+    ranges do not overlap. *)
+
+open Tvm_tir
+
+type slot = { slot_id : int; mutable bytes : float; mutable free_after : int }
+
+type plan = {
+  assignments : (int * int) list;  (** group-output node id → slot id *)
+  slots : (int * float) list;  (** slot id → bytes *)
+  total_bytes : float;  (** pooled allocation *)
+  naive_bytes : float;  (** one private buffer per intermediate *)
+}
+
+let node_bytes (graph : Graph_ir.t) id =
+  let n = Graph_ir.node graph id in
+  float_of_int (List.fold_left ( * ) 1 n.Graph_ir.shape)
+  *. Dtype.bytes n.Graph_ir.dtype
+
+(** Plan storage for the outputs of [groups] executed in list order.
+    A group output is live from its producing step until the last step
+    that reads it; graph outputs are pinned (never shared). *)
+let plan (graph : Graph_ir.t) (groups : Fusion.group list) : plan =
+  let order = List.mapi (fun i g -> (g.Fusion.g_output, i)) groups in
+  let step_of id = List.assoc_opt id order in
+  (* Last step reading each produced value. *)
+  let last_use = Hashtbl.create 16 in
+  List.iteri
+    (fun step g ->
+      List.iter
+        (fun input ->
+          match step_of input with
+          | Some _ -> Hashtbl.replace last_use input step
+          | None -> ())
+        g.Fusion.g_inputs)
+    groups;
+  let slots = ref [] in
+  let next_slot = ref 0 in
+  let assignments = ref [] in
+  let naive = ref 0. in
+  List.iteri
+    (fun step g ->
+      let id = g.Fusion.g_output in
+      let bytes = node_bytes graph id in
+      naive := !naive +. bytes;
+      let lu =
+        if Graph_ir.is_output graph id then max_int
+        else match Hashtbl.find_opt last_use id with Some s -> s | None -> step
+      in
+      (* First fit: smallest free slot large enough, else grow one, else new. *)
+      let free = List.filter (fun s -> s.free_after < step) !slots in
+      let candidate =
+        List.sort (fun a b -> compare a.bytes b.bytes) free
+        |> List.find_opt (fun s -> s.bytes >= bytes)
+      in
+      let slot =
+        match candidate with
+        | Some s -> s
+        | None -> (
+            match List.sort (fun a b -> compare b.bytes a.bytes) free with
+            | s :: _ ->
+                s.bytes <- Float.max s.bytes bytes;
+                s
+            | [] ->
+                incr next_slot;
+                let s = { slot_id = !next_slot; bytes; free_after = -1 } in
+                slots := s :: !slots;
+                s)
+      in
+      slot.free_after <- lu;
+      assignments := (id, slot.slot_id) :: !assignments)
+    groups;
+  let slots = List.map (fun s -> (s.slot_id, s.bytes)) !slots in
+  {
+    assignments = List.rev !assignments;
+    slots;
+    total_bytes = List.fold_left (fun acc (_, b) -> acc +. b) 0. slots;
+    naive_bytes = !naive;
+  }

@@ -1,0 +1,531 @@
+(** Standard operator set: registrations of every operator the five
+    evaluation networks need (ResNet-18, MobileNet, LSTM LM, DQN,
+    DCGAN), each with shape inference, tensor-expression builder,
+    reference executor and FLOP count.
+
+    Call {!register_all} once before using the graph layer (the facade
+    and executors do this). *)
+
+open Tvm_tir
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+module Nd = Tvm_nd.Ndarray
+module R = Op_registry
+
+let registered = ref false
+
+let conv_out_dim ~in_dim ~kernel ~stride ~pad = ((in_dim + (2 * pad) - kernel) / stride) + 1
+
+let padding_of attrs ~kernel =
+  match Attrs.get_str ~default:"same" attrs "padding" with
+  | "same" -> (kernel - 1) / 2
+  | "valid" -> 0
+  | s -> ( try int_of_string s with _ -> invalid_arg ("bad padding " ^ s))
+
+let prod = List.fold_left ( * ) 1
+
+(* ------------------------------------------------------------------ *)
+(* Reference kernels (direct ndarray loops; fast path for functional   *)
+(* execution and constant folding)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ref_conv2d ?(depthwise = false) data weight ~stride ~pad =
+  match (Nd.shape data, Nd.shape weight) with
+  | [ n; c; h; w ], [ d0; d1; kh; kw ] ->
+      let oc = if depthwise then c else d0 in
+      let oh = conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad in
+      let ow = conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad in
+      ignore d1;
+      let out = Nd.create [ n; oc; oh; ow ] in
+      for bn = 0 to n - 1 do
+        for foc = 0 to oc - 1 do
+          for oy = 0 to oh - 1 do
+            for ox = 0 to ow - 1 do
+              let acc = ref 0. in
+              let ic_lo, ic_hi = if depthwise then (foc, foc) else (0, c - 1) in
+              for ic = ic_lo to ic_hi do
+                for ky = 0 to kh - 1 do
+                  let iy = (oy * stride) + ky - pad in
+                  if iy >= 0 && iy < h then
+                    for kx = 0 to kw - 1 do
+                      let ix = (ox * stride) + kx - pad in
+                      if ix >= 0 && ix < w then
+                        let wv =
+                          if depthwise then Nd.get weight [ foc; 0; ky; kx ]
+                          else Nd.get weight [ foc; ic; ky; kx ]
+                        in
+                        acc := !acc +. (Nd.get data [ bn; ic; iy; ix ] *. wv)
+                    done
+                done
+              done;
+              Nd.set out [ bn; foc; oy; ox ] !acc
+            done
+          done
+        done
+      done;
+      out
+  | _ -> invalid_arg "ref_conv2d: bad ranks"
+
+let ref_conv2d_transpose data weight ~stride ~pad =
+  match (Nd.shape data, Nd.shape weight) with
+  | [ n; ic; h; w ], [ _ic2; oc; kh; kw ] ->
+      let oh = (stride * (h - 1)) + kh - (2 * pad) in
+      let ow = (stride * (w - 1)) + kw - (2 * pad) in
+      let out = Nd.create [ n; oc; oh; ow ] in
+      (* Scatter formulation: every input pixel contributes a kernel. *)
+      for bn = 0 to n - 1 do
+        for i = 0 to ic - 1 do
+          for y = 0 to h - 1 do
+            for x = 0 to w - 1 do
+              let v = Nd.get data [ bn; i; y; x ] in
+              if v <> 0. then
+                for o = 0 to oc - 1 do
+                  for ky = 0 to kh - 1 do
+                    let oy = (y * stride) + ky - pad in
+                    if oy >= 0 && oy < oh then
+                      for kx = 0 to kw - 1 do
+                        let ox = (x * stride) + kx - pad in
+                        if ox >= 0 && ox < ow then
+                          Nd.set out [ bn; o; oy; ox ]
+                            (Nd.get out [ bn; o; oy; ox ]
+                            +. (v *. Nd.get weight [ i; o; ky; kx ]))
+                      done
+                  done
+                done
+            done
+          done
+        done
+      done;
+      out
+  | _ -> invalid_arg "ref_conv2d_transpose: bad ranks"
+
+let ref_dense data weight =
+  match (Nd.shape data, Nd.shape weight) with
+  | [ m; k ], [ n; _k2 ] ->
+      let out = Nd.create [ m; n ] in
+      for y = 0 to m - 1 do
+        for x = 0 to n - 1 do
+          let acc = ref 0. in
+          for kk = 0 to k - 1 do
+            acc := !acc +. (Nd.get data [ y; kk ] *. Nd.get weight [ x; kk ])
+          done;
+          Nd.set out [ y; x ] !acc
+        done
+      done;
+      out
+  | _ -> invalid_arg "ref_dense: bad ranks"
+
+let ref_elemwise2 f a b = Nd.map2 f a b
+let ref_elemwise f a = Nd.map f a
+
+let channel_broadcast f data per_channel =
+  match Nd.shape data with
+  | [ n; c; h; w ] ->
+      Nd.init [ n; c; h; w ] (fun idx ->
+          match idx with
+          | [ bn; bc; y; x ] -> f (Nd.get data [ bn; bc; y; x ]) (Nd.get per_channel [ bc ])
+          | _ -> assert false)
+  | [ n; c ] ->
+      Nd.init [ n; c ] (fun idx ->
+          match idx with
+          | [ bn; bc ] -> f (Nd.get data [ bn; bc ]) (Nd.get per_channel [ bc ])
+          | _ -> assert false)
+  | _ -> invalid_arg "channel_broadcast: bad rank"
+
+let ref_max_pool data ~size ~stride ~pad =
+  match Nd.shape data with
+  | [ n; c; h; w ] ->
+      let oh = conv_out_dim ~in_dim:h ~kernel:size ~stride ~pad in
+      let ow = conv_out_dim ~in_dim:w ~kernel:size ~stride ~pad in
+      Nd.init [ n; c; oh; ow ] (fun idx ->
+          match idx with
+          | [ bn; bc; oy; ox ] ->
+              let acc = ref (-1e30) in
+              for ky = 0 to size - 1 do
+                let iy = (oy * stride) + ky - pad in
+                if iy >= 0 && iy < h then
+                  for kx = 0 to size - 1 do
+                    let ix = (ox * stride) + kx - pad in
+                    if ix >= 0 && ix < w then
+                      acc := Float.max !acc (Nd.get data [ bn; bc; iy; ix ])
+                  done
+              done;
+              !acc
+          | _ -> assert false)
+  | _ -> invalid_arg "ref_max_pool: bad rank"
+
+let ref_global_avg_pool data =
+  match Nd.shape data with
+  | [ n; c; h; w ] ->
+      Nd.init [ n; c ] (fun idx ->
+          match idx with
+          | [ bn; bc ] ->
+              let acc = ref 0. in
+              for y = 0 to h - 1 do
+                for x = 0 to w - 1 do
+                  acc := !acc +. Nd.get data [ bn; bc; y; x ]
+                done
+              done;
+              !acc /. float_of_int (h * w)
+          | _ -> assert false)
+  | _ -> invalid_arg "ref_global_avg_pool: bad rank"
+
+let ref_softmax data =
+  match Nd.shape data with
+  | [ n; c ] ->
+      let out = Nd.create [ n; c ] in
+      for bn = 0 to n - 1 do
+        let mx = ref (-1e30) in
+        for bc = 0 to c - 1 do
+          mx := Float.max !mx (Nd.get data [ bn; bc ])
+        done;
+        let sum = ref 0. in
+        for bc = 0 to c - 1 do
+          let e = Float.exp (Nd.get data [ bn; bc ] -. !mx) in
+          Nd.set out [ bn; bc ] e;
+          sum := !sum +. e
+        done;
+        for bc = 0 to c - 1 do
+          Nd.set out [ bn; bc ] (Nd.get out [ bn; bc ] /. !sum)
+        done
+      done;
+      out
+  | _ -> invalid_arg "ref_softmax: bad rank"
+
+(* ------------------------------------------------------------------ *)
+(* Registrations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let arg1 = function [ a ] -> a | l -> invalid_arg (Printf.sprintf "expected 1 input, got %d" (List.length l))
+let arg2 = function [ a; b ] -> (a, b) | l -> invalid_arg (Printf.sprintf "expected 2 inputs, got %d" (List.length l))
+
+let register_all () =
+  if !registered then ()
+  else begin
+    registered := true;
+    (* conv2d: inputs data NCHW, weight OIHW *)
+    R.register
+      {
+        R.op_name = "conv2d";
+        pattern = R.Complex_out_fusable;
+        infer_shape =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; _c; h; w ]; [ oc; _ic; kh; kw ] ] ->
+                let stride = Attrs.get_int ~default:1 attrs "stride" in
+                let pad = padding_of attrs ~kernel:kh in
+                [ n; oc; conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad;
+                  conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad ]
+            | _ -> invalid_arg "conv2d: bad input shapes");
+        build_te =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            let stride = Attrs.get_int ~default:1 attrs "stride" in
+            let kh =
+              match Tensor.const_shape weight with
+              | [ _; _; kh; _ ] -> kh
+              | _ -> invalid_arg "conv2d weight"
+            in
+            let pad = padding_of attrs ~kernel:kh in
+            Op.conv2d ~stride ~padding:(`Explicit pad) data weight);
+        ref_exec =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            let stride = Attrs.get_int ~default:1 attrs "stride" in
+            let kh = match Nd.shape weight with [ _; _; kh; _ ] -> kh | _ -> 0 in
+            ref_conv2d data weight ~stride ~pad:(padding_of attrs ~kernel:kh));
+        op_flops =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; _; h; w ]; [ oc; ic; kh; kw ] ] ->
+                let stride = Attrs.get_int ~default:1 attrs "stride" in
+                let pad = padding_of attrs ~kernel:kh in
+                let oh = conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad in
+                let ow = conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad in
+                2. *. float_of_int (n * oc * oh * ow * ic * kh * kw)
+            | _ -> 0.);
+      };
+    R.register
+      {
+        R.op_name = "depthwise_conv2d";
+        pattern = R.Complex_out_fusable;
+        infer_shape =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; c; h; w ]; [ _c2; _m; kh; kw ] ] ->
+                let stride = Attrs.get_int ~default:1 attrs "stride" in
+                let pad = padding_of attrs ~kernel:kh in
+                [ n; c; conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad;
+                  conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad ]
+            | _ -> invalid_arg "depthwise_conv2d: bad input shapes");
+        build_te =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            let stride = Attrs.get_int ~default:1 attrs "stride" in
+            let kh =
+              match Tensor.const_shape weight with
+              | [ _; _; kh; _ ] -> kh
+              | _ -> invalid_arg "dw weight"
+            in
+            let pad = padding_of attrs ~kernel:kh in
+            Op.depthwise_conv2d ~stride ~padding:(`Explicit pad) data weight);
+        ref_exec =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            let stride = Attrs.get_int ~default:1 attrs "stride" in
+            let kh = match Nd.shape weight with [ _; _; kh; _ ] -> kh | _ -> 0 in
+            ref_conv2d ~depthwise:true data weight ~stride
+              ~pad:(padding_of attrs ~kernel:kh));
+        op_flops =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; c; h; w ]; [ _; _; kh; kw ] ] ->
+                let stride = Attrs.get_int ~default:1 attrs "stride" in
+                let pad = padding_of attrs ~kernel:kh in
+                let oh = conv_out_dim ~in_dim:h ~kernel:kh ~stride ~pad in
+                let ow = conv_out_dim ~in_dim:w ~kernel:kw ~stride ~pad in
+                2. *. float_of_int (n * c * oh * ow * kh * kw)
+            | _ -> 0.);
+      };
+    R.register
+      {
+        R.op_name = "conv2d_transpose";
+        pattern = R.Complex_out_fusable;
+        infer_shape =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; _ic; h; w ]; [ _ic2; oc; kh; kw ] ] ->
+                let stride = Attrs.get_int ~default:2 attrs "stride" in
+                let pad = Attrs.get_int ~default:1 attrs "pad" in
+                [ n; oc; (stride * (h - 1)) + kh - (2 * pad);
+                  (stride * (w - 1)) + kw - (2 * pad) ]
+            | _ -> invalid_arg "conv2d_transpose: bad input shapes");
+        build_te =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            Op.conv2d_transpose
+              ~stride:(Attrs.get_int ~default:2 attrs "stride")
+              ~padding:(Attrs.get_int ~default:1 attrs "pad")
+              data weight);
+        ref_exec =
+          (fun inputs attrs ->
+            let data, weight = arg2 inputs in
+            ref_conv2d_transpose data weight
+              ~stride:(Attrs.get_int ~default:2 attrs "stride")
+              ~pad:(Attrs.get_int ~default:1 attrs "pad"));
+        op_flops =
+          (fun shapes _ ->
+            match shapes with
+            | [ [ n; ic; h; w ]; [ _; oc; kh; kw ] ] ->
+                2. *. float_of_int (n * ic * h * w * oc * kh * kw)
+            | _ -> 0.);
+      };
+    R.register
+      {
+        R.op_name = "dense";
+        pattern = R.Complex_out_fusable;
+        infer_shape =
+          (fun shapes _ ->
+            match shapes with
+            | [ [ m; _k ]; [ n; _k2 ] ] -> [ m; n ]
+            | _ -> invalid_arg "dense: bad input shapes");
+        build_te = (fun inputs _ -> let d, w = arg2 inputs in Op.dense d w);
+        ref_exec = (fun inputs _ -> let d, w = arg2 inputs in ref_dense d w);
+        op_flops =
+          (fun shapes _ ->
+            match shapes with
+            | [ [ m; k ]; [ n; _ ] ] -> 2. *. float_of_int (m * n * k)
+            | _ -> 0.);
+      };
+    let injective name build ref_fn =
+      R.register
+        {
+          R.op_name = name;
+          pattern = R.Injective;
+          infer_shape = (fun shapes _ -> List.hd shapes);
+          build_te = (fun inputs _ -> build inputs);
+          ref_exec = (fun inputs _ -> ref_fn inputs);
+          op_flops = (fun shapes _ -> float_of_int (prod (List.hd shapes)));
+        }
+    in
+    injective "relu" (fun i -> Op.relu (arg1 i)) (fun i -> ref_elemwise (Float.max 0.) (arg1 i));
+    injective "leaky_relu"
+      (fun i -> Op.leaky_relu ~alpha:0.2 (arg1 i))
+      (fun i -> ref_elemwise (fun x -> Float.max x (0.2 *. x)) (arg1 i));
+    injective "tanh" (fun i -> Op.tanh_ (arg1 i)) (fun i -> ref_elemwise Float.tanh (arg1 i));
+    injective "sigmoid"
+      (fun i -> Op.sigmoid (arg1 i))
+      (fun i -> ref_elemwise (fun x -> 1. /. (1. +. Float.exp (-.x))) (arg1 i));
+    injective "exp" (fun i -> Op.exp_ (arg1 i)) (fun i -> ref_elemwise Float.exp (arg1 i));
+    injective "add"
+      (fun i -> let a, b = arg2 i in Op.add a b)
+      (fun i -> let a, b = arg2 i in ref_elemwise2 ( +. ) a b);
+    injective "mul"
+      (fun i -> let a, b = arg2 i in Op.mul a b)
+      (fun i -> let a, b = arg2 i in ref_elemwise2 ( *. ) a b);
+    R.register
+      {
+        R.op_name = "bias_add";
+        pattern = R.Injective;
+        infer_shape = (fun shapes _ -> List.hd shapes);
+        build_te = (fun inputs _ -> let d, b = arg2 inputs in Op.bias_add d b);
+        ref_exec = (fun inputs _ -> let d, b = arg2 inputs in channel_broadcast ( +. ) d b);
+        op_flops = (fun shapes _ -> float_of_int (prod (List.hd shapes)));
+      };
+    R.register
+      {
+        R.op_name = "batch_norm";
+        (* Inference form: per-channel scale+shift (Fig 4's bn). *)
+        pattern = R.Injective;
+        infer_shape = (fun shapes _ -> List.hd shapes);
+        build_te =
+          (fun inputs _ ->
+            match inputs with
+            | [ d; scale; shift ] -> Op.scale_shift d scale shift
+            | _ -> invalid_arg "batch_norm: expected 3 inputs");
+        ref_exec =
+          (fun inputs _ ->
+            match inputs with
+            | [ d; scale; shift ] ->
+                channel_broadcast ( +. ) (channel_broadcast ( *. ) d scale) shift
+            | _ -> invalid_arg "batch_norm: expected 3 inputs");
+        op_flops = (fun shapes _ -> 2. *. float_of_int (prod (List.hd shapes)));
+      };
+    R.register
+      {
+        R.op_name = "max_pool2d";
+        pattern = R.Reduction;
+        infer_shape =
+          (fun shapes attrs ->
+            match shapes with
+            | [ [ n; c; h; w ] ] ->
+                let size = Attrs.get_int ~default:2 attrs "size" in
+                let stride = Attrs.get_int ~default:2 attrs "stride" in
+                let pad = Attrs.get_int ~default:0 attrs "pad" in
+                [ n; c; conv_out_dim ~in_dim:h ~kernel:size ~stride ~pad;
+                  conv_out_dim ~in_dim:w ~kernel:size ~stride ~pad ]
+            | _ -> invalid_arg "max_pool2d: bad input shapes");
+        build_te =
+          (fun inputs attrs ->
+            Op.max_pool2d
+              ~size:(Attrs.get_int ~default:2 attrs "size")
+              ~stride:(Attrs.get_int ~default:2 attrs "stride")
+              ~padding:(Attrs.get_int ~default:0 attrs "pad")
+              (arg1 inputs));
+        ref_exec =
+          (fun inputs attrs ->
+            ref_max_pool (arg1 inputs)
+              ~size:(Attrs.get_int ~default:2 attrs "size")
+              ~stride:(Attrs.get_int ~default:2 attrs "stride")
+              ~pad:(Attrs.get_int ~default:0 attrs "pad"));
+        op_flops =
+          (fun shapes attrs ->
+            let size = Attrs.get_int ~default:2 attrs "size" in
+            float_of_int (prod (List.hd shapes) * size * size));
+      };
+    R.register
+      {
+        R.op_name = "global_avg_pool2d";
+        pattern = R.Reduction;
+        infer_shape =
+          (fun shapes _ ->
+            match shapes with
+            | [ [ n; c; _; _ ] ] -> [ n; c ]
+            | _ -> invalid_arg "global_avg_pool2d: bad input shapes");
+        build_te = (fun inputs _ -> Op.global_avg_pool2d (arg1 inputs));
+        ref_exec = (fun inputs _ -> ref_global_avg_pool (arg1 inputs));
+        op_flops = (fun shapes _ -> float_of_int (prod (List.hd shapes)));
+      };
+    R.register
+      {
+        R.op_name = "flatten";
+        pattern = R.Injective;
+        infer_shape =
+          (fun shapes _ ->
+            match shapes with
+            | [ [ n; c; h; w ] ] -> [ n; c * h * w ]
+            | [ [ n; c ] ] -> [ n; c ]
+            | _ -> invalid_arg "flatten: bad input shapes");
+        build_te =
+          (fun inputs _ ->
+            let d = arg1 inputs in
+            match Tensor.const_shape d with
+            | [ _; _; _; _ ] -> Op.flatten d
+            | _ -> d);
+        ref_exec =
+          (fun inputs _ ->
+            let d = arg1 inputs in
+            match Nd.shape d with
+            | [ n; c; h; w ] ->
+                let out = Nd.create [ n; c * h * w ] in
+                Nd.copy_into ~src:d ~dst:out;
+                out
+            | _ -> d);
+        op_flops = (fun _ _ -> 0.);
+      };
+    R.register
+      {
+        R.op_name = "reshape";
+        pattern = R.Injective;
+        infer_shape =
+          (fun shapes attrs ->
+            let target = Attrs.get_ints attrs "shape" in
+            if prod target <> prod (List.hd shapes) then
+              invalid_arg "reshape: element count mismatch";
+            target);
+        build_te =
+          (fun inputs attrs ->
+            let d = arg1 inputs in
+            let target = Attrs.get_ints attrs "shape" in
+            let in_shape = Tensor.const_shape d in
+            let row_strides shape =
+              let rec build = function
+                | [] -> []
+                | _ :: rest -> List.fold_left ( * ) 1 rest :: build rest
+              in
+              build shape
+            in
+            let tstrides = row_strides target and istrides = row_strides in_shape in
+            Tensor.compute ~dtype:(Tensor.dtype d)
+              ("reshape_" ^ Tensor.name d)
+              (List.map Expr.int target)
+              (fun idx ->
+                let flat =
+                  List.fold_left2
+                    (fun acc i stride -> Expr.( + ) acc (Expr.( * ) i (Expr.int stride)))
+                    (Expr.int 0) idx tstrides
+                in
+                let rebuilt =
+                  List.map
+                    (fun stride -> Expr.( / ) flat (Expr.int stride))
+                    istrides
+                in
+                (* idx_d = flat / stride_d %% dim_d *)
+                let rebuilt =
+                  List.map2
+                    (fun e dim -> Expr.( % ) e (Expr.int dim))
+                    rebuilt in_shape
+                in
+                Tensor.read d rebuilt))
+        ;
+        ref_exec =
+          (fun inputs attrs ->
+            let d = arg1 inputs in
+            let target = Attrs.get_ints attrs "shape" in
+            let out = Nd.create ~dtype:(Nd.dtype d) target in
+            Nd.copy_into ~src:d ~dst:out;
+            out);
+        op_flops = (fun _ _ -> 0.);
+      };
+    R.register
+      {
+        R.op_name = "softmax";
+        pattern = R.Opaque;
+        (* Multi-stage reduction chain: kept whole, like the paper's
+           treatment of ops that do not fit the simple categories. *)
+        infer_shape = (fun shapes _ -> List.hd shapes);
+        build_te = (fun inputs _ -> Op.softmax (arg1 inputs));
+        ref_exec = (fun inputs _ -> ref_softmax (arg1 inputs));
+        op_flops = (fun shapes _ -> 12. *. float_of_int (prod (List.hd shapes)));
+      }
+  end

@@ -1,0 +1,1 @@
+lib/lower/lower.ml: Expr Hashtbl Interval List Printf Simplify Stmt String Tvm_schedule Tvm_te Tvm_tir Visit

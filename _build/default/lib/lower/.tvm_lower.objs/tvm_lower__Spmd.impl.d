@@ -1,0 +1,1 @@
+lib/lower/spmd.ml: Expr Interval List Option Stmt String Tvm_tir Visit

@@ -1,0 +1,1 @@
+lib/lower/vthread_lower.ml: Array Expr Fun List Option Printf Stmt Tvm_tir Visit

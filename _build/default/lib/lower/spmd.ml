@@ -1,0 +1,154 @@
+(** SPMD legalization for functional execution.
+
+    GPU kernels are written per-thread with barrier synchronization;
+    executing them on a sequential interpreter naively either breaks
+    cooperation (each "thread" sees a private, partially-filled shared
+    buffer) or forces every thread to redundantly perform the whole
+    cooperative fill. This pass rewrites the kernel into an equivalent
+    sequential program using the classic barrier-fission transformation:
+
+    + a [threadIdx.*] loop whose body contains barriers is {e fissioned}
+      at each barrier — [for t { A; bar; B }] becomes
+      [for t { A }; for t { B }] — and {e interchanged} inward past
+      serial loops that contain barriers;
+    + [Shared]-scope allocations stay above the thread loop (one
+      instance per block, cooperatively filled);
+    + thread-private allocations that end up spanning fission points are
+      {e privatized}: the buffer gains a leading per-thread dimension;
+    + an inner loop re-binding an enclosing thread tag (cooperative work
+      distribution) executes once, at the enclosing tag's value, guarded
+      by its extent.
+
+    Sound for the programs our lowering emits, where all cross-thread
+    communication goes through [Shared] buffers delimited by barriers
+    (§4.2's automatically-inserted synchronization). The timing models
+    analyze the original, un-fissioned kernel. *)
+
+open Tvm_tir
+
+let is_threadidx = function
+  | Stmt.Thread_binding tag ->
+      if String.length tag >= 9 && String.sub tag 0 9 = "threadIdx" then Some tag
+      else None
+  | _ -> None
+
+let contains_barrier s =
+  let found = ref false in
+  Stmt.iter (function Stmt.Barrier -> found := true | _ -> ()) s;
+  !found
+
+(** Distribute a stack of thread loops (outermost first) over [body],
+    fissioning at barriers. [env] maps enclosing thread tags to their
+    loop vars. *)
+let rec distribute env (loops : Stmt.for_loop list) (body : Stmt.t) : Stmt.t =
+  let recur b = distribute env loops b in
+  let wrap b =
+    (* plain thread-loop nest around a barrier-free body *)
+    List.fold_right
+      (fun l acc -> Stmt.For { l with Stmt.body = acc })
+      loops (legalize env b)
+  in
+  if not (contains_barrier body) then wrap body
+  else
+    match body with
+    | Stmt.Seq items ->
+        let items = Stmt.flatten_seq (Stmt.Seq items) in
+        (* split at top-level barriers; distribute over every item *)
+        let segments =
+          List.fold_left
+            (fun acc item ->
+              match item with
+              | Stmt.Barrier -> [] :: acc
+              | _ -> (
+                  match acc with
+                  | seg :: rest -> (item :: seg) :: rest
+                  | [] -> [ [ item ] ]))
+            [ [] ] items
+          |> List.rev_map List.rev
+        in
+        Stmt.seq (List.concat_map (fun seg -> List.map recur seg) segments)
+    | Stmt.For inner when inner.Stmt.kind = Stmt.Serial ->
+        (* interchange: the barrier inside synchronizes per iteration *)
+        Stmt.For { inner with Stmt.body = recur inner.Stmt.body }
+    | Stmt.For inner -> (
+        match is_threadidx inner.Stmt.kind with
+        | Some tag when not (List.mem_assoc tag env) ->
+            (* deeper thread dimension joins the cooperating group *)
+            distribute ((tag, inner.Stmt.loop_var) :: env) (loops @ [ inner ])
+              inner.Stmt.body
+        | _ -> wrap body)
+    | Stmt.Allocate (b, inner) ->
+        if b.Expr.bscope = Expr.Shared then
+          (* one instance per block: hoist above the thread loops *)
+          Stmt.Allocate (b, recur inner)
+        else begin
+          (* privatize: one leading dimension per thread loop *)
+          let extents =
+            List.map
+              (fun (l : Stmt.for_loop) ->
+                match Interval.const_of_expr l.Stmt.extent with
+                | Some e -> Expr.int e
+                | None -> invalid_arg "spmd: non-constant thread extent")
+              loops
+          in
+          let b' =
+            Expr.Buffer.create ~scope:b.Expr.bscope ~dtype:b.Expr.bdtype
+              (b.Expr.bname ^ ".spmd") (extents @ b.Expr.bshape)
+          in
+          let prefix = List.map (fun (l : Stmt.for_loop) -> Expr.Var l.Stmt.loop_var) loops in
+          let inner' =
+            Visit.retarget_buffer ~old_b:b ~new_b:b'
+              ~remap:(fun idx -> prefix @ idx)
+              inner
+          in
+          Stmt.Allocate (b', recur inner')
+        end
+    | Stmt.Let_stmt (v, e, inner) ->
+        let depends =
+          List.exists
+            (fun fv ->
+              List.exists
+                (fun (l : Stmt.for_loop) -> Expr.Var.equal fv l.Stmt.loop_var)
+                loops)
+            (Visit.free_vars e)
+        in
+        if depends then wrap body else Stmt.Let_stmt (v, e, recur inner)
+    | Stmt.If_then_else _ | Stmt.Store _ | Stmt.Barrier | Stmt.Evaluate _
+    | Stmt.Call_intrin _ | Stmt.Dma_copy _ | Stmt.Push_dep _ | Stmt.Pop_dep _
+    | Stmt.Skip ->
+        wrap body
+
+(** Legalize a whole kernel. [env] maps active thread tags to vars. *)
+and legalize env (s : Stmt.t) : Stmt.t =
+  match s with
+  | Stmt.For l -> (
+      match is_threadidx l.Stmt.kind with
+      | Some tag -> (
+          match List.assoc_opt tag env with
+          | Some outer_var ->
+              (* re-binding: work distribution — run once at the
+                 enclosing tag's value, if in range *)
+              let guarded =
+                Stmt.Let_stmt
+                  (l.Stmt.loop_var, Expr.Var outer_var, legalize env l.Stmt.body)
+              in
+              Stmt.If_then_else
+                (Expr.( < ) (Expr.Var outer_var) l.Stmt.extent, guarded, None)
+          | None ->
+              let env = (tag, l.Stmt.loop_var) :: env in
+              distribute env [ l ] l.Stmt.body)
+      | None -> Stmt.For { l with Stmt.body = legalize env l.Stmt.body })
+  | Stmt.Seq items -> Stmt.seq (List.map (legalize env) items)
+  | Stmt.Allocate (b, inner) -> Stmt.Allocate (b, legalize env inner)
+  | Stmt.Let_stmt (v, e, inner) -> Stmt.Let_stmt (v, e, legalize env inner)
+  | Stmt.If_then_else (c, t, e) ->
+      Stmt.If_then_else (c, legalize env t, Option.map (legalize env) e)
+  | Stmt.Barrier ->
+      (* top-level barrier outside any thread loop: no-op *)
+      Stmt.Skip
+  | Stmt.Store _ | Stmt.Evaluate _ | Stmt.Call_intrin _ | Stmt.Dma_copy _
+  | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip ->
+      s
+
+(** Entry point used by the interpreter. *)
+let legalize_for_interp (s : Stmt.t) : Stmt.t = legalize [] s

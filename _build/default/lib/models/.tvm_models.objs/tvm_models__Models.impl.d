@@ -1,0 +1,1 @@
+lib/models/models.ml: Array List Printf Tvm_graph Tvm_nd

@@ -1,0 +1,1 @@
+lib/models/workloads.ml: List Printf

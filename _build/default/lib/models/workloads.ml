@@ -1,0 +1,70 @@
+(** Table 2: configurations of all conv2d operators in ResNet-18 and
+    all depthwise conv2d operators in MobileNet used in the
+    single-kernel experiments (Figs 15, 17, 18). All ops use "SAME"
+    padding; depthwise channel multiplier is 1. *)
+
+type conv = {
+  name : string;
+  hw : int;  (** input height = width *)
+  ic : int;
+  oc : int;  (** output channels (= ic for depthwise) *)
+  kernel : int;
+  stride : int;
+  depthwise : bool;
+}
+
+let c name hw ic oc kernel stride =
+  { name; hw; ic; oc; kernel; stride; depthwise = false }
+
+let d name hw ic kernel stride =
+  { name; hw; ic; oc = ic; kernel; stride; depthwise = true }
+
+(** C1–C12: all conv2d operators in ResNet-18. *)
+let resnet_convs =
+  [
+    c "C1" 224 3 64 7 2;
+    c "C2" 56 64 64 3 1;
+    c "C3" 56 64 64 1 1;
+    c "C4" 56 64 128 3 2;
+    c "C5" 56 64 128 1 2;
+    c "C6" 28 128 128 3 1;
+    c "C7" 28 128 256 3 2;
+    c "C8" 28 128 256 1 2;
+    c "C9" 14 256 256 3 1;
+    c "C10" 14 256 512 3 2;
+    c "C11" 14 256 512 1 2;
+    c "C12" 7 512 512 3 1;
+  ]
+
+(** D1–D9: all depthwise conv2d operators in MobileNet. *)
+let mobilenet_depthwise =
+  [
+    d "D1" 112 32 3 1;
+    d "D2" 112 64 3 2;
+    d "D3" 56 128 3 1;
+    d "D4" 56 128 3 2;
+    d "D5" 28 256 3 1;
+    d "D6" 28 256 3 2;
+    d "D7" 14 512 3 1;
+    d "D8" 14 512 3 2;
+    d "D9" 7 1024 3 1;
+  ]
+
+let find name =
+  match
+    List.find_opt (fun w -> w.name = name) (resnet_convs @ mobilenet_depthwise)
+  with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
+
+let out_hw w = ((w.hw + 2 * ((w.kernel - 1) / 2)) - w.kernel) / w.stride + 1
+
+let flops w =
+  let oh = out_hw w in
+  let ic_eff = if w.depthwise then 1 else w.ic in
+  2. *. float_of_int (w.oc * oh * oh * ic_eff * w.kernel * w.kernel)
+
+let to_string w =
+  Printf.sprintf "%-4s %-18s H,W=%d IC=%d OC=%d K=%d S=%d" w.name
+    (if w.depthwise then "depthwise conv2d" else "conv2d")
+    w.hw w.ic w.oc w.kernel w.stride

@@ -1,0 +1,31 @@
+(** Table 2: configurations of all conv2d operators in ResNet-18 and
+    all depthwise conv2d operators in MobileNet used in the
+    single-kernel experiments (Figs 15, 17, 18). All ops use "SAME"
+    padding; the depthwise channel multiplier is 1. *)
+
+type conv = {
+  name : string;
+  hw : int;  (** input height = width *)
+  ic : int;
+  oc : int;  (** output channels (= ic for depthwise) *)
+  kernel : int;
+  stride : int;
+  depthwise : bool;
+}
+
+(** C1–C12: all conv2d operators in ResNet-18. *)
+val resnet_convs : conv list
+
+(** D1–D9: all depthwise conv2d operators in MobileNet. *)
+val mobilenet_depthwise : conv list
+
+(** Look up by name ("C1".."C12", "D1".."D9"); raises on unknown. *)
+val find : string -> conv
+
+(** Output spatial dimension under SAME padding. *)
+val out_hw : conv -> int
+
+(** Multiply–add count (×2) of the operator. *)
+val flops : conv -> float
+
+val to_string : conv -> string

@@ -1,0 +1,1 @@
+lib/nd/ndarray.ml: Array Dtype Float Format List Printf String Tvm_tir

@@ -1,0 +1,1 @@
+lib/nd/ndarray.mli: Dtype Format Tvm_tir

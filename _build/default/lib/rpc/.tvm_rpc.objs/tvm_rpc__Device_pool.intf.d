@@ -1,0 +1,1 @@
+lib/rpc/device_pool.mli: Tvm_autotune Tvm_sim Tvm_tir

@@ -1,0 +1,105 @@
+(** Simulated distributed device pool with an RPC-style tracker (§5.4,
+    Fig 11).
+
+    Clients submit measurement jobs for a device type; the tracker
+    assigns each job to the first free matching device, accounting for
+    upload, compilation and repeated timed runs on a simulated wall
+    clock. This exercises the scheduling/batching code paths of the
+    paper's infrastructure while measurements themselves come from the
+    analytical machine models plus deterministic noise. *)
+
+open Tvm_tir
+module Machine = Tvm_sim.Machine
+module Cpu_model = Tvm_sim.Cpu_model
+module Gpu_model = Tvm_sim.Gpu_model
+
+type device_kind =
+  | Cpu_dev of Machine.cpu
+  | Gpu_dev of Machine.gpu
+
+let kind_name = function
+  | Cpu_dev c -> c.Machine.cpu_name
+  | Gpu_dev g -> g.Machine.gpu_name
+
+type device = {
+  dev_id : int;
+  dev_kind : device_kind;
+  mutable busy_until : float;  (** simulated wall-clock seconds *)
+  mutable jobs_run : int;
+}
+
+type t = {
+  devices : device list;
+  mutable clock : float;
+  mutable total_jobs : int;
+  noise : float;  (** relative measurement noise amplitude *)
+  repeats : int;  (** timed repetitions per measurement *)
+  overhead_s : float;  (** upload + build + RPC round trip per job *)
+}
+
+let create ?(noise = 0.05) ?(repeats = 3) ?(overhead_s = 0.5) kinds =
+  {
+    devices = List.mapi (fun i k -> { dev_id = i; dev_kind = k; busy_until = 0.; jobs_run = 0 }) kinds;
+    clock = 0.;
+    total_jobs = 0;
+    noise;
+    repeats;
+    overhead_s;
+  }
+
+(** Deterministic noise in [-1,1] from a key (config hash). *)
+let noise_of_key key =
+  let h = ref (key land 0x3FFFFFFF) in
+  h := (!h * 1103515245 + 12345) land 0x3FFFFFFF;
+  h := (!h * 1103515245 + 12345) land 0x3FFFFFFF;
+  (float_of_int !h /. float_of_int 0x3FFFFFFF *. 2.) -. 1.
+
+exception No_matching_device of string
+
+let request t ~kind_pred =
+  match
+    List.filter (fun d -> kind_pred d.dev_kind) t.devices
+    |> List.sort (fun a b -> compare a.busy_until b.busy_until)
+  with
+  | [] -> raise (No_matching_device "device pool: no device of requested type")
+  | d :: _ -> d
+
+(** Model run time of [stmt] on a device. *)
+let model_time dev stmt =
+  match dev.dev_kind with
+  | Cpu_dev cpu -> Cpu_model.time_s cpu stmt
+  | Gpu_dev gpu -> Gpu_model.time_s gpu stmt
+
+(** Submit a measurement job: returns the measured (noisy) run time and
+    advances the pool's simulated clock. [key] seeds the deterministic
+    noise so a config always measures the same. *)
+let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : float =
+  let dev = request t ~kind_pred in
+  let base = model_time dev stmt in
+  let measured =
+    if Float.is_finite base then base *. (1. +. (t.noise *. noise_of_key key))
+    else base
+  in
+  let start = Float.max t.clock dev.busy_until in
+  let run_cost =
+    if Float.is_finite measured then float_of_int t.repeats *. measured else 0.01
+  in
+  dev.busy_until <- start +. t.overhead_s +. run_cost;
+  dev.jobs_run <- dev.jobs_run + 1;
+  t.clock <- Float.max t.clock start;
+  t.total_jobs <- t.total_jobs + 1;
+  measured
+
+(** Wall-clock time at which all submitted jobs have finished. *)
+let makespan t =
+  List.fold_left (fun acc d -> Float.max acc d.busy_until) t.clock t.devices
+
+let is_gpu = function Gpu_dev _ -> true | Cpu_dev _ -> false
+let is_cpu = function Cpu_dev _ -> true | Gpu_dev _ -> false
+
+(** Tuner-ready measurement callback for a pool and device predicate. *)
+let measure_fn t ~kind_pred : Tvm_autotune.Tuner.measure_fn =
+ fun cfg stmt -> measure ~key:(Tvm_autotune.Cfg_space.hash cfg) t ~kind_pred stmt
+
+let stats t =
+  List.map (fun d -> (kind_name d.dev_kind, d.jobs_run, d.busy_until)) t.devices

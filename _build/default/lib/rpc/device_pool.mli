@@ -1,0 +1,62 @@
+(** Simulated distributed device pool with an RPC-style tracker (§5.4,
+    Fig 11).
+
+    Clients submit measurement jobs for a device type; the tracker
+    assigns each job to the first free matching device, accounting for
+    upload, compilation and repeated timed runs on a simulated wall
+    clock. Measurements come from the analytical machine models plus
+    deterministic noise keyed by the configuration. *)
+
+module Machine = Tvm_sim.Machine
+
+type device_kind =
+  | Cpu_dev of Machine.cpu
+  | Gpu_dev of Machine.gpu
+
+val kind_name : device_kind -> string
+
+type device = {
+  dev_id : int;
+  dev_kind : device_kind;
+  mutable busy_until : float;  (** simulated wall-clock seconds *)
+  mutable jobs_run : int;
+}
+
+type t = {
+  devices : device list;
+  mutable clock : float;
+  mutable total_jobs : int;
+  noise : float;  (** relative measurement noise amplitude *)
+  repeats : int;  (** timed repetitions per measurement *)
+  overhead_s : float;  (** upload + build + RPC round trip per job *)
+}
+
+val create :
+  ?noise:float -> ?repeats:int -> ?overhead_s:float -> device_kind list -> t
+
+(** Deterministic noise in [-1, 1] from a key (config hash). *)
+val noise_of_key : int -> float
+
+exception No_matching_device of string
+
+(** Model run time of a lowered kernel on a device. *)
+val model_time : device -> Tvm_tir.Stmt.t -> float
+
+(** Submit a measurement job: returns the measured (noisy) run time and
+    advances the pool's simulated clock. [key] seeds the deterministic
+    noise so a configuration always measures the same. *)
+val measure :
+  ?key:int -> t -> kind_pred:(device_kind -> bool) -> Tvm_tir.Stmt.t -> float
+
+(** Wall-clock time at which all submitted jobs have finished. *)
+val makespan : t -> float
+
+val is_gpu : device_kind -> bool
+val is_cpu : device_kind -> bool
+
+(** Tuner-ready measurement callback for a pool and device predicate. *)
+val measure_fn :
+  t -> kind_pred:(device_kind -> bool) -> Tvm_autotune.Tuner.measure_fn
+
+(** Per-device (name, jobs run, busy seconds). *)
+val stats : t -> (string * int * float) list

@@ -1,0 +1,1 @@
+lib/runtime/graph_executor.ml: Array Hashtbl List Printf Rt_module String Tvm_graph Tvm_nd

@@ -1,0 +1,1 @@
+lib/runtime/rt_module.ml: Expr Lazy List Printer Printf Stmt String Tvm_nd Tvm_sim Tvm_tir

@@ -1,0 +1,125 @@
+(** Graph executor: the runtime of §2's deployment example
+    ([runtime.create] / [set_input] / [run] / [get_output]).
+
+    Storage for intermediates follows the static memory plan; execution
+    walks the fused groups in order. Two functional modes exist:
+
+    - [`Compiled]: run each kernel's lowered loop program through the
+      IR interpreter — executes exactly what the compiler produced
+      (used by correctness tests);
+    - [`Reference]: run each node's reference ndarray kernel — much
+      faster, used for end-to-end functional checks on larger nets.
+
+    Timing always comes from the kernels' model estimates plus a
+    per-launch framework overhead. *)
+
+module Nd = Tvm_nd.Ndarray
+module Graph_ir = Tvm_graph.Graph_ir
+module Fusion = Tvm_graph.Fusion
+module Op_registry = Tvm_graph.Op_registry
+module Mem_plan = Tvm_graph.Mem_plan
+
+type t = {
+  graph : Graph_ir.t;
+  groups : Fusion.group list;
+  kernels : (int * Rt_module.kernel) list;  (** group id → kernel *)
+  plan : Mem_plan.plan;
+  values : (int, Nd.t) Hashtbl.t;  (** node id → current value *)
+  mutable launch_overhead_s : float;
+}
+
+let create ?(launch_overhead_s = 10e-6) ~(graph : Graph_ir.t)
+    ~(groups : Fusion.group list) ~(module_ : Rt_module.t) () : t =
+  let kernels =
+    List.map (fun (k : Rt_module.kernel) -> (k.Rt_module.k_group, k)) (Rt_module.kernels module_)
+  in
+  {
+    graph;
+    groups;
+    kernels;
+    plan = Mem_plan.plan graph groups;
+    values = Hashtbl.create 32;
+    launch_overhead_s;
+  }
+
+let set_input t name (v : Nd.t) =
+  match
+    Array.to_list t.graph.Graph_ir.nodes
+    |> List.find_opt (fun n ->
+           n.Graph_ir.name = name
+           && (n.Graph_ir.kind = Graph_ir.Input || n.Graph_ir.kind = Graph_ir.Param))
+  with
+  | Some n ->
+      if Nd.shape v <> n.Graph_ir.shape then
+        invalid_arg
+          (Printf.sprintf "set_input %s: shape mismatch ([%s] vs node [%s])" name
+             (String.concat "x" (List.map string_of_int (Nd.shape v)))
+             (String.concat "x" (List.map string_of_int n.Graph_ir.shape)));
+      Hashtbl.replace t.values n.Graph_ir.id v
+  | None -> invalid_arg ("set_input: no input or param named " ^ name)
+
+(** Bind all parameters at once (the [set_input] with params of §2). *)
+let set_params t (params : (int * Nd.t) list) =
+  List.iter (fun (id, v) -> Hashtbl.replace t.values id v) params
+
+let value_of t id =
+  match Hashtbl.find_opt t.values id with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "executor: node %d (%s) has no value — missing set_input?"
+           id (Graph_ir.node t.graph id).Graph_ir.name)
+
+let run_group_reference t (g : Fusion.group) =
+  List.iter
+    (fun id ->
+      let n = Graph_ir.node t.graph id in
+      match n.Graph_ir.kind with
+      | Graph_ir.Op op ->
+          let impl = Op_registry.find op in
+          let ins = List.map (value_of t) n.Graph_ir.inputs in
+          let out = impl.Op_registry.ref_exec ins n.Graph_ir.attrs in
+          Hashtbl.replace t.values id out
+      | Graph_ir.Input | Graph_ir.Param -> ())
+    g.Fusion.g_nodes
+
+let run_group_compiled t (g : Fusion.group) =
+  match List.assoc_opt g.Fusion.g_id t.kernels with
+  | None ->
+      (* No kernel was compiled for this group (e.g. CPU fallback):
+         reference execution keeps the graph runnable. *)
+      run_group_reference t g
+  | Some k ->
+      let inputs = List.map (value_of t) g.Fusion.g_inputs in
+      let out_node = Graph_ir.node t.graph g.Fusion.g_output in
+      let output = Nd.create ~dtype:out_node.Graph_ir.dtype out_node.Graph_ir.shape in
+      Rt_module.run_kernel k ~inputs ~output;
+      Hashtbl.replace t.values g.Fusion.g_output output
+
+let run ?(mode = `Reference) t =
+  List.iter
+    (fun g ->
+      match mode with
+      | `Reference -> run_group_reference t g
+      | `Compiled -> run_group_compiled t g)
+    t.groups
+
+let get_output t i =
+  let id = List.nth t.graph.Graph_ir.outputs i in
+  value_of t id
+
+(** Estimated end-to-end latency: sum of kernel estimates plus launch
+    overhead per group (the framework overhead MXNet/TF also pay). *)
+let estimated_time_s t =
+  List.fold_left
+    (fun acc g ->
+      let k_time =
+        match List.assoc_opt g.Fusion.g_id t.kernels with
+        | Some k -> k.Rt_module.k_time_s
+        | None -> 0.
+      in
+      acc +. k_time +. t.launch_overhead_s)
+    0. t.groups
+
+(** Memory footprint comparison from the static plan. *)
+let memory_stats t = (t.plan.Mem_plan.total_bytes, t.plan.Mem_plan.naive_bytes)

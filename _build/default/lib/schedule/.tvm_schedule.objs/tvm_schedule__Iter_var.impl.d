@@ -1,0 +1,1 @@
+lib/schedule/iter_var.ml: Expr Format Printf Tvm_tir

@@ -1,0 +1,1 @@
+lib/schedule/sched.ml: Array Expr Format Hashtbl Iter_var List Printf Stmt Tensor_intrin Tvm_te Tvm_tir Visit

@@ -1,0 +1,1 @@
+lib/schedule/tensor_intrin.ml: Array Hashtbl List Printf

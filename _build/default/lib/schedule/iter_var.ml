@@ -1,0 +1,34 @@
+(** Iteration variables of the schedule tree.
+
+    Every loop the lowered code will contain corresponds to one of
+    these. Domains are concrete from the start — the paper exploits
+    "shape specificity in common DL workloads to optimize for a fixed
+    set of input shapes" (§3), so all extents are known at schedule
+    construction time, which keeps bound inference exact. *)
+
+open Tvm_tir
+
+type kind =
+  | Data_par  (** parallel-safe spatial axis *)
+  | Reduction  (** reduction axis; reordering past it is restricted *)
+
+type t = {
+  var : Expr.var;
+  extent : int;
+  kind : kind;
+}
+
+let counter = ref 0
+
+let create ?(kind = Data_par) name extent =
+  if extent <= 0 then invalid_arg (Printf.sprintf "Iter_var %s: extent %d" name extent);
+  { var = Expr.Var.fresh name; extent; kind }
+
+let of_var ?(kind = Data_par) var extent = { var; extent; kind }
+
+let name iv = iv.var.Expr.vname
+let equal a b = Expr.Var.equal a.var b.var
+let is_reduce iv = iv.kind = Reduction
+
+let pp fmt iv =
+  Format.fprintf fmt "%s%s(%d)" (name iv) (if is_reduce iv then "[r]" else "") iv.extent

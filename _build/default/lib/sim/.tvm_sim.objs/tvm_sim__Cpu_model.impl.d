@@ -1,0 +1,1 @@
+lib/sim/cpu_model.ml: Analysis Expr Float Hashtbl Interval List Machine Option Stmt String Tvm_schedule Tvm_tir

@@ -1,0 +1,1 @@
+lib/sim/gpu_model.ml: Analysis Cpu_model Dtype Expr Float Hashtbl Interval List Machine Option Stmt String Tvm_tir

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Dtype Expr Float Hashtbl List Printf Stmt Tvm_lower Tvm_nd Tvm_schedule Tvm_tir

@@ -1,0 +1,222 @@
+(** Functional interpreter for lowered loop programs.
+
+    Executes the IR over {!Tvm_nd.Ndarray} buffers — the ground truth
+    against which every schedule transformation is checked for logical
+    equivalence ("schedule primitives preserve the program's logical
+    equivalence", §4.1). Thread-binding and vthread loops execute
+    sequentially; barriers and dependence tokens are no-ops (they only
+    affect timing, which the models and the VDLA DES handle). *)
+
+open Tvm_tir
+module Nd = Tvm_nd.Ndarray
+module Tensor_intrin = Tvm_schedule.Tensor_intrin
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value = VInt of int | VFloat of float
+
+let to_float = function VInt n -> float_of_int n | VFloat f -> f
+
+let to_int = function
+  | VInt n -> n
+  | VFloat f -> fail "expected integer, got float %g" f
+
+type env = {
+  vars : (int, value) Hashtbl.t;  (** var id → value *)
+  bufs : (int, Nd.t) Hashtbl.t;  (** buffer id → storage *)
+}
+
+let floor_div a b =
+  if b = 0 then fail "division by zero"
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let floor_mod a b =
+  let r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+
+let intrinsic_fn = function
+  | "exp" -> Float.exp
+  | "log" -> Float.log
+  | "sqrt" -> Float.sqrt
+  | "tanh" -> Float.tanh
+  | "sigmoid" -> fun x -> 1. /. (1. +. Float.exp (-.x))
+  | "abs" -> Float.abs
+  | "round" -> Float.round
+  | name -> fail "unknown intrinsic %s" name
+
+let lookup_buf env (b : Expr.buffer) =
+  match Hashtbl.find_opt env.bufs b.Expr.bid with
+  | Some nd -> nd
+  | None -> fail "buffer %s (id %d) is not bound" b.Expr.bname b.Expr.bid
+
+let rec eval env (e : Expr.t) : value =
+  match e with
+  | Expr.IntImm n -> VInt n
+  | Expr.FloatImm f -> VFloat f
+  | Expr.Var v -> (
+      match Hashtbl.find_opt env.vars v.Expr.vid with
+      | Some value -> value
+      | None -> fail "variable %s is not bound" v.Expr.vname)
+  | Expr.Binop (op, a, b) -> (
+      match (eval env a, eval env b) with
+      | VInt x, VInt y ->
+          VInt
+            (match op with
+            | Expr.Add -> x + y
+            | Expr.Sub -> x - y
+            | Expr.Mul -> x * y
+            | Expr.Div -> floor_div x y
+            | Expr.FloorMod -> floor_mod x y
+            | Expr.Min -> min x y
+            | Expr.Max -> max x y)
+      | va, vb ->
+          let x = to_float va and y = to_float vb in
+          VFloat
+            (match op with
+            | Expr.Add -> x +. y
+            | Expr.Sub -> x -. y
+            | Expr.Mul -> x *. y
+            | Expr.Div -> x /. y
+            | Expr.FloorMod -> Float.rem x y
+            | Expr.Min -> Float.min x y
+            | Expr.Max -> Float.max x y))
+  | Expr.Cmp (op, a, b) ->
+      let x = to_float (eval env a) and y = to_float (eval env b) in
+      let r =
+        match op with
+        | Expr.Eq -> x = y
+        | Expr.Ne -> x <> y
+        | Expr.Lt -> x < y
+        | Expr.Le -> x <= y
+        | Expr.Gt -> x > y
+        | Expr.Ge -> x >= y
+      in
+      VInt (if r then 1 else 0)
+  | Expr.And (a, b) -> if to_int (eval env a) = 0 then VInt 0 else eval env b
+  | Expr.Or (a, b) -> if to_int (eval env a) <> 0 then VInt 1 else eval env b
+  | Expr.Not a -> VInt (if to_int (eval env a) = 0 then 1 else 0)
+  | Expr.Select (c, t, f) ->
+      (* Lazy: the untaken branch may be out of bounds (padding). *)
+      if to_int (eval env c) <> 0 then eval env t else eval env f
+  | Expr.Cast (d, a) -> (
+      let v = eval env a in
+      match d with
+      | Dtype.Float32 | Dtype.Float16 -> VFloat (to_float v)
+      | Dtype.Int64 | Dtype.Int32 | Dtype.Int8 | Dtype.UInt1 | Dtype.UInt2
+      | Dtype.Bool ->
+          VInt (int_of_float (to_float v)))
+  | Expr.Load (b, idx) ->
+      let nd = lookup_buf env b in
+      let indices = List.map (fun i -> to_int (eval env i)) idx in
+      VFloat (Nd.get nd indices)
+  | Expr.Call (name, args) -> (
+      let vals = List.map (fun a -> to_float (eval env a)) args in
+      match (name, vals) with
+      | "popcount", [ x ] ->
+          let n = int_of_float x in
+          let rec pc n acc = if n = 0 then acc else pc (n lsr 1) (acc + (n land 1)) in
+          VInt (pc n 0)
+      | "bitand", [ x; y ] -> VInt (int_of_float x land int_of_float y)
+      | "bitxor", [ x; y ] -> VInt (int_of_float x lxor int_of_float y)
+      | "shiftr", [ x; y ] -> VInt (int_of_float x asr int_of_float y)
+      | _, [ x ] -> VFloat (intrinsic_fn name x)
+      | _ -> fail "intrinsic %s: wrong arity" name)
+
+(** Intrinsic regions cover the trailing dimensions of their buffer:
+    a rank-1 micro-kernel operand inside a rank-2 tensor keeps its
+    leading base coordinates fixed. *)
+let pad_rel base rel =
+  let missing = List.length base - List.length rel in
+  if missing <= 0 then rel else List.init missing (fun _ -> 0) @ rel
+
+let region_reader env (b, base_idx) =
+  let nd = lookup_buf env b in
+  let base = List.map (fun e -> to_int (eval env e)) base_idx in
+  fun rel -> Nd.get nd (List.map2 ( + ) base (pad_rel base rel))
+
+let region_writer env (b, base_idx) =
+  let nd = lookup_buf env b in
+  let base = List.map (fun e -> to_int (eval env e)) base_idx in
+  fun rel v -> Nd.set nd (List.map2 ( + ) base (pad_rel base rel)) v
+
+let rec exec env (s : Stmt.t) : unit =
+  match s with
+  | Stmt.Store (b, idx, v) ->
+      let nd = lookup_buf env b in
+      let indices = List.map (fun i -> to_int (eval env i)) idx in
+      Nd.set nd indices (to_float (eval env v))
+  | Stmt.For l -> (
+      let min_ = to_int (eval env l.Stmt.min_) in
+      let extent = to_int (eval env l.Stmt.extent) in
+      let vid = l.Stmt.loop_var.Expr.vid in
+      let run_range () =
+        for i = min_ to min_ + extent - 1 do
+          Hashtbl.replace env.vars vid (VInt i);
+          exec env l.Stmt.body
+        done;
+        Hashtbl.remove env.vars vid
+      in
+      match l.Stmt.kind with
+      | Stmt.Thread_binding _ ->
+          (* Thread loops run at full extent even when re-binding an
+             enclosing tag: cooperative fills are idempotent, and each
+             sequential "thread" then sees a fully-populated private
+             copy of block-shared storage — the sequential-consistency
+             trick that makes barrier semantics unnecessary here. *)
+          run_range ()
+      | _ -> run_range ())
+  | Stmt.If_then_else (c, t, e) ->
+      if to_int (eval env c) <> 0 then exec env t
+      else ( match e with Some e -> exec env e | None -> ())
+  | Stmt.Let_stmt (v, e, body) ->
+      Hashtbl.replace env.vars v.Expr.vid (eval env e);
+      exec env body;
+      Hashtbl.remove env.vars v.Expr.vid
+  | Stmt.Seq ss -> List.iter (exec env) ss
+  | Stmt.Allocate (b, body) ->
+      let shape =
+        List.map
+          (fun e ->
+            match e with
+            | Expr.IntImm n -> n
+            | e -> to_int (eval env e))
+          b.Expr.bshape
+      in
+      let nd = Nd.create ~dtype:b.Expr.bdtype shape in
+      Hashtbl.replace env.bufs b.Expr.bid nd;
+      exec env body;
+      Hashtbl.remove env.bufs b.Expr.bid
+  | Stmt.Barrier -> ()
+  | Stmt.Evaluate e -> ignore (eval env e)
+  | Stmt.Call_intrin ic ->
+      let intrin = Tensor_intrin.find ic.Stmt.intrin_name in
+      let inputs = List.map (region_reader env) ic.Stmt.inputs in
+      let out_read = region_reader env ic.Stmt.output in
+      let out_write = region_writer env ic.Stmt.output in
+      intrin.Tensor_intrin.execute ~variant:ic.Stmt.variant ~inputs ~out_read ~out_write
+  | Stmt.Dma_copy d ->
+      let src = lookup_buf env d.Stmt.dma_src in
+      let dst = lookup_buf env d.Stmt.dma_dst in
+      let src_base = List.map (fun e -> to_int (eval env e)) d.Stmt.dma_src_base in
+      let dst_base = List.map (fun e -> to_int (eval env e)) d.Stmt.dma_dst_base in
+      Tensor_intrin.iter_space d.Stmt.dma_extents (fun rel ->
+          let v = Nd.get src (List.map2 ( + ) src_base rel) in
+          Nd.set dst (List.map2 ( + ) dst_base rel) v)
+  | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip -> ()
+
+(** Execute [stmt] with global buffers bound to the given arrays; all
+    internal allocations are transient. GPU-style kernels are first
+    legalized for sequential execution (barrier fission — see
+    {!Tvm_lower.Spmd}), so cooperative shared-memory programs run in
+    time proportional to the actual work. *)
+let run (stmt : Stmt.t) ~(bindings : (Expr.buffer * Nd.t) list) : unit =
+  let stmt = Tvm_lower.Spmd.legalize_for_interp stmt in
+  let env = { vars = Hashtbl.create 32; bufs = Hashtbl.create 32 } in
+  List.iter
+    (fun ((b : Expr.buffer), nd) -> Hashtbl.replace env.bufs b.Expr.bid nd)
+    bindings;
+  exec env stmt

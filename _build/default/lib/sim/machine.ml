@@ -1,0 +1,154 @@
+(** Machine descriptions of the evaluation platforms (§6).
+
+    These stand in for the paper's hardware: an NVIDIA Titan X
+    (server-class GPU, §6.1), an ARM Cortex A53 (embedded CPU, §6.2), an
+    ARM Mali-T860MP4 (embedded GPU, §6.3), and the VDLA accelerator on a
+    PYNQ FPGA (§6.4). Parameters follow the published specs of those
+    parts; what matters for the reproduction is that the *ratios*
+    (compute vs bandwidth, cache sizes vs working sets) are realistic,
+    since all results are relative. *)
+
+type cpu = {
+  cpu_name : string;
+  cores : int;
+  freq_ghz : float;
+  vector_lanes : int;  (** fp32 lanes per SIMD issue (NEON = 4) *)
+  fma_per_cycle : int;  (** vector FMA issues per cycle per core *)
+  l1_bytes : float;
+  l2_bytes : float;
+  dram_gbps : float;
+  l2_gbps : float;
+  loop_overhead_cycles : float;  (** per dynamic iteration of a serial loop *)
+}
+
+type gpu = {
+  gpu_name : string;
+  sms : int;
+  gpu_freq_ghz : float;
+  cuda_cores_per_sm : int;
+  max_threads_per_sm : int;
+  shared_bytes_per_sm : float;
+  global_gbps : float;
+  shared_gbps : float;
+  fp16_rate : float;  (** throughput multiplier for float16 *)
+  kernel_launch_us : float;
+}
+
+type accel = {
+  accel_name : string;
+  accel_freq_mhz : float;
+  gemm_m : int;
+  gemm_n : int;
+  gemm_k : int;  (** matrix unit shape: 16x16 MACs, K accumulation depth 16 *)
+  dram_bytes_per_cycle : float;
+  inp_sram_bytes : int;
+  wgt_sram_bytes : int;
+  acc_sram_bytes : int;
+  dma_setup_cycles : float;  (** fixed latency per DMA transfer *)
+}
+
+(** NVIDIA Titan X (Maxwell): 24 SMs, 6.1 TFLOPS fp32, 336 GB/s. *)
+let titan_x =
+  {
+    gpu_name = "titan-x";
+    sms = 24;
+    gpu_freq_ghz = 1.0;
+    cuda_cores_per_sm = 128;
+    max_threads_per_sm = 2048;
+    shared_bytes_per_sm = 96. *. 1024.;
+    global_gbps = 336.;
+    shared_gbps = 2200.;
+    fp16_rate = 1.0;
+    kernel_launch_us = 5.0;
+  }
+
+(** ARM Mali-T860MP4: 4 shader cores, ~23 GFLOPS fp32 (fp16 doubles),
+    ~10 GB/s LPDDR. Modeled in the same GPU frame with few "SMs". *)
+let mali_t860 =
+  {
+    gpu_name = "mali-t860mp4";
+    sms = 4;
+    gpu_freq_ghz = 0.65;
+    cuda_cores_per_sm = 16;
+    max_threads_per_sm = 256;
+    shared_bytes_per_sm = 32. *. 1024.;
+    global_gbps = 10.;
+    shared_gbps = 80.;
+    fp16_rate = 2.0;
+    kernel_launch_us = 20.0;
+  }
+
+(** ARM Cortex A53 quad core @1.2GHz: NEON 128-bit, 32KB L1D, 512KB L2,
+    ~3 GB/s LPDDR. *)
+let arm_a53 =
+  {
+    cpu_name = "cortex-a53";
+    cores = 4;
+    freq_ghz = 1.2;
+    vector_lanes = 4;
+    fma_per_cycle = 1;
+    l1_bytes = 32. *. 1024.;
+    l2_bytes = 512. *. 1024.;
+    dram_gbps = 3.0;
+    l2_gbps = 12.0;
+    loop_overhead_cycles = 2.0;
+  }
+
+(** A server-class x86 core complex, used as the host in heterogeneous
+    runs and as the compilation host in the RPC experiments. *)
+let xeon_host =
+  {
+    cpu_name = "xeon-host";
+    cores = 8;
+    freq_ghz = 2.5;
+    vector_lanes = 8;
+    fma_per_cycle = 2;
+    l1_bytes = 32. *. 1024.;
+    l2_bytes = 1024. *. 1024.;
+    dram_gbps = 40.;
+    l2_gbps = 200.;
+    loop_overhead_cycles = 1.0;
+  }
+
+(** The VDLA design of §6.4: 16×16 matrix-vector unit at 200MHz doing
+    8-bit products accumulated into 32-bit registers — 102.4 GOPS/s
+    peak; 32kB activation, 32kB parameter, 128kB register-file storage;
+    modest DMA bandwidth so that latency hiding matters. *)
+let vdla =
+  {
+    accel_name = "vdla-pynq";
+    accel_freq_mhz = 200.;
+    gemm_m = 16;
+    gemm_n = 16;
+    gemm_k = 16;
+    dram_bytes_per_cycle = 64.;  (* 512-bit AXI burst port at 200MHz *)
+    inp_sram_bytes = 32 * 1024;
+    wgt_sram_bytes = 32 * 1024;
+    acc_sram_bytes = 128 * 1024;
+    dma_setup_cycles = 16.;
+  }
+
+(** ARM A9 @667MHz — the PYNQ host CPU of Fig 21 (dual core, VFPv3:
+    markedly weaker than the A53). *)
+let arm_a9 =
+  {
+    cpu_name = "cortex-a9";
+    cores = 2;
+    freq_ghz = 0.667;
+    vector_lanes = 2;
+    fma_per_cycle = 1;
+    l1_bytes = 32. *. 1024.;
+    l2_bytes = 512. *. 1024.;
+    dram_gbps = 1.0;
+    l2_gbps = 4.0;
+    loop_overhead_cycles = 3.0;
+  }
+
+let cpu_peak_gflops c =
+  float_of_int (c.cores * c.vector_lanes * c.fma_per_cycle * 2) *. c.freq_ghz
+
+let gpu_peak_gflops g =
+  float_of_int (g.sms * g.cuda_cores_per_sm * 2) *. g.gpu_freq_ghz
+
+let accel_peak_gops a =
+  2. *. float_of_int (a.gemm_m * a.gemm_n) *. a.accel_freq_mhz /. 1000.

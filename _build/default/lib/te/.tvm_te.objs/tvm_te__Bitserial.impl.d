@@ -1,0 +1,1 @@
+lib/te/bitserial.ml: Dtype Expr Float Tensor Tvm_tir

@@ -1,0 +1,1 @@
+lib/te/operators.ml: Expr Float Interval List Printf Tensor Tvm_tir

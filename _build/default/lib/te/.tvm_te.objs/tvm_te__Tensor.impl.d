@@ -1,0 +1,1 @@
+lib/te/tensor.ml: Analysis Dtype Expr Hashtbl Interval List Printf Tvm_tir Visit

@@ -1,0 +1,1 @@
+lib/te/winograd.ml: Array Expr List Operators Tensor Tvm_nd Tvm_tir

@@ -1,0 +1,45 @@
+(** Ultra low-precision operators (§6.2, Fig 18).
+
+    Activations are quantized to [abits]-bit unsigned values, weights to
+    1 bit. A bit-serial kernel replaces multiplication with AND +
+    popcount over packed words [39]; the arithmetic is exposed here as a
+    GEMM-shaped reduction over an im2col layout so the tensorize
+    primitive can map the inner block onto the bit-serial
+    matrix-vector micro-kernel ({!Tvm_schedule.Tensor_intrin.bitserial_gemv}).
+
+    Functional semantics multiply the small-integer values directly
+    (bit-plane decomposition changes cost, not results); the cost
+    models price the tensorized kernel at its packed-word rate. *)
+
+open Tvm_tir
+
+(** im2col-style low-precision conv:
+    [data_cols]: [P; K] uint2 activations (P = output pixels, K = IC·k²),
+    [weight_rows]: [OC; K] uint1 weights. Output [P; OC] int32. *)
+let bitserial_gemm ?(name = "bsconv") data_cols weight_rows =
+  match (Tensor.const_shape data_cols, Tensor.const_shape weight_rows) with
+  | [ p; k ], [ oc; _k2 ] ->
+      let rk = Tensor.reduce_axis ~name:"bk" k in
+      Tensor.compute_reduce ~dtype:Dtype.Int32 name
+        [ Expr.int p; Expr.int oc ] ~raxes:[ rk ] (fun idx ->
+          match idx with
+          | [ pp; c ] ->
+              Expr.( * )
+                (Tensor.read data_cols [ pp; Tensor.rvar rk ])
+                (Tensor.read weight_rows [ c; Tensor.rvar rk ])
+          | _ -> invalid_arg "bitserial_gemm")
+  | _ -> invalid_arg "bitserial_gemm: expected [P;K] and [OC;K]"
+
+(** Dimensions of the im2col GEMM for a low-precision conv layer. *)
+let conv_dims ~hw ~ic ~oc ~kernel ~stride =
+  let pad = (kernel - 1) / 2 in
+  let out = ((hw + (2 * pad) - kernel) / stride) + 1 in
+  (out * out, oc, ic * kernel * kernel)
+
+(** Word operations one output element costs under bit-serial
+    evaluation: [abits × wbits] AND+popcount passes over K/[word] lanes. *)
+let word_ops_per_output ~k ~abits ~wbits ~word_bits =
+  float_of_int (abits * wbits) *. Float.of_int k /. float_of_int word_bits *. 2.
+
+(** Arithmetic a normal fp32 kernel would spend per output element. *)
+let flops_per_output ~k = 2. *. float_of_int k

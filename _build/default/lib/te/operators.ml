@@ -1,0 +1,357 @@
+(** Deep-learning operator library, every operator expressed in the
+    tensor expression language (so every one of them is schedulable and
+    tunable — the point of §4).
+
+    Layout convention: activations are NCHW, convolution weights are
+    OIHW, depthwise weights are CMHW (M = channel multiplier, 1 here,
+    matching Table 2's note). *)
+
+open Tvm_tir
+
+let i = Expr.int
+let ( +! ) = Expr.( + )
+let ( -! ) = Expr.( - )
+let ( *! ) = Expr.( * )
+let ( /! ) = Expr.( / )
+let ( %! ) = Expr.( % )
+
+let arity_error op idx =
+  invalid_arg (Printf.sprintf "%s: unexpected rank %d" op (List.length idx))
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise (injective) operators                                   *)
+(* ------------------------------------------------------------------ *)
+
+let unary ?name fname f t =
+  let name = match name with Some n -> n | None -> fname ^ "_" ^ Tensor.name t in
+  ignore f;
+  Tensor.compute ~dtype:(Tensor.dtype t) name (Tensor.shape t) (fun idx ->
+      Expr.Call (fname, [ Tensor.read t idx ]))
+
+let relu t =
+  Tensor.compute ~dtype:(Tensor.dtype t) ("relu_" ^ Tensor.name t) (Tensor.shape t)
+    (fun idx -> Expr.max_ (Tensor.read t idx) (Expr.f32 0.))
+
+let leaky_relu ?(alpha = 0.2) t =
+  Tensor.compute ~dtype:(Tensor.dtype t) ("lrelu_" ^ Tensor.name t) (Tensor.shape t)
+    (fun idx ->
+      let v = Tensor.read t idx in
+      Expr.max_ v (Expr.f32 alpha *! v))
+
+let tanh_ t = unary "tanh" Float.tanh t
+let sigmoid t = unary "sigmoid" (fun x -> 1. /. (1. +. Float.exp (-.x))) t
+let exp_ t = unary "exp" Float.exp t
+
+let add a b =
+  Tensor.compute ~dtype:(Tensor.dtype a) ("add_" ^ Tensor.name a) (Tensor.shape a)
+    (fun idx -> Tensor.read a idx +! Tensor.read b idx)
+
+let mul a b =
+  Tensor.compute ~dtype:(Tensor.dtype a) ("mul_" ^ Tensor.name a) (Tensor.shape a)
+    (fun idx -> Tensor.read a idx *! Tensor.read b idx)
+
+(** Inference-time batch norm folded to a per-channel scale and shift —
+    the form in which BN participates in the paper's fused conv+bn+relu
+    workload (Fig 4). Channel is dim 1 of NCHW. *)
+let scale_shift data scale shift =
+  Tensor.compute ~dtype:(Tensor.dtype data)
+    ("bn_" ^ Tensor.name data) (Tensor.shape data) (fun idx ->
+      match idx with
+      | [ _; c; _; _ ] -> (Tensor.read data idx *! Tensor.read scale [ c ]) +! Tensor.read shift [ c ]
+      | [ _; c ] -> (Tensor.read data idx *! Tensor.read scale [ c ]) +! Tensor.read shift [ c ]
+      | _ -> arity_error "scale_shift" idx)
+
+let bias_add data bias =
+  Tensor.compute ~dtype:(Tensor.dtype data) ("biasadd_" ^ Tensor.name data)
+    (Tensor.shape data) (fun idx ->
+      match idx with
+      | [ _; c; _; _ ] | [ _; c ] -> Tensor.read data idx +! Tensor.read bias [ c ]
+      | _ -> arity_error "bias_add" idx)
+
+(* ------------------------------------------------------------------ *)
+(* Padding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Zero padding of the two spatial dims of an NCHW tensor. Expressed
+    with a lazily-evaluated [select] so the out-of-range branch never
+    reads out of bounds. *)
+let pad ?(value = 0.) data ~pad_h ~pad_w =
+  match Tensor.shape data with
+  | [ n; c; h; w ] ->
+      let shape = [ n; c; h +! i (2 * pad_h); w +! i (2 * pad_w) ] in
+      Tensor.compute ~dtype:(Tensor.dtype data) ("pad_" ^ Tensor.name data) shape
+        (fun idx ->
+          match idx with
+          | [ bn; bc; y; x ] ->
+              if pad_h = 0 && pad_w = 0 then Tensor.read data [ bn; bc; y; x ]
+              else
+                let inside =
+                  Expr.and_
+                    (Expr.and_ Expr.(y >= i pad_h) Expr.(y < (h +! i pad_h)))
+                    (Expr.and_ Expr.(x >= i pad_w) Expr.(x < (w +! i pad_w)))
+                in
+                Expr.select inside
+                  (Tensor.read data [ bn; bc; y -! i pad_h; x -! i pad_w ])
+                  (Expr.f32 value)
+          | _ -> arity_error "pad" idx)
+  | _ -> invalid_arg "pad: expected NCHW input"
+
+let same_padding ~kernel = (kernel - 1) / 2
+
+(* ------------------------------------------------------------------ *)
+(* Convolutions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Direct 2-D convolution, NCHW/OIHW. [pad = `Same] computes the
+    padding Table 2's workloads use. Output [n, oc, oh, ow]. *)
+let conv2d ?(name = "conv") ?(stride = 1) ?(padding = `Same) data weight =
+  match (Tensor.shape data, Tensor.shape weight) with
+  | [ n; _c; h; w ], [ oc; ic; kh; kw ] ->
+      let khc =
+        match Interval.const_of_expr kh with
+        | Some k -> k
+        | None -> invalid_arg "conv2d: symbolic kernel"
+      in
+      let kwc =
+        match Interval.const_of_expr kw with Some k -> k | None -> invalid_arg "conv2d"
+      in
+      let icc =
+        match Interval.const_of_expr ic with Some k -> k | None -> invalid_arg "conv2d"
+      in
+      let p = match padding with `Same -> same_padding ~kernel:khc | `Valid -> 0 | `Explicit p -> p in
+      let padded = if p > 0 then pad data ~pad_h:p ~pad_w:p else data in
+      let oh = ((h +! i (2 * p) -! kh) /! i stride) +! i 1 in
+      let ow = ((w +! i (2 * p) -! kw) /! i stride) +! i 1 in
+      let rc = Tensor.reduce_axis ~name:"rc" icc in
+      let ry = Tensor.reduce_axis ~name:"ry" khc in
+      let rx = Tensor.reduce_axis ~name:"rx" kwc in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype data) name [ n; oc; oh; ow ]
+        ~raxes:[ rc; ry; rx ] (fun idx ->
+          match idx with
+          | [ bn; foc; y; x ] ->
+              Tensor.read padded
+                [ bn; Tensor.rvar rc;
+                  (y *! i stride) +! Tensor.rvar ry;
+                  (x *! i stride) +! Tensor.rvar rx ]
+              *! Tensor.read weight [ foc; Tensor.rvar rc; Tensor.rvar ry; Tensor.rvar rx ]
+          | _ -> arity_error "conv2d" idx)
+  | _ -> invalid_arg "conv2d: expected NCHW data and OIHW weight"
+
+(** Depthwise 2-D convolution (MobileNet's workhorse, Table 2 D1–D9);
+    channel multiplier 1, weights CMHW with M=1 collapsed to C1HW. *)
+let depthwise_conv2d ?(name = "dwconv") ?(stride = 1) ?(padding = `Same) data weight =
+  match (Tensor.shape data, Tensor.shape weight) with
+  | [ n; c; h; w ], [ _c2; _one; kh; kw ] ->
+      let khc = match Interval.const_of_expr kh with Some k -> k | None -> invalid_arg "dw" in
+      let kwc = match Interval.const_of_expr kw with Some k -> k | None -> invalid_arg "dw" in
+      let p = match padding with `Same -> same_padding ~kernel:khc | `Valid -> 0 | `Explicit p -> p in
+      let padded = if p > 0 then pad data ~pad_h:p ~pad_w:p else data in
+      let oh = ((h +! i (2 * p) -! kh) /! i stride) +! i 1 in
+      let ow = ((w +! i (2 * p) -! kw) /! i stride) +! i 1 in
+      let ry = Tensor.reduce_axis ~name:"ry" khc in
+      let rx = Tensor.reduce_axis ~name:"rx" kwc in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype data) name [ n; c; oh; ow ]
+        ~raxes:[ ry; rx ] (fun idx ->
+          match idx with
+          | [ bn; fc; y; x ] ->
+              Tensor.read padded
+                [ bn; fc; (y *! i stride) +! Tensor.rvar ry; (x *! i stride) +! Tensor.rvar rx ]
+              *! Tensor.read weight [ fc; i 0; Tensor.rvar ry; Tensor.rvar rx ]
+          | _ -> arity_error "depthwise_conv2d" idx)
+  | _ -> invalid_arg "depthwise_conv2d: expected NCHW data and C1HW weight"
+
+(** Transposed convolution (DCGAN's generator). Implemented as
+    zero-dilation of the input followed by a direct convolution with the
+    spatially-flipped weight, the standard reduction. *)
+let conv2d_transpose ?(name = "deconv") ?(stride = 2) ?(padding = 1) data weight =
+  match (Tensor.shape data, Tensor.shape weight) with
+  | [ n; c; h; w ], [ _ic; oc; kh; kw ] ->
+      let hc = match Interval.const_of_expr h with Some k -> k | None -> invalid_arg "deconv" in
+      let wc = match Interval.const_of_expr w with Some k -> k | None -> invalid_arg "deconv" in
+      let khc = match Interval.const_of_expr kh with Some k -> k | None -> invalid_arg "deconv" in
+      let kwc = match Interval.const_of_expr kw with Some k -> k | None -> invalid_arg "deconv" in
+      let icc =
+        match Interval.const_of_expr c with Some k -> k | None -> invalid_arg "deconv"
+      in
+      (* Dilated input: size stride*(h-1)+1, with border padding kh-1-p. *)
+      let dil_h = (stride * (hc - 1)) + 1 and dil_w = (stride * (wc - 1)) + 1 in
+      let bp_h = khc - 1 - padding and bp_w = kwc - 1 - padding in
+      let dil =
+        Tensor.compute ~dtype:(Tensor.dtype data) (name ^ "_dilate")
+          [ n; c; i (dil_h + (2 * bp_h)); i (dil_w + (2 * bp_w)) ]
+          (fun idx ->
+            match idx with
+            | [ bn; bc; y; x ] ->
+                let yy = y -! i bp_h and xx = x -! i bp_w in
+                let on_grid =
+                  Expr.and_
+                    (Expr.and_ Expr.(yy >= i 0) Expr.(yy < i dil_h))
+                    (Expr.and_
+                       (Expr.and_ Expr.(xx >= i 0) Expr.(xx < i dil_w))
+                       (Expr.and_
+                          (Expr.cmp Expr.Eq (yy %! i stride) (i 0))
+                          (Expr.cmp Expr.Eq (xx %! i stride) (i 0))))
+                in
+                Expr.select on_grid
+                  (Tensor.read data [ bn; bc; yy /! i stride; xx /! i stride ])
+                  (Expr.f32 0.)
+            | _ -> arity_error "conv2d_transpose" idx)
+      in
+      let rc = Tensor.reduce_axis ~name:"rc" icc in
+      let ry = Tensor.reduce_axis ~name:"ry" khc in
+      let rx = Tensor.reduce_axis ~name:"rx" kwc in
+      let oh = (stride * (hc - 1)) + khc - (2 * padding) in
+      let ow = (stride * (wc - 1)) + kwc - (2 * padding) in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype data) name [ n; oc; i oh; i ow ]
+        ~raxes:[ rc; ry; rx ] (fun idx ->
+          match idx with
+          | [ bn; foc; y; x ] ->
+              Tensor.read dil [ bn; Tensor.rvar rc; y +! Tensor.rvar ry; x +! Tensor.rvar rx ]
+              *! Tensor.read weight
+                   [ Tensor.rvar rc; foc; i (khc - 1) -! Tensor.rvar ry;
+                     i (kwc - 1) -! Tensor.rvar rx ]
+          | _ -> arity_error "conv2d_transpose" idx)
+  | _ -> invalid_arg "conv2d_transpose: expected NCHW data and IOHW weight"
+
+(* ------------------------------------------------------------------ *)
+(* Dense / matmul                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** C[y,x] = sum_k A[y,k] * B[x,k] — dense layer with pre-transposed
+    weight, the layout the paper's running example uses. *)
+let dense ?(name = "dense") data weight =
+  match (Tensor.shape data, Tensor.shape weight) with
+  | [ m; k ], [ n; _k2 ] ->
+      let kc = match Interval.const_of_expr k with Some v -> v | None -> invalid_arg "dense" in
+      let rk = Tensor.reduce_axis ~name:"k" kc in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype data) name [ m; n ] ~raxes:[ rk ]
+        (fun idx ->
+          match idx with
+          | [ y; x ] ->
+              Tensor.read data [ y; Tensor.rvar rk ] *! Tensor.read weight [ x; Tensor.rvar rk ]
+          | _ -> arity_error "dense" idx)
+  | _ -> invalid_arg "dense: expected 2-D data and weight"
+
+(** C[y,x] = sum_k A[k,y] * B[k,x] — the transposed matmul of §4.1. *)
+let matmul_transposed ?(name = "matmulT") a b =
+  match (Tensor.shape a, Tensor.shape b) with
+  | [ k; m ], [ _k2; n ] ->
+      let kc = match Interval.const_of_expr k with Some v -> v | None -> invalid_arg "matmulT" in
+      let rk = Tensor.reduce_axis ~name:"k" kc in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype a) name [ m; n ] ~raxes:[ rk ]
+        (fun idx ->
+          match idx with
+          | [ y; x ] ->
+              Tensor.read a [ Tensor.rvar rk; y ] *! Tensor.read b [ Tensor.rvar rk; x ]
+          | _ -> arity_error "matmul_transposed" idx)
+  | _ -> invalid_arg "matmul_transposed: expected 2-D inputs"
+
+(** Plain C[y,x] = sum_k A[y,k] * B[k,x]. *)
+let matmul ?(name = "matmul") a b =
+  match (Tensor.shape a, Tensor.shape b) with
+  | [ m; k ], [ _k2; n ] ->
+      let kc = match Interval.const_of_expr k with Some v -> v | None -> invalid_arg "matmul" in
+      let rk = Tensor.reduce_axis ~name:"k" kc in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype a) name [ m; n ] ~raxes:[ rk ]
+        (fun idx ->
+          match idx with
+          | [ y; x ] ->
+              Tensor.read a [ y; Tensor.rvar rk ] *! Tensor.read b [ Tensor.rvar rk; x ]
+          | _ -> arity_error "matmul" idx)
+  | _ -> invalid_arg "matmul: expected 2-D inputs"
+
+(* ------------------------------------------------------------------ *)
+(* Pooling / shape ops / softmax                                       *)
+(* ------------------------------------------------------------------ *)
+
+let max_pool2d ?(name = "maxpool") ?(size = 2) ?(stride = 2) ?(padding = 0) data =
+  match Tensor.shape data with
+  | [ n; c; h; w ] ->
+      let padded =
+        if padding > 0 then pad ~value:(-1e30) data ~pad_h:padding ~pad_w:padding
+        else data
+      in
+      let oh = ((h +! i (2 * padding) -! i size) /! i stride) +! i 1 in
+      let ow = ((w +! i (2 * padding) -! i size) /! i stride) +! i 1 in
+      let ry = Tensor.reduce_axis ~name:"py" size in
+      let rx = Tensor.reduce_axis ~name:"px" size in
+      Tensor.compute_reduce ~dtype:(Tensor.dtype data) ~comb:Tensor.Max_comb name
+        [ n; c; oh; ow ] ~raxes:[ ry; rx ] (fun idx ->
+          match idx with
+          | [ bn; bc; y; x ] ->
+              Tensor.read padded
+                [ bn; bc; (y *! i stride) +! Tensor.rvar ry; (x *! i stride) +! Tensor.rvar rx ]
+          | _ -> arity_error "max_pool2d" idx)
+  | _ -> invalid_arg "max_pool2d: expected NCHW"
+
+let global_avg_pool2d ?(name = "gap") data =
+  match Tensor.shape data with
+  | [ n; c; h; w ] ->
+      let hc = match Interval.const_of_expr h with Some v -> v | None -> invalid_arg "gap" in
+      let wc = match Interval.const_of_expr w with Some v -> v | None -> invalid_arg "gap" in
+      let ry = Tensor.reduce_axis ~name:"gy" hc in
+      let rx = Tensor.reduce_axis ~name:"gx" wc in
+      let summed =
+        Tensor.compute_reduce ~dtype:(Tensor.dtype data) (name ^ "_sum") [ n; c ]
+          ~raxes:[ ry; rx ] (fun idx ->
+            match idx with
+            | [ bn; bc ] -> Tensor.read data [ bn; bc; Tensor.rvar ry; Tensor.rvar rx ]
+            | _ -> arity_error "global_avg_pool2d" idx)
+      in
+      Tensor.compute ~dtype:(Tensor.dtype data) name [ n; c ] (fun idx ->
+          Tensor.read summed idx *! Expr.f32 (1. /. float_of_int (hc * wc)))
+  | _ -> invalid_arg "global_avg_pool2d: expected NCHW"
+
+(** Flatten NCHW → N×(CHW); an injective layout compute. *)
+let flatten ?(name = "flatten") data =
+  match Tensor.shape data with
+  | [ n; c; h; w ] -> (
+      match
+        (Interval.const_of_expr c, Interval.const_of_expr h, Interval.const_of_expr w)
+      with
+      | Some cc, Some hc, Some wc ->
+          Tensor.compute ~dtype:(Tensor.dtype data) name [ n; i (cc * hc * wc) ]
+            (fun idx ->
+              match idx with
+              | [ bn; j ] ->
+                  Tensor.read data
+                    [ bn; j /! i (hc * wc); (j %! i (hc * wc)) /! i wc; j %! i wc ]
+              | _ -> arity_error "flatten" idx)
+      | _ -> invalid_arg "flatten: symbolic shape")
+  | _ -> invalid_arg "flatten: expected NCHW"
+
+(** Numerically-stable softmax along the last axis of a 2-D tensor,
+    decomposed into max / shifted-exp / sum / normalize stages so the
+    fusion pass sees its true reduction structure. *)
+let softmax ?(name = "softmax") data =
+  match Tensor.shape data with
+  | [ n; c ] ->
+      let cc = match Interval.const_of_expr c with Some v -> v | None -> invalid_arg "softmax" in
+      let rmax = Tensor.reduce_axis ~name:"smax" cc in
+      let mx =
+        Tensor.compute_reduce ~dtype:(Tensor.dtype data) ~comb:Tensor.Max_comb
+          (name ^ "_max") [ n ] ~raxes:[ rmax ] (fun idx ->
+            match idx with
+            | [ bn ] -> Tensor.read data [ bn; Tensor.rvar rmax ]
+            | _ -> arity_error "softmax" idx)
+      in
+      let ex =
+        Tensor.compute ~dtype:(Tensor.dtype data) (name ^ "_exp") [ n; c ] (fun idx ->
+            match idx with
+            | [ bn; bc ] ->
+                Expr.Call ("exp", [ Tensor.read data [ bn; bc ] -! Tensor.read mx [ bn ] ])
+            | _ -> arity_error "softmax" idx)
+      in
+      let rsum = Tensor.reduce_axis ~name:"ssum" cc in
+      let sm =
+        Tensor.compute_reduce ~dtype:(Tensor.dtype data) (name ^ "_sum") [ n ]
+          ~raxes:[ rsum ] (fun idx ->
+            match idx with
+            | [ bn ] -> Tensor.read ex [ bn; Tensor.rvar rsum ]
+            | _ -> arity_error "softmax" idx)
+      in
+      Tensor.compute ~dtype:(Tensor.dtype data) name [ n; c ] (fun idx ->
+          match idx with
+          | [ bn; bc ] -> Expr.(Tensor.read ex [ bn; bc ] / Tensor.read sm [ bn ])
+          | _ -> arity_error "softmax" idx)
+  | _ -> invalid_arg "softmax: expected 2-D input"

@@ -1,0 +1,143 @@
+(** Winograd convolution F(2×2, 3×3) [25] — the weight-pre-transformed
+    fast 3×3 convolution behind Fig 15's "TVM PT" bars.
+
+    Stages (each a schedulable tensor expression):
+    + input transform  V[4][4][C][P] = Bᵀ d B per input tile,
+    + batched GEMM     M[a][b][K][P] = Σ_c U[a][b][K][c] · V[a][b][c][P],
+    + output transform Y = Aᵀ m A per tile.
+
+    The weight transform U = G g Gᵀ is done once offline ("weight
+    pre-transformed"), so at inference time U is a parameter — the
+    multiply count drops to 16/36 of the direct method. *)
+
+open Tvm_tir
+
+(* Transform matrices of F(2,3). *)
+let bt = [| [| 1.; 0.; -1.; 0. |]; [| 0.; 1.; 1.; 0. |]; [| 0.; -1.; 1.; 0. |]; [| 0.; 1.; 0.; -1. |] |]
+let g_mat = [| [| 1.; 0.; 0. |]; [| 0.5; 0.5; 0.5 |]; [| 0.5; -0.5; 0.5 |]; [| 0.; 0.; 1. |] |]
+let at = [| [| 1.; 1.; 1.; 0. |]; [| 0.; 1.; -1.; -1. |] |]
+
+(** Σ of coefficient-weighted terms, skipping zero coefficients so the
+    generated expression stays small. *)
+let weighted_sum terms =
+  let nonzero = List.filter (fun (c, _) -> c <> 0.) terms in
+  match nonzero with
+  | [] -> Expr.f32 0.
+  | (c0, e0) :: rest ->
+      List.fold_left
+        (fun acc (c, e) -> Expr.( + ) acc (Expr.( * ) (Expr.f32 c) e))
+        (Expr.( * ) (Expr.f32 c0) e0)
+        rest
+
+(** Pre-transform weights g[K][C][3][3] → U[4][4][K][C] on the host
+    (ndarray in, ndarray out; this is the offline step). *)
+let pretransform_weights (g : Tvm_nd.Ndarray.t) =
+  let module Nd = Tvm_nd.Ndarray in
+  match Nd.shape g with
+  | [ k; c; 3; 3 ] ->
+      Nd.init [ 4; 4; k; c ] (fun idx ->
+          match idx with
+          | [ a; b; kk; cc ] ->
+              let acc = ref 0. in
+              for i = 0 to 2 do
+                for j = 0 to 2 do
+                  acc :=
+                    !acc
+                    +. (g_mat.(a).(i) *. g_mat.(b).(j) *. Nd.get g [ kk; cc; i; j ])
+                done
+              done;
+              !acc
+          | _ -> assert false)
+  | _ -> invalid_arg "pretransform_weights: expected Kx C x3x3"
+
+(** Winograd convolution of NCHW [data] (stride 1, SAME padding) with a
+    pre-transformed weight tensor U[4][4][K][C]. Output spatial dims
+    must be even. Returns the output tensor [n][k][h][w]. *)
+let conv2d_pretransformed ?(name = "wino") data u =
+  let module T = Tensor in
+  match (T.const_shape data, T.const_shape u) with
+  | [ n; c; h; w ], [ 4; 4; k; _c2 ] ->
+      if h mod 2 <> 0 || w mod 2 <> 0 then invalid_arg "winograd: odd spatial dims";
+      let nh = h / 2 and nw = w / 2 in
+      let p = n * nh * nw in
+      let padded = Operators.pad data ~pad_h:1 ~pad_w:1 in
+      let i = Expr.int in
+      (* Input transform: tile p covers rows [2*ty-?]: input tile top-left
+         at (2*ty, 2*tx) in padded coords. *)
+      let v =
+        T.compute ~dtype:(T.dtype data) (name ^ "_V") [ i 4; i 4; i c; i p ]
+          (fun idx ->
+            match idx with
+            | [ a; b; cc; pp ] ->
+                let tile_n = Expr.( / ) pp (i (nh * nw)) in
+                let rem = Expr.( % ) pp (i (nh * nw)) in
+                let ty = Expr.( / ) rem (i nw) in
+                let tx = Expr.( % ) rem (i nw) in
+                (* dd[i][j] = padded[n][c][2ty+i][2tx+j]; v = Σ Bt[a][i]Bt[b][j] dd *)
+                let a_const, b_const =
+                  (* a and b are loop vars; unroll over their 4 values with select *)
+                  (a, b)
+                in
+                let term ai bj =
+                  T.read padded
+                    [ tile_n; cc;
+                      Expr.( + ) (Expr.( * ) ty (i 2)) (i ai);
+                      Expr.( + ) (Expr.( * ) tx (i 2)) (i bj) ]
+                in
+                (* select over a (4 cases) × b (4 cases): build nested selects *)
+                let case_for av bv =
+                  weighted_sum
+                    (List.concat
+                       (List.init 4 (fun ii ->
+                            List.init 4 (fun jj ->
+                                (bt.(av).(ii) *. bt.(bv).(jj), term ii jj)))))
+                in
+                let select_b av =
+                  Expr.select (Expr.( = ) b_const (i 0)) (case_for av 0)
+                    (Expr.select (Expr.( = ) b_const (i 1)) (case_for av 1)
+                       (Expr.select (Expr.( = ) b_const (i 2)) (case_for av 2)
+                          (case_for av 3)))
+                in
+                Expr.select (Expr.( = ) a_const (i 0)) (select_b 0)
+                  (Expr.select (Expr.( = ) a_const (i 1)) (select_b 1)
+                     (Expr.select (Expr.( = ) a_const (i 2)) (select_b 2) (select_b 3)))
+            | _ -> invalid_arg "winograd V")
+      in
+      (* Batched GEMM: the heavy, tunable stage. *)
+      let rc = T.reduce_axis ~name:"wc" c in
+      let m =
+        T.compute_reduce ~dtype:(T.dtype data) (name ^ "_M") [ i 4; i 4; i k; i p ]
+          ~raxes:[ rc ] (fun idx ->
+            match idx with
+            | [ a; b; kk; pp ] ->
+                Expr.( * )
+                  (T.read u [ a; b; kk; T.rvar rc ])
+                  (T.read v [ a; b; T.rvar rc; pp ])
+            | _ -> invalid_arg "winograd M")
+      in
+      (* Output transform. *)
+      T.compute ~dtype:(T.dtype data) name [ i n; i k; i h; i w ] (fun idx ->
+          match idx with
+          | [ nn; kk; y; x ] ->
+              let ty = Expr.( / ) y (i 2) and iy = Expr.( % ) y (i 2) in
+              let tx = Expr.( / ) x (i 2) and ix = Expr.( % ) x (i 2) in
+              let pp =
+                Expr.( + )
+                  (Expr.( + )
+                     (Expr.( * ) nn (i (nh * nw)))
+                     (Expr.( * ) ty (i nw)))
+                  tx
+              in
+              let case_for iyv ixv =
+                weighted_sum
+                  (List.concat
+                     (List.init 4 (fun a ->
+                          List.init 4 (fun b ->
+                              ( at.(iyv).(a) *. at.(ixv).(b),
+                                T.read m [ i a; i b; kk; pp ] )))))
+              in
+              Expr.select (Expr.( = ) iy (i 0))
+                (Expr.select (Expr.( = ) ix (i 0)) (case_for 0 0) (case_for 0 1))
+                (Expr.select (Expr.( = ) ix (i 0)) (case_for 1 0) (case_for 1 1))
+          | _ -> invalid_arg "winograd Y")
+  | _ -> invalid_arg "winograd: expected NCHW data and 4x4xKxC weights"

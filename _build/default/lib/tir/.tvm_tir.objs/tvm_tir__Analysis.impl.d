@@ -1,0 +1,1 @@
+lib/tir/analysis.ml: Dtype Expr Float Hashtbl Interval List Option Printer Stmt Visit

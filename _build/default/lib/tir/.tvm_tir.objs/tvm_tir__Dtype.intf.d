@@ -1,0 +1,1 @@
+lib/tir/dtype.mli: Format

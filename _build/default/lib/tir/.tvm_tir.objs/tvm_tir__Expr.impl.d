@@ -1,0 +1,1 @@
+lib/tir/expr.ml: Dtype Float Format List Printf Stdlib String

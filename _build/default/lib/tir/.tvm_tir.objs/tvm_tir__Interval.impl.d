@@ -1,0 +1,1 @@
+lib/tir/interval.ml: Expr Hashtbl List Printf

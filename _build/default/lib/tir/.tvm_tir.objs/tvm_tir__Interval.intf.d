@@ -1,0 +1,1 @@
+lib/tir/interval.mli: Expr

@@ -1,0 +1,1 @@
+lib/tir/printer.ml: Dtype Expr Format List Stmt String

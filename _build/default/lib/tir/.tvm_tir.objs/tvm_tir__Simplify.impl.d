@@ -1,0 +1,1 @@
+lib/tir/simplify.ml: Expr Fun List Option Stmt Visit

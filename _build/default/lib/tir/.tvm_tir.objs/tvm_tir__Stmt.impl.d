@@ -1,0 +1,1 @@
+lib/tir/stmt.ml: Expr List Option

@@ -1,0 +1,1 @@
+lib/tir/visit.ml: Expr List Stmt

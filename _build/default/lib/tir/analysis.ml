@@ -1,0 +1,307 @@
+(** Static analysis of lowered loop programs.
+
+    This module computes the quantities that both the analytical timing
+    models ({!Tvm_sim}) and the ML cost model's feature extractor
+    ({!Tvm_autotune.Feature}) need: per-buffer access counts, memory
+    footprints at every loop level (the "touched memory size" feature of
+    Fig 13), access strides, arithmetic intensity, and loop-annotation
+    summaries. *)
+
+type loop_info = {
+  lvar : Expr.var;
+  lmin : Expr.t;
+  lextent : int;
+  lkind : Stmt.for_kind;
+}
+
+(** One load or store site, together with its enclosing loop stack
+    (outermost first) and total execution count. *)
+type access = {
+  acc_buffer : Expr.buffer;
+  acc_is_store : bool;
+  acc_indices : Expr.t list;  (** let-bindings already substituted *)
+  acc_loops : loop_info list;
+  acc_count : int;
+  acc_weight : float;
+      (** execution probability: loads under [select] branches execute
+          on a fraction of iterations (1 outside selects; then-branches
+          weighted 3/4, else-branches 1/4 per level) *)
+  acc_value_flops : float;
+      (** for stores: arithmetic in the stored value per execution *)
+}
+
+exception Non_constant_extent of string
+
+let const_extent e =
+  match Interval.const_of_expr e with
+  | Some n -> n
+  | None -> raise (Non_constant_extent (Printer.expr_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_flops (e : Expr.t) =
+  match e with
+  | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> 0.
+  | Expr.Binop (_, a, b) -> 1. +. expr_flops a +. expr_flops b
+  | Expr.Cmp (_, a, b) ->
+      (* Predicates (padding guards) compile to flags/masks hoisted out
+         of the arithmetic pipe; not arithmetic throughput. *)
+      expr_flops a +. expr_flops b
+  | Expr.And (a, b) | Expr.Or (a, b) -> expr_flops a +. expr_flops b
+  | Expr.Not a | Expr.Cast (_, a) -> expr_flops a
+  | Expr.Select (_, t, f) -> Float.max (expr_flops t) (expr_flops f)
+  | Expr.Load (_, _) ->
+      (* Address computation is loop/index overhead, not arithmetic
+         throughput; the timing models price it separately. *)
+      0.
+  | Expr.Call (_, args) ->
+      (* Transcendental intrinsics priced as several flops. *)
+      8. +. List.fold_left (fun acc a -> acc +. expr_flops a) 0. args
+
+
+let rec expr_flops_fwd e = expr_flops e
+
+and collect_accesses (stmt : Stmt.t) : access list =
+  let out = ref [] in
+  let record ?(weight = 1.) ?(value_flops = 0.) loops subst buffer is_store indices =
+    let indices = List.map (Visit.subst_expr subst) indices in
+    let count = List.fold_left (fun acc l -> acc * l.lextent) 1 loops in
+    out :=
+      { acc_buffer = buffer; acc_is_store = is_store; acc_indices = indices;
+        acc_loops = loops; acc_count = count; acc_weight = weight;
+        acc_value_flops = value_flops }
+      :: !out
+  in
+  let record_expr loops subst e =
+    let rec walk weight (e : Expr.t) =
+      match e with
+      | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> ()
+      | Expr.Binop (_, a, b) | Expr.Cmp (_, a, b) | Expr.And (a, b) | Expr.Or (a, b) ->
+          walk weight a;
+          walk weight b
+      | Expr.Not a | Expr.Cast (_, a) -> walk weight a
+      | Expr.Select (c, t, f) ->
+          walk weight c;
+          walk (weight *. 0.75) t;
+          walk (weight *. 0.25) f
+      | Expr.Load (b, idx) ->
+          record ~weight loops subst b false idx;
+          List.iter (walk weight) idx
+      | Expr.Call (_, args) -> List.iter (walk weight) args
+    in
+    walk 1. e
+  in
+  let rec walk loops (subst : Expr.var -> Expr.t option) s =
+    match s with
+    | Stmt.Store (b, idx, v) ->
+        record ~value_flops:(expr_flops_fwd v) loops subst b true idx;
+        record_expr loops subst v;
+        List.iter (record_expr loops subst) idx
+    | Stmt.For l ->
+        let extent = const_extent (Visit.subst_expr subst l.Stmt.extent) in
+        let info =
+          { lvar = l.Stmt.loop_var; lmin = Visit.subst_expr subst l.Stmt.min_;
+            lextent = extent; lkind = l.Stmt.kind }
+        in
+        walk (loops @ [ info ]) subst l.Stmt.body
+    | Stmt.If_then_else (c, t, e) ->
+        record_expr loops subst c;
+        walk loops subst t;
+        Option.iter (walk loops subst) e
+    | Stmt.Let_stmt (v, e, b) ->
+        record_expr loops subst e;
+        let e' = Visit.subst_expr subst e in
+        let subst' v' = if Expr.Var.equal v v' then Some e' else subst v' in
+        walk loops subst' b
+    | Stmt.Seq ss -> List.iter (walk loops subst) ss
+    | Stmt.Allocate (_, b) -> walk loops subst b
+    | Stmt.Evaluate e -> record_expr loops subst e
+    | Stmt.Call_intrin ic ->
+        List.iter (fun (b, idx) -> record loops subst b false idx) ic.Stmt.inputs;
+        let ob, oidx = ic.Stmt.output in
+        record loops subst ob true oidx
+    | Stmt.Dma_copy d ->
+        record loops subst d.Stmt.dma_src false d.Stmt.dma_src_base;
+        record loops subst d.Stmt.dma_dst true d.Stmt.dma_dst_base
+    | Stmt.Barrier | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip -> ()
+  in
+  walk [] (fun _ -> None) stmt;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Footprints and strides                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Interval environment treating loops at depth >= [level] as full
+    ranges and outer loops as fixed at their minimum. *)
+let env_at_level access level =
+  List.mapi
+    (fun depth l ->
+      let min_lo =
+        match Interval.const_of_expr l.lmin with Some n -> n | None -> 0
+      in
+      let itv =
+        if depth >= level then Interval.of_extent ~min:min_lo ~extent:l.lextent
+        else Interval.point min_lo
+      in
+      (l.lvar, itv))
+    access.acc_loops
+
+(** Number of distinct elements of the buffer touched by the iterations
+    of the loops at depth >= [level], outer loops held fixed. Level 0
+    is the whole-statement footprint; level = depth(loops) is a single
+    access. Conservative (rectangular hull) for non-affine indices. *)
+let footprint_at_level access level =
+  let env = env_at_level access level in
+  try
+    List.fold_left
+      (fun acc idx -> acc * Interval.length (Interval.eval_under env idx))
+      1 access.acc_indices
+  with Interval.Not_analyzable _ ->
+    (* Fall back: the whole buffer. *)
+    (try Expr.Buffer.num_elems access.acc_buffer with _ -> 1)
+
+let footprint_bytes_at_level access level =
+  float_of_int (footprint_at_level access level)
+  *. Dtype.bytes access.acc_buffer.Expr.bdtype
+
+(** d(flattened index)/d(var): how far apart in memory are two accesses
+    that differ by one in [var]? [None] when not constant (non-affine).
+    Other loop vars are held at their minimum. *)
+let stride_wrt access (v : Expr.var) =
+  let shape =
+    try Expr.Buffer.const_shape access.acc_buffer with _ -> []
+  in
+  if shape = [] || List.length shape <> List.length access.acc_indices then None
+  else
+    let row_strides =
+      (* row-major strides *)
+      let rec build = function
+        | [] -> []
+        | _ :: rest -> List.fold_left ( * ) 1 rest :: build rest
+      in
+      build shape
+    in
+    let flat_at value =
+      let env =
+        List.map
+          (fun l ->
+            let m = match Interval.const_of_expr l.lmin with Some n -> n | None -> 0 in
+            if Expr.Var.equal l.lvar v then (l.lvar, Interval.point value)
+            else (l.lvar, Interval.point m))
+          access.acc_loops
+      in
+      try
+        let components =
+          List.map2
+            (fun idx stride ->
+              let itv = Interval.eval_under env idx in
+              if itv.Interval.lo = itv.Interval.hi then itv.Interval.lo * stride
+              else raise (Interval.Not_analyzable "range"))
+            access.acc_indices row_strides
+        in
+        Some (List.fold_left ( + ) 0 components)
+      with Interval.Not_analyzable _ | Invalid_argument _ -> None
+    in
+    match (flat_at 0, flat_at 1) with
+    | Some a, Some b -> Some (b - a)
+    | _ -> None
+
+(** Innermost loop enclosing the access, if any. *)
+let innermost_loop access =
+  match List.rev access.acc_loops with [] -> None | l :: _ -> Some l
+
+(** Whether the access is unit-stride with respect to the innermost
+    enclosing loop — the property that makes vectorization and GPU
+    memory coalescing effective. *)
+let is_unit_stride_innermost access =
+  match innermost_loop access with
+  | None -> true
+  | Some l -> ( match stride_wrt access l.lvar with Some s -> abs s <= 1 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Total arithmetic operations executed by the statement; tensorized
+    intrinsic calls are priced via [intrin_flops name]. Index arithmetic
+    is excluded (it is loop overhead, priced separately by the models). *)
+let flops ?(intrin_flops = fun (_ : string) -> 0.) (stmt : Stmt.t) =
+  let total = ref 0. in
+  let rec walk mult subst s =
+    match s with
+    | Stmt.Store (_, _, v) -> total := !total +. (mult *. expr_flops v)
+    | Stmt.For l ->
+        let extent =
+          const_extent (Visit.subst_expr subst l.Stmt.extent) |> float_of_int
+        in
+        walk (mult *. extent) subst l.Stmt.body
+    | Stmt.If_then_else (_, t, e) ->
+        walk mult subst t;
+        Option.iter (walk mult subst) e
+    | Stmt.Let_stmt (v, e, b) ->
+        let e' = Visit.subst_expr subst e in
+        let subst' v' = if Expr.Var.equal v v' then Some e' else subst v' in
+        walk mult subst' b
+    | Stmt.Seq ss -> List.iter (walk mult subst) ss
+    | Stmt.Allocate (_, b) -> walk mult subst b
+    | Stmt.Evaluate e -> total := !total +. (mult *. expr_flops e)
+    | Stmt.Call_intrin ic -> total := !total +. (mult *. intrin_flops ic.Stmt.intrin_name)
+    | Stmt.Dma_copy _ | Stmt.Barrier | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip
+      ->
+        ()
+  in
+  walk 1. (fun _ -> None) stmt;
+  !total
+
+(** Bytes moved between global memory and the compute units, assuming
+    perfect reuse within each loop nest's innermost cache level: for
+    every access to a [Global]-scope buffer we charge its whole-nest
+    footprint once (unique bytes), which is the lower bound the paper's
+    fusion optimization targets. *)
+let unique_global_bytes stmt =
+  let accesses = collect_accesses stmt in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if a.acc_buffer.Expr.bscope = Expr.Global then
+        let key = a.acc_buffer.Expr.bid in
+        let fp = footprint_bytes_at_level a 0 in
+        let prev = try Hashtbl.find tbl key with Not_found -> 0. in
+        Hashtbl.replace tbl key (Float.max prev fp))
+    accesses;
+  Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+
+(** Summary of loop annotations below each access, used as one-hot
+    features by the cost model (Fig 13's "vectorize/unroll/parallel"). *)
+type ann_summary = {
+  n_parallel : int;
+  n_vectorized : int;
+  n_unrolled : int;
+  n_thread_bind : int;
+  n_vthread : int;
+  n_serial : int;
+}
+
+let ann_summary stmt =
+  let summary =
+    ref { n_parallel = 0; n_vectorized = 0; n_unrolled = 0; n_thread_bind = 0;
+          n_vthread = 0; n_serial = 0 }
+  in
+  Stmt.iter
+    (function
+      | Stmt.For l ->
+          let s = !summary in
+          summary :=
+            (match l.Stmt.kind with
+            | Stmt.Parallel -> { s with n_parallel = s.n_parallel + 1 }
+            | Stmt.Vectorized -> { s with n_vectorized = s.n_vectorized + 1 }
+            | Stmt.Unrolled -> { s with n_unrolled = s.n_unrolled + 1 }
+            | Stmt.Thread_binding _ -> { s with n_thread_bind = s.n_thread_bind + 1 }
+            | Stmt.Vthread -> { s with n_vthread = s.n_vthread + 1 }
+            | Stmt.Serial -> { s with n_serial = s.n_serial + 1 })
+      | _ -> ())
+    stmt;
+  !summary

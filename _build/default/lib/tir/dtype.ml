@@ -1,0 +1,63 @@
+(** Scalar data types of the tensor IR.
+
+    Mirrors the data types exercised by the paper: [Float32]/[Float16] for
+    the GPU experiments (Fig 19 evaluates both), [Int8]/[Int32] for the
+    VDLA accelerator (8-bit multiplies accumulated into 32-bit registers,
+    §6.4), and the sub-byte [UInt1]/[UInt2] types used by the ultra
+    low-precision operators of §6.2 (Fig 18). *)
+
+type t =
+  | Float32
+  | Float16
+  | Int64
+  | Int32
+  | Int8
+  | UInt1
+  | UInt2
+  | Bool
+
+let to_string = function
+  | Float32 -> "float32"
+  | Float16 -> "float16"
+  | Int64 -> "int64"
+  | Int32 -> "int32"
+  | Int8 -> "int8"
+  | UInt1 -> "uint1"
+  | UInt2 -> "uint2"
+  | Bool -> "bool"
+
+let of_string = function
+  | "float32" -> Float32
+  | "float16" -> Float16
+  | "int64" -> Int64
+  | "int32" -> Int32
+  | "int8" -> Int8
+  | "uint1" -> UInt1
+  | "uint2" -> UInt2
+  | "bool" -> Bool
+  | s -> invalid_arg ("Dtype.of_string: " ^ s)
+
+(** Width in bits; sub-byte types report their true width, which the
+    bit-serial kernels rely on when packing lanes into int32 words. *)
+let bits = function
+  | Float32 -> 32
+  | Float16 -> 16
+  | Int64 -> 64
+  | Int32 -> 32
+  | Int8 -> 8
+  | UInt1 -> 1
+  | UInt2 -> 2
+  | Bool -> 1
+
+(** Storage size in bytes as used by the memory planner and the timing
+    models. Sub-byte types are priced at their packed density. *)
+let bytes t = float_of_int (bits t) /. 8.
+
+let is_float = function
+  | Float32 | Float16 -> true
+  | Int64 | Int32 | Int8 | UInt1 | UInt2 | Bool -> false
+
+let is_integer t = not (is_float t)
+
+let equal (a : t) (b : t) = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)

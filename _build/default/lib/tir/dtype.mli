@@ -1,0 +1,33 @@
+(** Scalar data types of the tensor IR.
+
+    Covers the types the paper's evaluation exercises: [Float32]/
+    [Float16] (Fig 19 measures both), [Int8]/[Int32] for the VDLA
+    accelerator (§6.4), and the sub-byte [UInt1]/[UInt2] used by the
+    ultra-low-precision operators of §6.2 (Fig 18). *)
+
+type t =
+  | Float32
+  | Float16
+  | Int64
+  | Int32
+  | Int8
+  | UInt1
+  | UInt2
+  | Bool
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; raises [Invalid_argument] on unknown names. *)
+val of_string : string -> t
+
+(** Width in bits; sub-byte types report their true width. *)
+val bits : t -> int
+
+(** Storage size in bytes; sub-byte types price at packed density
+    (e.g. [bytes UInt2 = 0.25]). *)
+val bytes : t -> float
+
+val is_float : t -> bool
+val is_integer : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

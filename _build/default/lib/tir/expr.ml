@@ -1,0 +1,299 @@
+(** Scalar expressions of the tensor IR.
+
+    The IR is deliberately scalar: vectorization is a loop annotation
+    (see {!Stmt.for_kind}) validated for legality and priced by the
+    timing models, rather than a vector-value IR. This keeps the
+    functional interpreter total while still letting schedules and the
+    cost model reason about SIMD. *)
+
+(** Memory scopes, the TVM-specific schedule concept of §4.2: a compute
+    stage can be placed in GPU shared memory ([Shared]), thread-local
+    registers ([Local]), or one of the VDLA on-chip buffers
+    ([Accel_wgt], [Accel_inp], [Accel_acc]) from Fig 20. *)
+type scope =
+  | Global
+  | Shared
+  | Local
+  | Accel_wgt
+  | Accel_inp
+  | Accel_acc
+
+let scope_to_string = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+  | Accel_wgt -> "wgt"
+  | Accel_inp -> "inp"
+  | Accel_acc -> "acc"
+
+let scope_of_string = function
+  | "global" -> Global
+  | "shared" -> Shared
+  | "local" -> Local
+  | "wgt" -> Accel_wgt
+  | "inp" -> Accel_inp
+  | "acc" -> Accel_acc
+  | s -> invalid_arg ("scope_of_string: " ^ s)
+
+type var = { vname : string; vid : int; vdtype : Dtype.t }
+
+type binop = Add | Sub | Mul | Div | FloorMod | Min | Max
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | IntImm of int
+  | FloatImm of float
+  | Var of var
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Select of t * t * t  (** [Select (cond, then_, else_)] *)
+  | Cast of Dtype.t * t
+  | Load of buffer * t list  (** multi-dimensional read, flattened late *)
+  | Call of string * t list  (** pure intrinsic: exp, sqrt, popcount, ... *)
+
+(** A buffer is a named, typed, scoped multi-dimensional array. Tensors
+    of the expression language own one; the schedule's cache stages
+    introduce more with non-[Global] scopes. *)
+and buffer = {
+  bname : string;
+  bid : int;
+  bdtype : Dtype.t;
+  bshape : t list;
+  bscope : scope;
+}
+
+module Var = struct
+  type nonrec t = var
+
+  let counter = ref 0
+
+  let fresh ?(dtype = Dtype.Int32) name =
+    incr counter;
+    { vname = name; vid = !counter; vdtype = dtype }
+
+  let name v = v.vname
+  let dtype v = v.vdtype
+  let equal a b = a.vid = b.vid
+  let compare a b = compare a.vid b.vid
+  let pp fmt v = Format.fprintf fmt "%s" v.vname
+
+  (** Unique printable name, used by printers when two vars collide. *)
+  let unique_name v = Printf.sprintf "%s.%d" v.vname v.vid
+end
+
+module Buffer = struct
+  type nonrec t = buffer
+
+  let counter = ref 0
+
+  let create ?(scope = Global) ?(dtype = Dtype.Float32) name shape =
+    incr counter;
+    { bname = name; bid = !counter; bdtype = dtype; bshape = shape; bscope = scope }
+
+  let name b = b.bname
+  let dtype b = b.bdtype
+  let shape b = b.bshape
+  let scope b = b.bscope
+  let equal a b = a.bid = b.bid
+  let compare a b = compare a.bid b.bid
+
+  (** Shape as concrete ints; raises if any dimension is symbolic. *)
+  let const_shape b =
+    List.map
+      (function
+        | IntImm n -> n
+        | _ -> invalid_arg (Printf.sprintf "Buffer.const_shape %s: symbolic" b.bname))
+      b.bshape
+
+  let num_elems b = List.fold_left ( * ) 1 (const_shape b)
+  let size_bytes b = float_of_int (num_elems b) *. Dtype.bytes b.bdtype
+
+  (** A copy of [b] with a different scope and its own identity. *)
+  let with_scope scope b =
+    incr counter;
+    { b with bid = !counter; bscope = scope }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors.  They fold constants eagerly so that lowering   *)
+(* produces readable, mostly-simplified code without a separate pass.  *)
+(* ------------------------------------------------------------------ *)
+
+let int n = IntImm n
+let float f = FloatImm f
+let var v = Var v
+let zero = IntImm 0
+let one = IntImm 1
+let f32 f = FloatImm f
+
+let dtype_of_binop_operand = function
+  | IntImm _ -> Dtype.Int32
+  | FloatImm _ -> Dtype.Float32
+  | _ -> Dtype.Int32
+
+let rec dtype_of = function
+  | IntImm _ -> Dtype.Int32
+  | FloatImm _ -> Dtype.Float32
+  | Var v -> v.vdtype
+  | Binop (_, a, b) ->
+      let da = dtype_of a in
+      if Dtype.is_float da then da else dtype_of b
+  | Cmp _ | And _ | Or _ | Not _ -> Dtype.Bool
+  | Select (_, a, _) -> dtype_of a
+  | Cast (d, _) -> d
+  | Load (b, _) -> b.bdtype
+  | Call (name, args) -> (
+      match (name, args) with
+      | ("popcount" | "round" | "floor_i"), _ -> Dtype.Int32
+      | _, a :: _ -> dtype_of a
+      | _, [] -> Dtype.Float32)
+
+let is_const = function IntImm _ | FloatImm _ -> true | _ -> false
+
+let as_int = function IntImm n -> Some n | _ -> None
+
+let binop_eval_int op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div ->
+      (* floor division, matching the interpreter's semantics *)
+      if b = 0 then invalid_arg "div by zero"
+      else
+        let q = a / b and r = a mod b in
+        if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+  | FloorMod ->
+      if b = 0 then invalid_arg "mod by zero"
+      else
+        let r = a mod b in
+        if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+  | Min -> min a b
+  | Max -> max a b
+
+let binop_eval_float op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | FloorMod -> Float.rem a b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let binop op a b =
+  match (a, b) with
+  | IntImm x, IntImm y -> IntImm (binop_eval_int op x y)
+  | FloatImm x, FloatImm y -> FloatImm (binop_eval_float op x y)
+  | _ -> (
+      match (op, a, b) with
+      | Add, IntImm 0, e | Add, e, IntImm 0 -> e
+      | Add, FloatImm 0., e | Add, e, FloatImm 0. -> e
+      | Sub, e, IntImm 0 -> e
+      | Mul, IntImm 1, e | Mul, e, IntImm 1 -> e
+      | Mul, FloatImm 1., e | Mul, e, FloatImm 1. -> e
+      | Mul, (IntImm 0 as z), _ | Mul, _, (IntImm 0 as z) -> z
+      | Div, e, IntImm 1 -> e
+      | FloorMod, _, IntImm 1 -> IntImm 0
+      | (Min | Max), x, y when x = y -> x
+      | _ -> Binop (op, a, b))
+
+let ( + ) a b = binop Add a b
+let ( - ) a b = binop Sub a b
+let ( * ) a b = binop Mul a b
+let ( / ) a b = binop Div a b
+let ( % ) a b = binop FloorMod a b
+let min_ a b = binop Min a b
+let max_ a b = binop Max a b
+
+let cmp op a b =
+  match (a, b) with
+  | IntImm x, IntImm y ->
+      let r =
+        match op with
+        | Eq -> x = y
+        | Ne -> x <> y
+        | Lt -> Stdlib.( < ) x y
+        | Le -> Stdlib.( <= ) x y
+        | Gt -> Stdlib.( > ) x y
+        | Ge -> Stdlib.( >= ) x y
+      in
+      IntImm (if r then 1 else 0)
+  | _ -> Cmp (op, a, b)
+
+let ( = ) a b = cmp Eq a b
+let ( <> ) a b = cmp Ne a b
+let ( < ) a b = cmp Lt a b
+let ( <= ) a b = cmp Le a b
+let ( > ) a b = cmp Gt a b
+let ( >= ) a b = cmp Ge a b
+
+let and_ a b =
+  match (a, b) with
+  | IntImm 1, e | e, IntImm 1 -> e
+  | (IntImm 0 as z), _ | _, (IntImm 0 as z) -> z
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | IntImm 0, e | e, IntImm 0 -> e
+  | (IntImm 1 as o), _ | _, (IntImm 1 as o) -> o
+  | _ -> Or (a, b)
+
+let not_ = function IntImm 0 -> IntImm 1 | IntImm 1 -> IntImm 0 | e -> Not e
+
+let select cond t f =
+  match cond with IntImm 0 -> f | IntImm 1 -> t | _ -> Select (cond, t, f)
+
+let cast d e =
+  match e with
+  | FloatImm f when Dtype.equal d Dtype.Int32 -> IntImm (int_of_float f)
+  | IntImm n when Dtype.is_float d -> FloatImm (float_of_int n)
+  | e when Dtype.equal (dtype_of e) d -> e
+  | e -> Cast (d, e)
+
+let load buf indices = Load (buf, indices)
+let call name args = Call (name, args)
+
+(** Structural equality modulo nothing — plain [Stdlib.(=)] is unsafe on
+    this type only because of floats; we use compare-based equality. *)
+let rec equal a b =
+  match (a, b) with
+  | IntImm x, IntImm y -> Stdlib.( = ) x y
+  | FloatImm x, FloatImm y -> Float.equal x y
+  | Var x, Var y -> Var.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Not a, Not b -> equal a b
+  | Select (c1, t1, f1), Select (c2, t2, f2) -> equal c1 c2 && equal t1 t2 && equal f1 f2
+  | Cast (d1, a), Cast (d2, b) -> Dtype.equal d1 d2 && equal a b
+  | Load (b1, i1), Load (b2, i2) ->
+      Buffer.equal b1 b2
+      && Stdlib.( = ) (List.length i1) (List.length i2)
+      && List.for_all2 equal i1 i2
+  | Call (n1, a1), Call (n2, a2) ->
+      String.equal n1 n2
+      && Stdlib.( = ) (List.length a1) (List.length a2)
+      && List.for_all2 equal a1 a2
+  | _ -> false
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | FloorMod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmpop_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="

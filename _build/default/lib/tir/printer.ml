@@ -1,0 +1,83 @@
+(** Pretty printer for the tensor IR, producing the pseudo-code style
+    used in the paper's figures (Fig 5/8). *)
+
+open Format
+
+let rec pp_expr fmt (e : Expr.t) =
+  match e with
+  | Expr.IntImm n -> fprintf fmt "%d" n
+  | Expr.FloatImm f -> fprintf fmt "%g" f
+  | Expr.Var v -> fprintf fmt "%s" v.Expr.vname
+  | Expr.Binop ((Expr.Min | Expr.Max) as op, a, b) ->
+      fprintf fmt "%s(%a, %a)" (Expr.binop_to_string op) pp_expr a pp_expr b
+  | Expr.Binop (op, a, b) ->
+      fprintf fmt "(%a %s %a)" pp_expr a (Expr.binop_to_string op) pp_expr b
+  | Expr.Cmp (op, a, b) ->
+      fprintf fmt "(%a %s %a)" pp_expr a (Expr.cmpop_to_string op) pp_expr b
+  | Expr.And (a, b) -> fprintf fmt "(%a && %a)" pp_expr a pp_expr b
+  | Expr.Or (a, b) -> fprintf fmt "(%a || %a)" pp_expr a pp_expr b
+  | Expr.Not a -> fprintf fmt "!%a" pp_expr a
+  | Expr.Select (c, t, f) ->
+      fprintf fmt "select(%a, %a, %a)" pp_expr c pp_expr t pp_expr f
+  | Expr.Cast (d, a) -> fprintf fmt "%s(%a)" (Dtype.to_string d) pp_expr a
+  | Expr.Load (b, idx) -> fprintf fmt "%s%a" b.Expr.bname pp_indices idx
+  | Expr.Call (n, args) ->
+      fprintf fmt "%s(%a)" n
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_expr)
+        args
+
+and pp_indices fmt idx =
+  List.iter (fun i -> fprintf fmt "[%a]" pp_expr i) idx
+
+let expr_to_string e = asprintf "%a" pp_expr e
+
+let pp_buffer_decl fmt (b : Expr.buffer) =
+  fprintf fmt "%s %s %s%a" (Expr.scope_to_string b.Expr.bscope)
+    (Dtype.to_string b.Expr.bdtype) b.Expr.bname pp_indices b.Expr.bshape
+
+let rec pp_stmt fmt (s : Stmt.t) =
+  match s with
+  | Stmt.Store (b, idx, v) ->
+      fprintf fmt "@[<h>%s%a = %a@]" b.Expr.bname pp_indices idx pp_expr v
+  | Stmt.For l ->
+      let header =
+        match l.Stmt.kind with
+        | Stmt.Serial -> "for"
+        | k -> Stmt.for_kind_to_string k
+      in
+      fprintf fmt "@[<v 2>%s %s in range(%a, %a):@,%a@]" header
+        l.Stmt.loop_var.Expr.vname pp_expr l.Stmt.min_ pp_expr l.Stmt.extent
+        pp_stmt l.Stmt.body
+  | Stmt.If_then_else (c, t, None) ->
+      fprintf fmt "@[<v 2>if %a:@,%a@]" pp_expr c pp_stmt t
+  | Stmt.If_then_else (c, t, Some e) ->
+      fprintf fmt "@[<v>@[<v 2>if %a:@,%a@]@,@[<v 2>else:@,%a@]@]" pp_expr c
+        pp_stmt t pp_stmt e
+  | Stmt.Let_stmt (v, e, b) ->
+      fprintf fmt "@[<v>let %s = %a@,%a@]" v.Expr.vname pp_expr e pp_stmt b
+  | Stmt.Seq ss ->
+      pp_print_list ~pp_sep:pp_print_cut pp_stmt fmt ss
+  | Stmt.Allocate (b, body) ->
+      fprintf fmt "@[<v>alloc %a@,%a@]" pp_buffer_decl b pp_stmt body
+  | Stmt.Barrier -> fprintf fmt "memory_barrier_among_threads()"
+  | Stmt.Evaluate e -> pp_expr fmt e
+  | Stmt.Call_intrin ic ->
+      let pp_region fmt (b, idx) =
+        fprintf fmt "%s%a" b.Expr.bname pp_indices idx
+      in
+      fprintf fmt "@[<h>%s.%s(%a <- %a)@]" ic.Stmt.intrin_name ic.Stmt.variant
+        pp_region ic.Stmt.output
+        (pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt ", ") pp_region)
+        ic.Stmt.inputs
+  | Stmt.Dma_copy d ->
+      fprintf fmt "@[<h>dma_copy(%s%a <- %s%a, extents=%s)@]"
+        d.Stmt.dma_dst.Expr.bname pp_indices d.Stmt.dma_dst_base
+        d.Stmt.dma_src.Expr.bname pp_indices d.Stmt.dma_src_base
+        (String.concat "x" (List.map string_of_int d.Stmt.dma_extents))
+  | Stmt.Push_dep (a, b) ->
+      fprintf fmt "%s.push_dep_to(%s)" (Stmt.pipe_to_string a) (Stmt.pipe_to_string b)
+  | Stmt.Pop_dep (a, b) ->
+      fprintf fmt "%s.pop_dep_from(%s)" (Stmt.pipe_to_string b) (Stmt.pipe_to_string a)
+  | Stmt.Skip -> fprintf fmt "pass"
+
+let stmt_to_string s = asprintf "@[<v>%a@]" pp_stmt s

@@ -1,0 +1,58 @@
+(** Simplification passes.
+
+    The smart constructors in {!Expr} fold constants at construction
+    time; these passes re-apply them after substitution (which can
+    expose new constants) and prune trivial control flow. *)
+
+(** Deep re-normalization of an expression: rebuilding through the
+    smart constructors folds any constants exposed by substitution. *)
+let expr e = Visit.map_expr Fun.id e
+
+let rec stmt (s : Stmt.t) : Stmt.t =
+  match s with
+  | Stmt.Store (b, idx, v) -> Stmt.Store (b, List.map expr idx, expr v)
+  | Stmt.For l -> (
+      let min_ = expr l.Stmt.min_ and extent = expr l.Stmt.extent in
+      let body = stmt l.Stmt.body in
+      match extent with
+      | Expr.IntImm 0 -> Stmt.Skip
+      | Expr.IntImm 1 -> stmt (Stmt.Let_stmt (l.Stmt.loop_var, min_, body))
+      | _ -> Stmt.For { l with min_; extent; body })
+  | Stmt.If_then_else (c, t, e) -> (
+      match expr c with
+      | Expr.IntImm 0 -> ( match e with Some e -> stmt e | None -> Stmt.Skip)
+      | Expr.IntImm _ -> stmt t
+      | c -> (
+          match (stmt t, Option.map stmt e) with
+          | Stmt.Skip, None -> Stmt.Skip
+          | t, Some Stmt.Skip -> Stmt.If_then_else (c, t, None)
+          | t, e -> Stmt.If_then_else (c, t, e)))
+  | Stmt.Let_stmt (v, e, b) -> (
+      let e = expr e in
+      match e with
+      | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ ->
+          (* Cheap values: substitute through. *)
+          stmt (Visit.subst_var_stmt v e b)
+      | _ -> Stmt.Let_stmt (v, e, stmt b))
+  | Stmt.Seq ss ->
+      let ss = List.map stmt ss in
+      let ss = List.concat_map Stmt.flatten_seq ss in
+      Stmt.seq ss
+  | Stmt.Allocate (b, body) -> (
+      match stmt body with Stmt.Skip -> Stmt.Skip | body -> Stmt.Allocate (b, body))
+  | Stmt.Evaluate e -> Stmt.Evaluate (expr e)
+  | Stmt.Call_intrin ic ->
+      Stmt.Call_intrin
+        {
+          ic with
+          Stmt.inputs = List.map (fun (b, idx) -> (b, List.map expr idx)) ic.Stmt.inputs;
+          Stmt.output = (fst ic.Stmt.output, List.map expr (snd ic.Stmt.output));
+        }
+  | Stmt.Dma_copy d ->
+      Stmt.Dma_copy
+        {
+          d with
+          Stmt.dma_src_base = List.map expr d.Stmt.dma_src_base;
+          Stmt.dma_dst_base = List.map expr d.Stmt.dma_dst_base;
+        }
+  | Stmt.Barrier | Stmt.Push_dep _ | Stmt.Pop_dep _ | Stmt.Skip -> s

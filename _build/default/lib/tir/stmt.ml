@@ -1,0 +1,180 @@
+(** Statements of the low-level loop IR.
+
+    This is the program representation that schedules are lowered into
+    (Fig 5/6 of the paper), that the functional interpreter executes,
+    that the timing models analyze, and that the VDLA assembler
+    translates into accelerator instruction streams. *)
+
+(** DAE pipeline stages of a TPU-like accelerator (Fig 9): memory load
+    unit, compute unit, memory store unit. Dependence tokens flow
+    between them. *)
+type pipe = Ld | Ex | St
+
+let pipe_to_string = function Ld -> "ld" | Ex -> "ex" | St -> "st"
+
+(** Loop annotations. [Serial] is plain; [Parallel]/[Vectorized]/
+    [Unrolled] mirror Halide; [Thread_binding] maps a loop onto a GPU
+    thread index (§4.2); [Vthread] is the paper's virtual-threading
+    primitive for latency hiding (§4.4), erased by
+    {!Tvm_lower.Vthread_lower} before execution. *)
+type for_kind =
+  | Serial
+  | Parallel
+  | Vectorized
+  | Unrolled
+  | Thread_binding of string  (** e.g. "blockIdx.x", "threadIdx.y" *)
+  | Vthread
+
+let for_kind_to_string = function
+  | Serial -> "for"
+  | Parallel -> "parallel"
+  | Vectorized -> "vectorized"
+  | Unrolled -> "unrolled"
+  | Thread_binding tag -> "bind[" ^ tag ^ "]"
+  | Vthread -> "vthread"
+
+type t =
+  | Store of Expr.buffer * Expr.t list * Expr.t
+  | For of for_loop
+  | If_then_else of Expr.t * t * t option
+  | Let_stmt of Expr.var * Expr.t * t
+  | Seq of t list
+  | Allocate of Expr.buffer * t
+      (** Scoped allocation: buffer live for the body only. *)
+  | Barrier  (** GPU thread-group memory barrier (§4.2). *)
+  | Evaluate of Expr.t
+  | Call_intrin of intrin_call
+      (** Tensorized micro-kernel call produced by the tensorize
+          primitive (§4.3): operates on whole sub-regions. *)
+  | Dma_copy of dma
+      (** Accelerator DMA between DRAM-scope and on-chip buffers. *)
+  | Push_dep of pipe * pipe  (** enqueue dependence token from→to (Fig 8) *)
+  | Pop_dep of pipe * pipe  (** dequeue dependence token from→to *)
+  | Skip
+
+and for_loop = {
+  loop_var : Expr.var;
+  min_ : Expr.t;
+  extent : Expr.t;
+  kind : for_kind;
+  body : t;
+}
+
+and intrin_call = {
+  intrin_name : string;  (** key into the tensor-intrinsic registry *)
+  variant : string;  (** "body" | "reset" | "update" (§4.3 lowering) *)
+  inputs : (Expr.buffer * Expr.t list) list;  (** (buffer, base indices) *)
+  output : Expr.buffer * Expr.t list;
+}
+
+and dma = {
+  dma_src : Expr.buffer;
+  dma_src_base : Expr.t list;
+  dma_dst : Expr.buffer;
+  dma_dst_base : Expr.t list;
+  dma_extents : int list;  (** region copied, same rank as both buffers *)
+}
+
+let for_ ?(kind = Serial) loop_var min_ extent body =
+  match extent with
+  | Expr.IntImm 1 ->
+      (* A single-trip loop is just a binding of the loop var. *)
+      Let_stmt (loop_var, min_, body)
+  | _ -> For { loop_var; min_; extent; kind; body }
+
+let seq = function [] -> Skip | [ s ] -> s | ss -> Seq ss
+
+let rec flatten_seq = function
+  | Seq ss -> List.concat_map flatten_seq ss
+  | Skip -> []
+  | s -> [ s ]
+
+(** Iterate [f] over every statement node, pre-order. *)
+let rec iter f stmt =
+  f stmt;
+  match stmt with
+  | Store _ | Barrier | Evaluate _ | Call_intrin _ | Dma_copy _ | Push_dep _
+  | Pop_dep _ | Skip ->
+      ()
+  | For l -> iter f l.body
+  | If_then_else (_, t, e) -> (
+      iter f t;
+      match e with Some e -> iter f e | None -> ())
+  | Let_stmt (_, _, b) -> iter f b
+  | Seq ss -> List.iter (iter f) ss
+  | Allocate (_, b) -> iter f b
+
+(** Rebuild the tree bottom-up with [f] applied to every node. *)
+let rec map f stmt =
+  let stmt =
+    match stmt with
+    | Store _ | Barrier | Evaluate _ | Call_intrin _ | Dma_copy _ | Push_dep _
+    | Pop_dep _ | Skip ->
+        stmt
+    | For l -> For { l with body = map f l.body }
+    | If_then_else (c, t, e) -> If_then_else (c, map f t, Option.map (map f) e)
+    | Let_stmt (v, e, b) -> Let_stmt (v, e, map f b)
+    | Seq ss -> seq (List.map (map f) ss)
+    | Allocate (b, body) -> Allocate (b, map f body)
+  in
+  f stmt
+
+(** Fold over every expression appearing in the statement tree. *)
+let rec fold_exprs f acc stmt =
+  match stmt with
+  | Store (_, idx, v) -> f (List.fold_left f acc idx) v
+  | For l -> fold_exprs f (f (f acc l.min_) l.extent) l.body
+  | If_then_else (c, t, e) ->
+      let acc = fold_exprs f (f acc c) t in
+      (match e with Some e -> fold_exprs f acc e | None -> acc)
+  | Let_stmt (_, e, b) -> fold_exprs f (f acc e) b
+  | Seq ss -> List.fold_left (fold_exprs f) acc ss
+  | Allocate (_, b) -> fold_exprs f acc b
+  | Evaluate e -> f acc e
+  | Call_intrin ic ->
+      let acc =
+        List.fold_left (fun acc (_, idx) -> List.fold_left f acc idx) acc ic.inputs
+      in
+      List.fold_left f acc (snd ic.output)
+  | Dma_copy d -> List.fold_left f (List.fold_left f acc d.dma_src_base) d.dma_dst_base
+  | Barrier | Push_dep _ | Pop_dep _ | Skip -> acc
+
+(** Map [f] over every expression in the statement tree (top-level of
+    each expression only; use with {!Visit.map_expr} for deep maps). *)
+let rec map_exprs f stmt =
+  match stmt with
+  | Store (b, idx, v) -> Store (b, List.map f idx, f v)
+  | For l -> For { l with min_ = f l.min_; extent = f l.extent; body = map_exprs f l.body }
+  | If_then_else (c, t, e) ->
+      If_then_else (f c, map_exprs f t, Option.map (map_exprs f) e)
+  | Let_stmt (v, e, b) -> Let_stmt (v, f e, map_exprs f b)
+  | Seq ss -> seq (List.map (map_exprs f) ss)
+  | Allocate (b, body) -> Allocate (b, map_exprs f body)
+  | Evaluate e -> Evaluate (f e)
+  | Call_intrin ic ->
+      Call_intrin
+        {
+          ic with
+          inputs = List.map (fun (b, idx) -> (b, List.map f idx)) ic.inputs;
+          output = (fst ic.output, List.map f (snd ic.output));
+        }
+  | Dma_copy d ->
+      Dma_copy
+        {
+          d with
+          dma_src_base = List.map f d.dma_src_base;
+          dma_dst_base = List.map f d.dma_dst_base;
+        }
+  | Barrier | Push_dep _ | Pop_dep _ | Skip -> stmt
+
+(** All buffers allocated anywhere inside [stmt]. *)
+let allocated_buffers stmt =
+  let acc = ref [] in
+  iter (function Allocate (b, _) -> acc := b :: !acc | _ -> ()) stmt;
+  List.rev !acc
+
+(** Count statement nodes; used by tests and the TreeRNN featurizer. *)
+let size stmt =
+  let n = ref 0 in
+  iter (fun _ -> incr n) stmt;
+  !n

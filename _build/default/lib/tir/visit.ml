@@ -1,0 +1,101 @@
+(** Deep traversals and substitution over expressions and statements. *)
+
+(** Bottom-up rebuild of an expression with [f] applied at every node. *)
+let rec map_expr f (e : Expr.t) : Expr.t =
+  let e =
+    match e with
+    | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> e
+    | Expr.Binop (op, a, b) -> Expr.binop op (map_expr f a) (map_expr f b)
+    | Expr.Cmp (op, a, b) -> Expr.cmp op (map_expr f a) (map_expr f b)
+    | Expr.And (a, b) -> Expr.and_ (map_expr f a) (map_expr f b)
+    | Expr.Or (a, b) -> Expr.or_ (map_expr f a) (map_expr f b)
+    | Expr.Not a -> Expr.not_ (map_expr f a)
+    | Expr.Select (c, t, fl) -> Expr.select (map_expr f c) (map_expr f t) (map_expr f fl)
+    | Expr.Cast (d, a) -> Expr.cast d (map_expr f a)
+    | Expr.Load (b, idx) -> Expr.Load (b, List.map (map_expr f) idx)
+    | Expr.Call (n, args) -> Expr.Call (n, List.map (map_expr f) args)
+  in
+  f e
+
+let rec fold_expr f acc (e : Expr.t) =
+  let acc = f acc e in
+  match e with
+  | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> acc
+  | Expr.Binop (_, a, b) | Expr.Cmp (_, a, b) | Expr.And (a, b) | Expr.Or (a, b) ->
+      fold_expr f (fold_expr f acc a) b
+  | Expr.Not a | Expr.Cast (_, a) -> fold_expr f acc a
+  | Expr.Select (c, t, fl) -> fold_expr f (fold_expr f (fold_expr f acc c) t) fl
+  | Expr.Load (_, idx) -> List.fold_left (fold_expr f) acc idx
+  | Expr.Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+(** Substitute variables by expressions according to [lookup]. *)
+let subst_expr lookup e =
+  map_expr
+    (function Expr.Var v as e -> (match lookup v with Some e' -> e' | None -> e) | e -> e)
+    e
+
+(** Substitute in every expression of a statement (does not rename
+    binders; lowering guarantees globally unique variable ids). *)
+let subst_stmt lookup stmt = Stmt.map_exprs (subst_expr lookup) stmt
+
+let subst_var_expr v replacement e =
+  subst_expr (fun v' -> if Expr.Var.equal v v' then Some replacement else None) e
+
+let subst_var_stmt v replacement s =
+  subst_stmt (fun v' -> if Expr.Var.equal v v' then Some replacement else None) s
+
+(** Association-list based substitution used by lowering. *)
+let subst_map_expr bindings e =
+  subst_expr (fun v -> List.assoc_opt v.Expr.vid (List.map (fun (v, e) -> (v.Expr.vid, e)) bindings)) e
+
+(** Free variables of an expression (buffer shapes not included). *)
+let free_vars e =
+  fold_expr (fun acc e -> match e with Expr.Var v -> v :: acc | _ -> acc) [] e
+  |> List.sort_uniq Expr.Var.compare
+
+(** All buffers loaded from within an expression. *)
+let loaded_buffers e =
+  fold_expr (fun acc e -> match e with Expr.Load (b, _) -> b :: acc | _ -> acc) [] e
+  |> List.sort_uniq Expr.Buffer.compare
+
+(** Replace loads from buffer [b] via [f idx -> expr]. *)
+let replace_loads b f e =
+  map_expr
+    (function
+      | Expr.Load (b', idx) when Expr.Buffer.equal b b' -> f idx
+      | e -> e)
+    e
+
+(** Rewrite every reference to buffer [old_b] (loads in expressions,
+    stores, DMA endpoints, intrinsic regions) to buffer [new_b],
+    transforming index lists with [remap]. *)
+let retarget_buffer ~old_b ~new_b ~remap stmt =
+  let fix_expr e =
+    map_expr
+      (function
+        | Expr.Load (b, idx) when Expr.Buffer.equal b old_b -> Expr.Load (new_b, remap idx)
+        | e -> e)
+      e
+  in
+  let fix_region (b, idx) =
+    if Expr.Buffer.equal b old_b then (new_b, remap idx) else (b, idx)
+  in
+  Stmt.map
+    (function
+      | Stmt.Store (b, idx, v) when Expr.Buffer.equal b old_b ->
+          Stmt.Store (new_b, remap idx, v)
+      | Stmt.Call_intrin ic ->
+          Stmt.Call_intrin
+            {
+              ic with
+              Stmt.inputs = List.map fix_region ic.Stmt.inputs;
+              Stmt.output = fix_region ic.Stmt.output;
+            }
+      | Stmt.Dma_copy d ->
+          let src, src_base = fix_region (d.Stmt.dma_src, d.Stmt.dma_src_base) in
+          let dst, dst_base = fix_region (d.Stmt.dma_dst, d.Stmt.dma_dst_base) in
+          Stmt.Dma_copy
+            { d with Stmt.dma_src = src; dma_src_base = src_base; dma_dst = dst;
+              dma_dst_base = dst_base }
+      | s -> s)
+    (Stmt.map_exprs fix_expr stmt)

@@ -1,0 +1,1 @@
+lib/vdla/assemble.ml: Dtype Expr Interval Isa List Option Stmt Tvm_schedule Tvm_tir

@@ -1,0 +1,1 @@
+lib/vdla/des.ml: Float Hashtbl Isa List Printf Queue Tvm_sim

@@ -1,0 +1,1 @@
+lib/vdla/des.mli: Isa Tvm_sim

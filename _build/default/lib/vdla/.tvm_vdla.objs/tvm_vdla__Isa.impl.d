@@ -1,0 +1,1 @@
+lib/vdla/isa.ml: Expr Printf Stmt Tvm_tir

@@ -1,0 +1,1 @@
+lib/vdla/vdla_schedule.ml: Assemble Des Dtype Expr Hashtbl Isa Printf Stmt Tvm_lower Tvm_schedule Tvm_sim Tvm_te Tvm_tir

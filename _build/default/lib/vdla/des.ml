@@ -1,0 +1,148 @@
+(** Discrete-event simulation of the VDLA decoupled access-execute
+    pipeline (Fig 9 / Fig 20).
+
+    Three units — memory load (LD), compute (EX), memory store (ST) —
+    each execute their command queue in order. Dependence tokens flow
+    through FIFO queues between unit pairs: a [Pop] blocks its unit
+    until the matching [Push] has completed on the producing unit.
+    Latency hiding is not assumed anywhere: it {e emerges} when the
+    instruction stream (produced by virtual-thread lowering) allows one
+    unit to run ahead of another. *)
+
+module Machine = Tvm_sim.Machine
+
+type stats = {
+  total_cycles : float;
+  ld_busy : float;
+  ex_busy : float;
+  st_busy : float;
+  compute_utilization : float;  (** EX busy fraction of total *)
+  insn_count : int;
+  gemm_flops : float;
+}
+
+exception Deadlock of string
+
+let insn_cycles (accel : Machine.accel) (i : Isa.insn) =
+  match i with
+  | Isa.Dma_load { bytes; _ } | Isa.Dma_store { bytes } ->
+      accel.Machine.dma_setup_cycles +. (bytes /. accel.Machine.dram_bytes_per_cycle)
+  | Isa.Gemm { m; n; k } ->
+      (* The matrix unit retires one m×n MAC wave per cycle along k. *)
+      let waves_m = (m + accel.Machine.gemm_m - 1) / accel.Machine.gemm_m in
+      let waves_n = (n + accel.Machine.gemm_n - 1) / accel.Machine.gemm_n in
+      float_of_int (waves_m * waves_n * k)
+  | Isa.Alu { elems } -> float_of_int ((elems + 15) / 16)
+  | Isa.Push _ | Isa.Pop _ -> 1.
+
+let gemm_flops_of = function
+  | Isa.Gemm { m; n; k } -> 2. *. float_of_int (m * n * k)
+  | Isa.Alu { elems } -> float_of_int elems
+  | Isa.Dma_load _ | Isa.Dma_store _ | Isa.Push _ | Isa.Pop _ -> 0.
+
+type unit_state = {
+  mutable queue : Isa.insn list;
+  mutable time : float;  (** cycle at which the unit becomes free *)
+  mutable busy : float;
+}
+
+(** Run the stream; returns pipeline statistics. *)
+let run (accel : Machine.accel) (stream : Isa.insn list) : stats =
+  let ld = { queue = []; time = 0.; busy = 0. } in
+  let ex = { queue = []; time = 0.; busy = 0. } in
+  let st = { queue = []; time = 0.; busy = 0. } in
+  let unit_state = function Isa.Ld -> ld | Isa.Ex -> ex | Isa.St -> st in
+  (* Partition the stream into per-unit command queues (stream order). *)
+  let rev_q = Hashtbl.create 3 in
+  List.iter
+    (fun i ->
+      let u = Isa.unit_of i in
+      Hashtbl.replace rev_q u (i :: (try Hashtbl.find rev_q u with Not_found -> [])))
+    stream;
+  List.iter
+    (fun u -> (unit_state u).queue <- List.rev (try Hashtbl.find rev_q u with Not_found -> []))
+    [ Isa.Ld; Isa.Ex; Isa.St ];
+  (* Token queues: completion times of pushes, consumed FIFO by pops. *)
+  let tokens : (Isa.unit_ * Isa.unit_, float Queue.t) Hashtbl.t = Hashtbl.create 6 in
+  let token_q edge =
+    match Hashtbl.find_opt tokens edge with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace tokens edge q;
+        q
+  in
+  let gemm_flops = ref 0. in
+  let insn_count = List.length stream in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun u ->
+        let st_u = unit_state u in
+        let continue_ = ref true in
+        while !continue_ do
+          match st_u.queue with
+          | [] -> continue_ := false
+          | insn :: rest -> (
+              match insn with
+              | Isa.Pop { from_; to_ } ->
+                  let q = token_q (from_, to_) in
+                  if Queue.is_empty q then continue_ := false
+                  else begin
+                    let ready = Queue.pop q in
+                    st_u.time <- Float.max st_u.time ready +. 1.;
+                    st_u.queue <- rest;
+                    progress := true
+                  end
+              | Isa.Push { from_; to_ } ->
+                  st_u.time <- st_u.time +. 1.;
+                  Queue.push st_u.time (token_q (from_, to_));
+                  st_u.queue <- rest;
+                  progress := true
+              | _ ->
+                  let dur = insn_cycles accel insn in
+                  st_u.time <- st_u.time +. dur;
+                  st_u.busy <- st_u.busy +. dur;
+                  gemm_flops := !gemm_flops +. gemm_flops_of insn;
+                  st_u.queue <- rest;
+                  progress := true)
+        done)
+      [ Isa.Ld; Isa.Ex; Isa.St ]
+  done;
+  (match (ld.queue, ex.queue, st.queue) with
+  | [], [], [] -> ()
+  | _ ->
+      raise
+        (Deadlock
+           (Printf.sprintf "vdla pipeline deadlock: %d ld / %d ex / %d st commands stuck"
+              (List.length ld.queue) (List.length ex.queue) (List.length st.queue))));
+  let total = Float.max ld.time (Float.max ex.time st.time) in
+  {
+    total_cycles = total;
+    ld_busy = ld.busy;
+    ex_busy = ex.busy;
+    st_busy = st.busy;
+    compute_utilization = (if total > 0. then ex.busy /. total else 0.);
+    insn_count;
+    gemm_flops = !gemm_flops;
+  }
+
+let time_s (accel : Machine.accel) stats =
+  stats.total_cycles /. (accel.Machine.accel_freq_mhz *. 1e6)
+
+(** Achieved GOPS and operational intensity (ops per DRAM byte) — the
+    coordinates of Fig 10's roofline points. *)
+let roofline_point (accel : Machine.accel) (stream : Isa.insn list) stats =
+  let dram_bytes =
+    List.fold_left
+      (fun acc i ->
+        match i with
+        | Isa.Dma_load { bytes; _ } | Isa.Dma_store { bytes } -> acc +. bytes
+        | Isa.Gemm _ | Isa.Alu _ | Isa.Push _ | Isa.Pop _ -> acc)
+      0. stream
+  in
+  let seconds = time_s accel stats in
+  let gops = stats.gemm_flops /. 1e9 /. seconds in
+  let intensity = if dram_bytes > 0. then stats.gemm_flops /. dram_bytes else 0. in
+  (intensity, gops)

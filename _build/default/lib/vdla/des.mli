@@ -1,0 +1,37 @@
+(** Discrete-event simulation of the VDLA decoupled access-execute
+    pipeline (Fig 9 / Fig 20).
+
+    Three units — memory load (LD), compute (EX), memory store (ST) —
+    each execute their command queue in order; dependence tokens flow
+    through FIFO queues between unit pairs, and a [Pop] blocks its unit
+    until the matching [Push] has completed on the producing unit.
+    Latency hiding is not assumed anywhere: it {e emerges} when the
+    instruction stream (produced by virtual-thread lowering) lets one
+    unit run ahead of another. *)
+
+module Machine = Tvm_sim.Machine
+
+type stats = {
+  total_cycles : float;
+  ld_busy : float;
+  ex_busy : float;
+  st_busy : float;
+  compute_utilization : float;  (** EX busy fraction of total *)
+  insn_count : int;
+  gemm_flops : float;
+}
+
+(** Raised when a [Pop] can never be satisfied — a malformed stream. *)
+exception Deadlock of string
+
+(** Cycle cost of one instruction on the given machine. *)
+val insn_cycles : Machine.accel -> Isa.insn -> float
+
+(** Run the stream to completion. *)
+val run : Machine.accel -> Isa.insn list -> stats
+
+val time_s : Machine.accel -> stats -> float
+
+(** Achieved (ops/byte, GOPS) — the coordinates of a Fig 10 roofline
+    point. *)
+val roofline_point : Machine.accel -> Isa.insn list -> stats -> float * float

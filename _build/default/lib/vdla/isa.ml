@@ -1,0 +1,42 @@
+(** VDLA instruction set (Fig 20).
+
+    The accelerator is programmed as a tensor processor: DMA loads into
+    the on-chip INPUT/WEIGHT memories, GEMM/ALU operations against the
+    register file, DMA stores back to DRAM, and explicit dependence
+    token push/pop between the load (LD), compute (EX) and store (ST)
+    units — the ISA-level form of Fig 9's queues. *)
+
+open Tvm_tir
+
+type unit_ = Ld | Ex | St
+
+let unit_of_pipe = function Stmt.Ld -> Ld | Stmt.Ex -> Ex | Stmt.St -> St
+let unit_name = function Ld -> "ld" | Ex -> "ex" | St -> "st"
+
+type insn =
+  | Dma_load of { bytes : float; dst_scope : Expr.scope }
+  | Dma_store of { bytes : float }
+  | Gemm of { m : int; n : int; k : int }
+  | Alu of { elems : int }
+  | Push of { from_ : unit_; to_ : unit_ }
+  | Pop of { from_ : unit_; to_ : unit_ }
+
+(** The unit whose command queue executes the instruction. Pushes run
+    on the producing unit, pops on the consuming unit. *)
+let unit_of = function
+  | Dma_load _ -> Ld
+  | Dma_store _ -> St
+  | Gemm _ | Alu _ -> Ex
+  | Push { from_; _ } -> from_
+  | Pop { to_; _ } -> to_
+
+let to_string = function
+  | Dma_load { bytes; dst_scope } ->
+      Printf.sprintf "ld.dma %.0fB -> %s" bytes (Expr.scope_to_string dst_scope)
+  | Dma_store { bytes } -> Printf.sprintf "st.dma %.0fB -> dram" bytes
+  | Gemm { m; n; k } -> Printf.sprintf "ex.gemm %dx%dx%d" m n k
+  | Alu { elems } -> Printf.sprintf "ex.alu %d" elems
+  | Push { from_; to_ } ->
+      Printf.sprintf "%s.push_dep_to(%s)" (unit_name from_) (unit_name to_)
+  | Pop { from_; to_ } ->
+      Printf.sprintf "%s.pop_dep_from(%s)" (unit_name to_) (unit_name from_)

@@ -1,0 +1,132 @@
+(** Accelerator schedules for VDLA (§6.4).
+
+    Convolutions are offloaded as tiled GEMMs over im2col-transformed
+    activations (the host CPU performs the layout transformation, as on
+    the PYNQ system where "operations like residual layers and
+    activations were also performed on the CPU"). The schedule uses
+    every TVM-specific primitive the paper lists for accelerators:
+    special memory scopes (INPUT/WEIGHT/ACCUM SRAMs), tensorization
+    onto the 16×16 GEMM intrinsic, and virtual threading for latency
+    hiding. *)
+
+open Tvm_tir
+module Tensor = Tvm_te.Tensor
+module Sched = Tvm_schedule.Sched
+module Iter_var = Tvm_schedule.Iter_var
+module Tensor_intrin = Tvm_schedule.Tensor_intrin
+module Lower = Tvm_lower.Lower
+module Vthread_lower = Tvm_lower.Vthread_lower
+module Machine = Tvm_sim.Machine
+
+(** GEMM intrinsics of the matrix unit, one per reduction depth the
+    schedule stages through SRAM (the unit accumulates along k). *)
+let gemm_intrin =
+  let cache = Hashtbl.create 4 in
+  fun kchunk ->
+    match Hashtbl.find_opt cache kchunk with
+    | Some i -> i
+    | None ->
+        let i = Tensor_intrin.gemm 16 16 kchunk in
+        Hashtbl.replace cache kchunk i;
+        i
+
+type workload = {
+  wl_a : Tensor.t;  (** activations, [m; k] int8 *)
+  wl_w : Tensor.t;  (** weights, [n; k] int8 *)
+  wl_c : Tensor.t;  (** output, [m; n] int32 *)
+  wl_m : int;
+  wl_n : int;
+  wl_k : int;
+}
+
+let round_up x q = (x + q - 1) / q * q
+
+(** Build the [m;k]×[n;k] → [m;n] GEMM workload (int8 → int32). *)
+let gemm_workload ?(name = "vdla_gemm") ~m ~n ~k () : workload =
+  if m mod 16 <> 0 || n mod 16 <> 0 || k mod 16 <> 0 then
+    invalid_arg "gemm_workload: dims must be multiples of 16 (pad first)";
+  let a = Tensor.placeholder ~dtype:Dtype.Int8 (name ^ "_A") [ Expr.int m; Expr.int k ] in
+  let w = Tensor.placeholder ~dtype:Dtype.Int8 (name ^ "_W") [ Expr.int n; Expr.int k ] in
+  let rk = Tensor.reduce_axis ~name:"k" k in
+  let c =
+    Tensor.compute_reduce ~dtype:Dtype.Int32 name [ Expr.int m; Expr.int n ]
+      ~raxes:[ rk ] (fun idx ->
+        match idx with
+        | [ y; x ] ->
+            Expr.binop Expr.Mul
+              (Tensor.read a [ y; Tensor.rvar rk ])
+              (Tensor.read w [ x; Tensor.rvar rk ])
+        | _ -> invalid_arg "gemm_workload")
+  in
+  { wl_a = a; wl_w = w; wl_c = c; wl_m = m; wl_n = n; wl_k = k }
+
+(** Lower the workload for VDLA. [vthreads = 1] produces the
+    no-latency-hiding stream; [vthreads >= 2] exposes pipeline
+    parallelism through virtual threading (§4.4). *)
+let schedule ?(vthreads = 2) ?(kchunk = 64) (wl : workload) : Stmt.t =
+  let kchunk = if wl.wl_k mod kchunk = 0 then kchunk else 16 in
+  let intrin = gemm_intrin kchunk in
+  let sched = Sched.create [ wl.wl_c ] in
+  let out_st = Sched.find sched wl.wl_c in
+  let cl = Sched.cache_write sched out_st Expr.Accel_acc in
+  (* Output tiling into 16×16 blocks, grouped into virtual threads. *)
+  let y = Sched.axis out_st 0 and x = Sched.axis out_st 1 in
+  let yo, xo, _yi, _xi = Sched.tile out_st y x ~y_factor:16 ~x_factor:16 in
+  let t = Sched.fuse out_st yo xo in
+  let tiles = (wl.wl_m / 16) * (wl.wl_n / 16) in
+  let vthreads = max 1 (min vthreads tiles) in
+  if tiles mod vthreads <> 0 then
+    invalid_arg "vdla schedule: tile count must divide the vthread count";
+  let _to_, tv = Sched.split out_st t ~factor:vthreads in
+  if vthreads > 1 then Sched.vthread out_st tv;
+  Sched.compute_at cl ~target:out_st ~level:tv;
+  (* Reduction chunking: one [kchunk]-deep GEMM wave per on-chip load. *)
+  let rk = Sched.reduce_axis cl 0 in
+  let ko, ki = Sched.split cl rk ~factor:kchunk in
+  Sched.reorder cl ((ko :: cl.Sched.s_root_axes) @ [ ki ]);
+  (match cl.Sched.s_root_axes with
+  | first :: _ -> Sched.tensorize cl first intrin
+  | [] -> assert false);
+  (* Stage operands into the INPUT and WEIGHT SRAMs per k-chunk. *)
+  let inp = Sched.cache_read sched (Tensor.buffer wl.wl_a) Expr.Accel_inp [ cl ] in
+  Sched.compute_at inp ~target:cl ~level:ko;
+  let wgt = Sched.cache_read sched (Tensor.buffer wl.wl_w) Expr.Accel_wgt [ cl ] in
+  Sched.compute_at wgt ~target:cl ~level:ko;
+  let lowered = Lower.lower ~target:Lower.Accel sched in
+  Vthread_lower.run lowered
+
+(** Assemble + simulate; checks SRAM capacity. *)
+let simulate ?(accel = Machine.vdla) ?(vthreads = 2) ?(kchunk = 64) (wl : workload) :
+    Isa.insn list * Des.stats =
+  let stmt = schedule ~vthreads ~kchunk wl in
+  let inp, wgt, acc = Assemble.sram_usage stmt in
+  if inp > float_of_int accel.Machine.inp_sram_bytes then
+    invalid_arg "vdla: INPUT SRAM overflow";
+  if wgt > float_of_int accel.Machine.wgt_sram_bytes then
+    invalid_arg "vdla: WEIGHT SRAM overflow";
+  if acc > float_of_int accel.Machine.acc_sram_bytes then
+    invalid_arg "vdla: ACCUM SRAM overflow";
+  let stream = Assemble.run stmt in
+  (stream, Des.run accel stream)
+
+(** GEMM dimensions of a conv2d layer lowered by im2col, padded to the
+    matrix-unit granularity. *)
+let conv_as_gemm ~h ~w ~ic ~oc ~kernel ~stride =
+  let oh = ((h - kernel) / stride) + 1 + (if kernel = 1 then 0 else 0) in
+  (* SAME padding: out spatial = ceil(in/stride). *)
+  let oh = max oh ((h + stride - 1) / stride) in
+  let ow = oh in
+  ignore w;
+  let m = round_up (oh * ow) 16 in
+  let n = round_up oc 16 in
+  let k = round_up (ic * kernel * kernel) 16 in
+  (m, n, k)
+
+(** Wall-clock for running a conv layer on VDLA, plus utilization. *)
+let conv_layer_time ?(accel = Machine.vdla) ?(vthreads = 2) ?(kchunk = 64) ~h ~w ~ic
+    ~oc ~kernel ~stride () =
+  let m, n, k = conv_as_gemm ~h ~w ~ic ~oc ~kernel ~stride in
+  let wl = gemm_workload ~name:(Printf.sprintf "conv_%dx%d_%d_%d" h w ic oc) ~m ~n ~k () in
+  let stream, stats = simulate ~accel ~vthreads ~kchunk wl in
+  ignore stream;
+  (Des.time_s accel stats, stats)

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Array Expr Float Hashtbl List Printf QCheck QCheck_alcotest Random Test_helpers Tvm_autotune Tvm_rpc Tvm_sim Tvm_te Tvm_tir

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Float List String Test_helpers Tvm Tvm_baselines Tvm_graph Tvm_models Tvm_nd Tvm_runtime Tvm_sim Tvm_tir

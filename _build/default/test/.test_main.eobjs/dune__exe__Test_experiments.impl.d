@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dtype List Printf Test_helpers Tvm_baselines Tvm_experiments Tvm_graph Tvm_models Tvm_sim Tvm_tir Tvm_vdla

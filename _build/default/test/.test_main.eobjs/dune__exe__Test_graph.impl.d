@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Hashtbl List Test_helpers Tvm_graph Tvm_models Tvm_nd Tvm_runtime

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest List Tvm_lower Tvm_nd Tvm_schedule Tvm_sim Tvm_te Tvm_tir

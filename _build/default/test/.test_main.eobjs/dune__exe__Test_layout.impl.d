@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest List Test_helpers Tvm_graph Tvm_models Tvm_nd

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Expr List QCheck QCheck_alcotest Random Stmt Test_helpers Tvm_lower Tvm_nd Tvm_schedule Tvm_sim Tvm_te Tvm_tir

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_autotune Test_e2e Test_experiments Test_graph Test_layout Test_lower Test_schedule Test_sim Test_te Test_tir Test_vthread Tvm_graph

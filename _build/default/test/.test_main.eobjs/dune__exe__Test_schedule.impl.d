@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Expr List Printf Test_helpers Tvm_schedule Tvm_te Tvm_tir

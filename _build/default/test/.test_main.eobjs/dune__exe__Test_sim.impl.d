@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dtype Expr List Stmt Test_helpers Tvm_autotune Tvm_lower Tvm_nd Tvm_rpc Tvm_schedule Tvm_sim Tvm_te Tvm_tir

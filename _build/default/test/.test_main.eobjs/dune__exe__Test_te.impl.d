@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Dtype Expr Float List Test_helpers Tvm_nd Tvm_te Tvm_tir

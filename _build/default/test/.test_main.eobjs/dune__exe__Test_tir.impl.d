@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Analysis Dtype Expr Fun Interval List Printer QCheck QCheck_alcotest Simplify Stmt Tvm_nd Tvm_tir Visit

@@ -1,0 +1,1 @@
+test/test_vthread.ml: Alcotest Dtype Hashtbl List Printf Test_helpers Tvm_lower Tvm_nd Tvm_sim Tvm_te Tvm_tir Tvm_vdla

@@ -1,0 +1,206 @@
+(* Automation-layer tests: configuration spaces, the GBT cost model,
+   the explorers, and the tuning loop (§5). *)
+
+open Tvm_tir
+module Cfg = Tvm_autotune.Cfg_space
+module Gbt = Tvm_autotune.Gbt
+module Feature = Tvm_autotune.Feature
+module Explorers = Tvm_autotune.Explorers
+module Tuner = Tvm_autotune.Tuner
+module Templates = Tvm_autotune.Templates
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+module Pool = Tvm_rpc.Device_pool
+module Machine = Tvm_sim.Machine
+open Test_helpers
+
+let small_space () =
+  Cfg.space
+    [ Cfg.knob "a" [ 1; 2; 4 ]; Cfg.knob "b" [ 0; 1 ]; Cfg.knob "c" [ 3; 5; 7; 9 ] ]
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (Cfg.divisors 12);
+  Alcotest.(check (list int)) "capped" [ 1; 2; 3; 4 ] (Cfg.divisors_upto 12 5)
+
+let test_space_size () =
+  Alcotest.(check int) "3*2*4" 24 (Cfg.size (small_space ()))
+
+let config_roundtrip =
+  QCheck.Test.make ~name:"config index bijection" ~count:100
+    QCheck.(int_range 0 23)
+    (fun idx ->
+      let s = small_space () in
+      Cfg.index_of s (Cfg.config_at s idx) = idx)
+
+let mutate_stays_valid =
+  QCheck.Test.make ~name:"mutation keeps values in choice sets" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let s = small_space () in
+      let rng = Random.State.make [| seed |] in
+      let cfg = Cfg.mutate s rng (Cfg.random_config s rng) in
+      List.for_all
+        (fun k -> Array.exists (fun c -> c = Cfg.get cfg k.Cfg.k_name) k.Cfg.k_choices)
+        s.Cfg.knobs)
+
+let test_crossover () =
+  let s = small_space () in
+  let rng = Random.State.make [| 1 |] in
+  let a = Cfg.random_config s rng and b = Cfg.random_config s rng in
+  let child = Cfg.crossover rng a b in
+  List.iter
+    (fun (k, v) ->
+      checkb "gene from a parent" (v = Cfg.get a k || v = Cfg.get b k))
+    child
+
+(* ------------------------------------------------------------------ *)
+(* GBT                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let synth_data n f =
+  let rng = Random.State.make [| 11 |] in
+  let xs =
+    Array.init n (fun _ -> Array.init 6 (fun _ -> Random.State.float rng 1.))
+  in
+  let ys = Array.map f xs in
+  (xs, ys)
+
+let test_gbt_learns_nonlinear () =
+  let f x = (x.(0) *. x.(1)) +. (if x.(2) > 0.5 then 1. else 0.) -. x.(3) in
+  let xs, ys = synth_data 300 f in
+  let train_x = Array.sub xs 0 200 and train_y = Array.sub ys 0 200 in
+  let test_x = Array.sub xs 200 100 and test_y = Array.sub ys 200 100 in
+  let model = Gbt.fit ~params:{ Gbt.default_params with Gbt.obj = Gbt.Regression } train_x train_y in
+  let acc = Gbt.rank_accuracy model test_x test_y in
+  checkb (Printf.sprintf "rank accuracy %.2f > 0.8" acc) (acc > 0.8)
+
+let test_gbt_rank_objective () =
+  let f x = 10. *. x.(0) in
+  let xs, ys = synth_data 100 f in
+  let model = Gbt.fit ~params:{ Gbt.default_params with Gbt.obj = Gbt.Rank } xs ys in
+  let acc = Gbt.rank_accuracy model xs ys in
+  checkb "rank objective orders correctly" (acc > 0.9)
+
+let test_gbt_empty () =
+  let model = Gbt.fit [||] [||] in
+  Alcotest.(check (float 1e-9)) "empty model predicts base" 0. (Gbt.predict model (Array.make 6 0.))
+
+let test_transform_targets () =
+  let ranked = Gbt.transform_targets Gbt.Rank [| 5.; 1.; 3. |] in
+  checkb "rank order" (ranked.(1) < ranked.(2) && ranked.(2) < ranked.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Features                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let conv_template () =
+  let d = Tensor.placeholder "at_d" (List.map Expr.int [ 1; 16; 8; 8 ]) in
+  let w = Tensor.placeholder "at_w" (List.map Expr.int [ 16; 16; 3; 3 ]) in
+  let c = Op.conv2d ~name:"at_conv" ~stride:1 d w in
+  Templates.gpu_flat ~name:"at_tpl" c
+
+let test_feature_extraction () =
+  let tpl = conv_template () in
+  let rng = Random.State.make [| 5 |] in
+  let rec get_stmt n =
+    if n = 0 then Alcotest.fail "no valid config found"
+    else
+      let cfg = Cfg.random_config tpl.Tuner.tpl_space rng in
+      match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+      | Some s -> s
+      | None -> get_stmt (n - 1)
+  in
+  let stmt = get_stmt 100 in
+  let f = Feature.extract stmt in
+  Alcotest.(check int) "fixed length" Feature.length (Array.length f);
+  checkb "flops feature positive" (f.(0) > 0.);
+  (* determinism *)
+  checkb "deterministic" (Feature.extract stmt = f)
+
+(* ------------------------------------------------------------------ *)
+(* Explorers + tuner                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_batch_dedups () =
+  let s = small_space () in
+  let rng = Random.State.make [| 2 |] in
+  let visited = Hashtbl.create 16 in
+  let batch = Explorers.random_batch s rng ~visited ~batch:10 in
+  let hashes = List.map Cfg.hash batch in
+  Alcotest.(check int) "no duplicates" (List.length hashes)
+    (List.length (List.sort_uniq compare hashes))
+
+let measure_fn_for machine =
+  let pool = Pool.create [ Pool.Gpu_dev machine ] in
+  Pool.measure_fn pool ~kind_pred:(fun _ -> true)
+
+let test_tuner_improves () =
+  let tpl = conv_template () in
+  let measure = measure_fn_for Machine.titan_x in
+  let res = Tuner.tune ~seed:3 ~method_:Tuner.Ml_model ~measure ~n_trials:48 tpl in
+  checkb "found a finite config" (Float.is_finite res.Tuner.best_time);
+  (* best-so-far is monotone *)
+  let rec mono best = function
+    | [] -> true
+    | (t : Tuner.trial) :: rest ->
+        t.Tuner.best_so_far <= best +. 1e-12 && mono t.Tuner.best_so_far rest
+  in
+  checkb "best-so-far monotone" (mono Float.infinity res.Tuner.history);
+  Alcotest.(check int) "exactly n trials" 48 (List.length res.Tuner.history)
+
+let test_ml_beats_random_on_budget () =
+  let tpl = conv_template () in
+  let run m =
+    (Tuner.tune ~seed:9 ~method_:m ~measure:(measure_fn_for Machine.titan_x)
+       ~n_trials:40 tpl)
+      .Tuner.best_time
+  in
+  let ml = run Tuner.Ml_model and rand = run Tuner.Random_search in
+  (* allow a small tolerance: with tiny budgets random can tie *)
+  checkb
+    (Printf.sprintf "ml (%.4g) <= 1.25 * random (%.4g)" ml rand)
+    (ml <= rand *. 1.25)
+
+let test_measurement_deterministic () =
+  let tpl = conv_template () in
+  let rng = Random.State.make [| 17 |] in
+  let rec valid n =
+    if n = 0 then Alcotest.fail "no valid cfg"
+    else
+      let cfg = Cfg.random_config tpl.Tuner.tpl_space rng in
+      match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+      | Some s -> (cfg, s)
+      | None -> valid (n - 1)
+  in
+  let cfg, stmt = valid 100 in
+  let m1 = measure_fn_for Machine.titan_x cfg stmt in
+  let m2 = measure_fn_for Machine.titan_x cfg stmt in
+  Alcotest.(check (float 1e-12)) "same config same measurement" m1 m2
+
+let test_db_best () =
+  let db = Tuner.Db.create () in
+  Tuner.Db.add db "k" [ ("a", 1) ] 0.5;
+  Tuner.Db.add db "k" [ ("a", 2) ] 0.3;
+  Tuner.Db.add db "other" [ ("a", 3) ] 0.1;
+  match Tuner.Db.best db "k" with
+  | Some r -> Alcotest.(check (float 1e-9)) "best time" 0.3 r.Tuner.Db.db_time
+  | None -> Alcotest.fail "expected a record"
+
+let suite =
+  [
+    Alcotest.test_case "divisors" `Quick test_divisors;
+    Alcotest.test_case "space size" `Quick test_space_size;
+    QCheck_alcotest.to_alcotest config_roundtrip;
+    QCheck_alcotest.to_alcotest mutate_stays_valid;
+    Alcotest.test_case "crossover" `Quick test_crossover;
+    Alcotest.test_case "gbt learns nonlinear" `Quick test_gbt_learns_nonlinear;
+    Alcotest.test_case "gbt rank objective" `Quick test_gbt_rank_objective;
+    Alcotest.test_case "gbt empty" `Quick test_gbt_empty;
+    Alcotest.test_case "rank transform" `Quick test_transform_targets;
+    Alcotest.test_case "feature extraction" `Quick test_feature_extraction;
+    Alcotest.test_case "random batch dedups" `Quick test_random_batch_dedups;
+    Alcotest.test_case "tuner improves" `Quick test_tuner_improves;
+    Alcotest.test_case "ml >= random on budget" `Quick test_ml_beats_random_on_budget;
+    Alcotest.test_case "deterministic measurement" `Quick test_measurement_deterministic;
+    Alcotest.test_case "tuning database" `Quick test_db_best;
+  ]

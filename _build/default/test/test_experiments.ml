@@ -1,0 +1,126 @@
+(* Invariants of the baselines and the experiment harness: these encode
+   the paper's qualitative claims as assertions, so a regression in the
+   models or templates that would flip a figure's story fails the suite. *)
+
+open Tvm_tir
+module Vendor = Tvm_baselines.Vendor
+module Framework = Tvm_baselines.Framework
+module Machine = Tvm_sim.Machine
+module Models = Tvm_models.Models
+module Fm = Tvm_experiments.Fig_micro
+module Fe = Tvm_experiments.Fig_e2e
+module Des = Tvm_vdla.Des
+module V = Tvm_vdla.Vdla_schedule
+module Exp_util = Tvm_experiments.Exp_util
+open Test_helpers
+
+let gpu = Vendor.Gpu_m Machine.titan_x
+let cpu = Vendor.Cpu_m Machine.arm_a53
+
+let conv_time ?(lib = Vendor.Cudnn) ?(machine = gpu) ~ic ~oc ~hw ~kernel ~stride () =
+  Vendor.op_time lib machine ~op:"conv2d"
+    ~in_shapes:[ [ 1; ic; hw; hw ]; [ oc; ic; kernel; kernel ] ]
+    ~out_shape:
+      [ 1; oc; ((hw + kernel - 1) / stride) + 0; ((hw + kernel - 1) / stride) + 0 ]
+    ~attrs:[ ("stride", Tvm_graph.Attrs.Int stride) ]
+    ~dtype:Dtype.Float32
+
+(* ------------------------------------------------------------------ *)
+(* Vendor model invariants                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cudnn_shape_sensitivity () =
+  (* cuDNN is strong on 3x3 and weak on the unconventional 4x4 s2
+     (DQN's operator, the paper's §6.1 explanation for the 3.8x). *)
+  let t33 = conv_time ~ic:64 ~oc:64 ~hw:28 ~kernel:3 ~stride:1 () in
+  let t44 = conv_time ~ic:64 ~oc:64 ~hw:28 ~kernel:4 ~stride:2 () in
+  (* 4x4 s2 has ~same flops per output but runs at much lower eff *)
+  checkb "4x4s2 disproportionately slow" (t44 > t33 /. 4.)
+
+let test_vendor_dtype_scaling () =
+  let t32 =
+    Vendor.op_time Vendor.Arm_compute_lib (Vendor.Gpu_m Machine.mali_t860)
+      ~op:"dense" ~in_shapes:[ [ 64; 512 ]; [ 512; 512 ] ] ~out_shape:[ 64; 512 ]
+      ~attrs:[] ~dtype:Dtype.Float32
+  in
+  let t16 =
+    Vendor.op_time Vendor.Arm_compute_lib (Vendor.Gpu_m Machine.mali_t860)
+      ~op:"dense" ~in_shapes:[ [ 64; 512 ]; [ 512; 512 ] ] ~out_shape:[ 64; 512 ]
+      ~attrs:[] ~dtype:Dtype.Float16
+  in
+  checkb "fp16 faster on Mali ACL" (t16 < t32)
+
+let test_framework_dispatch_overhead () =
+  (* More kernels, more dispatch: the unfused frameworks pay per-op. *)
+  let g = Models.lstm_lm ~hidden:64 ~layers:1 ~vocab:100 () in
+  let tf = Framework.run_time_s Framework.tensorflow gpu g in
+  let xla = Framework.run_time_s Framework.tensorflow_xla gpu g in
+  checkb "XLA fusion helps elementwise-heavy nets" (xla < tf)
+
+let test_framework_conv_heavy_xla () =
+  (* ...but XLA's generated convolutions lose to cuDNN-backed TF on a
+     conv-dominated network (Fig 14's ResNet ordering). *)
+  let g = Models.resnet18 () in
+  let tf = Framework.run_time_s Framework.tensorflow gpu g in
+  let xla = Framework.run_time_s Framework.tensorflow_xla gpu g in
+  checkb "XLA slower on conv-heavy nets" (xla > tf)
+
+let test_tflite_supports () =
+  checkb "supports resnet" (Framework.supports Framework.tflite (Models.resnet18 ~input_hw:32 ~width:0.25 ()));
+  checkb "rejects dcgan" (not (Framework.supports Framework.tflite (Models.dcgan ~code_dim:8 ~base:4 ())))
+
+let test_mxnet_depthwise_weak () =
+  (* depthwise has no vendor-tuned kernel: large TVM headroom (Fig 15) *)
+  let dw =
+    Vendor.op_time Vendor.Mxnet_kernels gpu ~op:"depthwise_conv2d"
+      ~in_shapes:[ [ 1; 256; 28; 28 ]; [ 256; 1; 3; 3 ] ]
+      ~out_shape:[ 1; 256; 28; 28 ] ~attrs:[] ~dtype:Dtype.Float32
+  in
+  let ideal =
+    Vendor.roofline_s gpu
+      ~flops:(2. *. 256. *. 28. *. 28. *. 9.)
+      ~bytes:(Vendor.op_bytes ~in_shapes:[ [ 1; 256; 28; 28 ]; [ 256; 1; 3; 3 ] ] ~out_shape:[ 1; 256; 28; 28 ] ~dtype:Dtype.Float32)
+      ~dtype:Dtype.Float32
+  in
+  checkb "mxnet depthwise far from roofline" (dw > 3. *. ideal)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment harness smoke checks (fast figures only)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig10_hiding_improves () =
+  (* run one mid-size layer rather than the full figure *)
+  let run vt =
+    let wl = V.gemm_workload ~name:(Printf.sprintf "texp_vt%d" vt) ~m:112 ~n:128 ~k:576 () in
+    let _, stats = V.simulate ~vthreads:vt wl in
+    stats.Des.compute_utilization
+  in
+  let u1 = run 1 and u2 = run 2 in
+  checkb (Printf.sprintf "util %.2f -> %.2f" u1 u2) (u2 > u1)
+
+let test_fig4_fusion_wins () =
+  let rows = Fm.fig4 () in
+  let all = List.concat_map snd rows in
+  (* individual workloads carry search variance; the figure's claim is
+     that fusion helps overall and substantially on elementwise chains *)
+  List.iter (fun s -> checkb "no large fusion regression" (s > 0.7)) all;
+  checkb "fusion wins on average" (Exp_util.geomean all > 1.3)
+
+let test_fig21_amdahl () =
+  let conv_speedup, e2e_speedup = Fe.fig21 () in
+  checkb "conv offload order-of-magnitude" (conv_speedup > 5.);
+  checkb "end-to-end bounded by Amdahl" (e2e_speedup < conv_speedup /. 2.);
+  checkb "end-to-end still a win" (e2e_speedup > 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "cudnn shape sensitivity" `Quick test_cudnn_shape_sensitivity;
+    Alcotest.test_case "vendor fp16 scaling" `Quick test_vendor_dtype_scaling;
+    Alcotest.test_case "xla wins elementwise" `Quick test_framework_dispatch_overhead;
+    Alcotest.test_case "xla loses conv-heavy" `Quick test_framework_conv_heavy_xla;
+    Alcotest.test_case "tflite op support" `Quick test_tflite_supports;
+    Alcotest.test_case "mxnet depthwise weak" `Quick test_mxnet_depthwise_weak;
+    Alcotest.test_case "fig10: hiding improves util" `Slow test_fig10_hiding_improves;
+    Alcotest.test_case "fig4: fusion wins" `Slow test_fig4_fusion_wins;
+    Alcotest.test_case "fig21: amdahl structure" `Slow test_fig21_amdahl;
+  ]

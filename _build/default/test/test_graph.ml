@@ -1,0 +1,201 @@
+(* Graph-level tests: shape inference, fusion rules, constant folding,
+   memory planning, and the reference executor. *)
+
+module G = Tvm_graph.Graph_ir
+module Attrs = Tvm_graph.Attrs
+module Fusion = Tvm_graph.Fusion
+module Const_fold = Tvm_graph.Const_fold
+module Mem_plan = Tvm_graph.Mem_plan
+module R = Tvm_graph.Op_registry
+module Nd = Tvm_nd.Ndarray
+open Test_helpers
+
+let () = Tvm_graph.Std_ops.register_all ()
+
+let conv_bn_relu_graph () =
+  let b = G.builder () in
+  let d = G.input b "d" [ 1; 4; 8; 8 ] in
+  let w = G.param b "w" [ 8; 4; 3; 3 ] in
+  let c = G.op b "conv2d" ~name:"conv" ~attrs:[ ("stride", Attrs.Int 1); ("padding", Attrs.Str "same") ] [ d; w ] in
+  let sc = G.param b "sc" [ 8 ] and sh = G.param b "sh" [ 8 ] in
+  let bn = G.op b "batch_norm" ~name:"bn" [ c; sc; sh ] in
+  let r = G.op b "relu" ~name:"relu" [ bn ] in
+  G.finalize b [ r ]
+
+let test_shape_inference () =
+  let g = conv_bn_relu_graph () in
+  let conv = G.node g 2 in
+  Alcotest.(check (list int)) "conv shape" [ 1; 8; 8; 8 ] conv.G.shape;
+  let b = G.builder () in
+  let d = G.input b "d" [ 1; 4; 9; 9 ] in
+  let w = G.param b "w" [ 8; 4; 4; 4 ] in
+  let c = G.op b "conv2d" ~attrs:[ ("stride", Attrs.Int 2); ("padding", Attrs.Str "valid") ] [ d; w ] in
+  Alcotest.(check (list int)) "valid stride-2" [ 1; 8; 3; 3 ] (G.node_shape b c)
+
+let test_patterns () =
+  checkb "conv complex" (R.pattern "conv2d" = R.Complex_out_fusable);
+  checkb "relu injective" (R.pattern "relu" = R.Injective);
+  checkb "pool reduction" (R.pattern "max_pool2d" = R.Reduction);
+  checkb "softmax opaque" (R.pattern "softmax" = R.Opaque)
+
+let test_fusion_absorbs_epilogue () =
+  let g = conv_bn_relu_graph () in
+  let groups = Fusion.fuse g in
+  Alcotest.(check int) "one group" 1 (List.length groups);
+  let grp = List.hd groups in
+  Alcotest.(check int) "3 ops fused" 3 (Fusion.group_size grp);
+  checkb "anchor is conv"
+    (match (G.node g grp.Fusion.g_anchor).G.kind with
+    | G.Op "conv2d" -> true
+    | _ -> false)
+
+let test_fusion_stops_at_multi_consumer () =
+  (* d -> relu -> (a, b): relu result used twice, must not be absorbed. *)
+  let b = G.builder () in
+  let d = G.input b "d" [ 1; 4 ] in
+  let r = G.op b "relu" [ d ] in
+  let t = G.op b "tanh" [ r ] in
+  let s = G.op b "sigmoid" [ r ] in
+  let out = G.op b "add" [ t; s ] in
+  let g = G.finalize b [ out ] in
+  let groups = Fusion.fuse g in
+  (* relu alone (two consumers), tanh+?; groups must partition the 4 ops *)
+  let total = List.fold_left (fun acc grp -> acc + Fusion.group_size grp) 0 groups in
+  Alcotest.(check int) "all ops covered" 4 total;
+  let relu_group =
+    List.find
+      (fun grp ->
+        List.exists (fun id -> (G.node g id).G.kind = G.Op "relu") grp.Fusion.g_nodes)
+      groups
+  in
+  Alcotest.(check int) "relu not fused forward" 1 (Fusion.group_size relu_group)
+
+let test_fusion_topological () =
+  (* Residual-style: make sure group order respects data deps. *)
+  let g = Tvm_models.Models.resnet18 ~input_hw:32 ~width:0.125 ~num_classes:10 () in
+  let groups = Fusion.fuse g in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun grp ->
+      List.iter
+        (fun input ->
+          (* every group input that is itself some group's output must
+             already have run *)
+          if List.exists (fun g2 -> g2.Fusion.g_output = input) groups then
+            checkb "producer before consumer" (Hashtbl.mem seen input))
+        grp.Fusion.g_inputs;
+      Hashtbl.replace seen grp.Fusion.g_output ())
+    groups
+
+let test_no_fusion_singletons () =
+  let g = conv_bn_relu_graph () in
+  let groups = Fusion.no_fusion g in
+  Alcotest.(check int) "3 singleton groups" 3 (List.length groups);
+  List.iter (fun grp -> Alcotest.(check int) "size 1" 1 (Fusion.group_size grp)) groups
+
+let test_const_fold () =
+  (* relu(param) collapses into a new param; conv(input, ...) stays. *)
+  let b = G.builder () in
+  let d = G.input b "d" [ 2; 2 ] in
+  let p = G.param b "p" [ 2; 2 ] in
+  let pr = G.op b "relu" ~name:"fold_me" [ p ] in
+  let out = G.op b "add" [ d; pr ] in
+  let g = G.finalize b [ out ] in
+  let pv = Nd.of_list [ 2; 2 ] [ -1.; 2.; -3.; 4. ] in
+  let result = Const_fold.run g ~params:[ (p, pv) ] in
+  Alcotest.(check int) "one node folded" 1 result.Const_fold.num_folded;
+  let folded = List.assoc pr result.Const_fold.folded_params in
+  checkb "folded values" (Nd.to_list folded = [ 0.; 2.; 0.; 4. ])
+
+let test_mem_plan_reuse () =
+  (* A linear chain lets the planner ping-pong two buffers. *)
+  let b = G.builder () in
+  let d = G.input b "d" [ 1; 64 ] in
+  let x1 = G.op b "relu" [ d ] in
+  let x2 = G.op b "tanh" [ x1 ] in
+  let x3 = G.op b "sigmoid" [ x2 ] in
+  let x4 = G.op b "relu" [ x3 ] in
+  let g = G.finalize b [ x4 ] in
+  let groups = Fusion.no_fusion g in
+  let plan = Mem_plan.plan g groups in
+  checkb "pooled smaller than naive" (plan.Mem_plan.total_bytes < plan.Mem_plan.naive_bytes);
+  Alcotest.(check int) "two slots suffice" 2 (List.length plan.Mem_plan.slots)
+
+let test_mem_plan_no_overlap () =
+  (* Simulate the plan: a value's slot must not be reassigned while the
+     value is still live. *)
+  let g = Tvm_models.Models.mobilenet ~input_hw:32 ~width:0.25 ~num_classes:10 () in
+  let groups = Fusion.fuse g in
+  let plan = Mem_plan.plan g groups in
+  let slot_of id = List.assoc id plan.Mem_plan.assignments in
+  let last_use = Hashtbl.create 16 in
+  List.iteri
+    (fun step grp ->
+      List.iter
+        (fun input ->
+          if List.mem_assoc input plan.Mem_plan.assignments then
+            Hashtbl.replace last_use input step)
+        grp.Fusion.g_inputs)
+    groups;
+  (* for each pair in the same slot, live ranges must not overlap *)
+  List.iteri
+    (fun step_a grp_a ->
+      List.iteri
+        (fun step_b grp_b ->
+          if step_a < step_b then begin
+            let a = grp_a.Fusion.g_output and bq = grp_b.Fusion.g_output in
+            if slot_of a = slot_of bq then
+              let a_dead =
+                match Hashtbl.find_opt last_use a with Some s -> s | None -> step_a
+              in
+              checkb "no live overlap in shared slot" (a_dead <= step_b)
+          end)
+        groups)
+    groups
+
+let test_reference_executor () =
+  let g = conv_bn_relu_graph () in
+  let groups = Fusion.fuse g in
+  let module_ = Tvm_runtime.Rt_module.create ~target_name:"none" [] in
+  let exec = Tvm_runtime.Graph_executor.create ~graph:g ~groups ~module_ () in
+  Tvm_runtime.Graph_executor.set_input exec "d" (Nd.random ~seed:70 [ 1; 4; 8; 8 ]);
+  Tvm_runtime.Graph_executor.set_input exec "w" (Nd.random ~seed:71 [ 8; 4; 3; 3 ]);
+  Tvm_runtime.Graph_executor.set_input exec "sc" (Nd.random ~seed:72 [ 8 ]);
+  Tvm_runtime.Graph_executor.set_input exec "sh" (Nd.random ~seed:73 [ 8 ]);
+  Tvm_runtime.Graph_executor.run ~mode:`Reference exec;
+  let out = Tvm_runtime.Graph_executor.get_output exec 0 in
+  checkb "relu output nonneg" (Nd.fold (fun acc v -> acc && v >= 0.) true out);
+  (* set_input validates shapes *)
+  try
+    Tvm_runtime.Graph_executor.set_input exec "d" (Nd.create [ 1; 4; 4; 4 ]);
+    Alcotest.fail "shape mismatch must be rejected"
+  with Invalid_argument _ -> ()
+
+let test_reshape_op () =
+  let b = G.builder () in
+  let d = G.input b "d" [ 2; 6 ] in
+  let r = G.op b "reshape" ~attrs:[ ("shape", Attrs.Ints [ 3; 4 ]) ] [ d ] in
+  let g = G.finalize b [ r ] in
+  ignore g;
+  Alcotest.(check (list int)) "reshape shape" [ 3; 4 ] (G.node_shape b r);
+  try
+    let b2 = G.builder () in
+    let d2 = G.input b2 "d" [ 2; 6 ] in
+    ignore (G.op b2 "reshape" ~attrs:[ ("shape", Attrs.Ints [ 5; 5 ]) ] [ d2 ]);
+    Alcotest.fail "bad reshape must be rejected"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "shape inference" `Quick test_shape_inference;
+    Alcotest.test_case "op patterns" `Quick test_patterns;
+    Alcotest.test_case "fusion absorbs epilogue" `Quick test_fusion_absorbs_epilogue;
+    Alcotest.test_case "fusion stops at multi-consumer" `Quick test_fusion_stops_at_multi_consumer;
+    Alcotest.test_case "fusion is topological" `Quick test_fusion_topological;
+    Alcotest.test_case "no-fusion singletons" `Quick test_no_fusion_singletons;
+    Alcotest.test_case "constant folding" `Quick test_const_fold;
+    Alcotest.test_case "memory plan reuse" `Quick test_mem_plan_reuse;
+    Alcotest.test_case "memory plan no overlap" `Quick test_mem_plan_no_overlap;
+    Alcotest.test_case "reference executor" `Quick test_reference_executor;
+    Alcotest.test_case "reshape op" `Quick test_reshape_op;
+  ]

@@ -1,0 +1,64 @@
+(* Shared helpers for the test suite: reference kernels, random
+   tensors, and a lower+interpret harness. *)
+
+open Tvm_tir
+module Tensor = Tvm_te.Tensor
+module Sched = Tvm_schedule.Sched
+module Lower = Tvm_lower.Lower
+module Interp = Tvm_sim.Interp
+module Nd = Tvm_nd.Ndarray
+
+let checkb name = Alcotest.(check bool) name true
+
+(** Lower [sched] and execute with the given tensor bindings. *)
+let run ?(target = Lower.Cpu) sched bindings =
+  let stmt = Lower.lower ~target sched in
+  Interp.run stmt ~bindings:(List.map (fun (t, v) -> (Tensor.buffer t, v)) bindings);
+  stmt
+
+(** Reference dense: C[y,x] = sum_k A[y,k] * B[x,k]. *)
+let ref_dense a b =
+  match (Nd.shape a, Nd.shape b) with
+  | [ m; k ], [ n; _ ] ->
+      Nd.init [ m; n ] (fun idx ->
+          match idx with
+          | [ y; x ] ->
+              let acc = ref 0. in
+              for kk = 0 to k - 1 do
+                acc := !acc +. (Nd.get a [ y; kk ] *. Nd.get b [ x; kk ])
+              done;
+              !acc
+          | _ -> assert false)
+  | _ -> invalid_arg "ref_dense"
+
+(** Reference direct conv2d, NCHW/OIHW, SAME-style explicit padding. *)
+let ref_conv2d ?(stride = 1) ?(pad = 1) data weight =
+  match (Nd.shape data, Nd.shape weight) with
+  | [ n; c; h; w ], [ oc; _; kh; kw ] ->
+      let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+      let ow = ((w + (2 * pad) - kw) / stride) + 1 in
+      Nd.init [ n; oc; oh; ow ] (fun idx ->
+          match idx with
+          | [ bn; f; y; x ] ->
+              let acc = ref 0. in
+              for ic = 0 to c - 1 do
+                for dy = 0 to kh - 1 do
+                  for dx = 0 to kw - 1 do
+                    let yy = (y * stride) + dy - pad and xx = (x * stride) + dx - pad in
+                    if yy >= 0 && yy < h && xx >= 0 && xx < w then
+                      acc :=
+                        !acc
+                        +. (Nd.get data [ bn; ic; yy; xx ] *. Nd.get weight [ f; ic; dy; dx ])
+                  done
+                done
+              done;
+              !acc
+          | _ -> assert false)
+  | _ -> invalid_arg "ref_conv2d"
+
+(** Run a te output tensor with a default (untransformed) schedule. *)
+let run_default output bindings =
+  let sched = Sched.create [ output ] in
+  run sched bindings
+
+let approx ?(tol = 1e-4) name a b = checkb name (Nd.equal_approx ~tol a b)

@@ -1,0 +1,52 @@
+(* Data-layout transformation pass (§3): preferences, transform
+   semantics, and mismatch accounting. *)
+
+module Layout = Tvm_graph.Layout
+module G = Tvm_graph.Graph_ir
+module Nd = Tvm_nd.Ndarray
+module Models = Tvm_models.Models
+open Test_helpers
+
+let test_layout_strings () =
+  checkb "roundtrip NCHW" (Layout.layout_of_string "NCHW" = Layout.Nchw);
+  checkb "roundtrip NCHW4c" (Layout.layout_of_string "NCHW4c" = Layout.Nchw_c 4);
+  Alcotest.(check string) "print" "NCHW8c" (Layout.layout_to_string (Layout.Nchw_c 8))
+
+let test_transform_roundtrip () =
+  let v = Nd.random ~seed:80 [ 1; 8; 3; 3 ] in
+  let packed = Layout.transform_exec ~from_:Layout.Nchw ~to_:(Layout.Nchw_c 4) v in
+  Alcotest.(check (list int)) "packed shape" [ 1; 2; 3; 3; 4 ] (Nd.shape packed);
+  let back = Layout.transform_exec ~from_:(Layout.Nchw_c 4) ~to_:Layout.Nchw packed in
+  checkb "roundtrip values" (Nd.equal_approx v back)
+
+let test_preferences () =
+  let g = Models.resnet18 ~input_hw:32 ~width:0.25 ~num_classes:10 () in
+  let r = Layout.annotate ~lanes:4 g in
+  (* conv nodes with channel counts divisible by the lanes prefer the
+     blocked layout *)
+  let blocked =
+    List.filter (fun (_, l) -> l <> Layout.Nchw) r.Layout.annotations
+  in
+  checkb "some nodes blocked" (List.length blocked > 10);
+  (* a width making channels indivisible forces NCHW *)
+  let g2 = Models.dqn ~input_hw:40 () in
+  let r2 = Layout.annotate ~lanes:7 g2 in
+  checkb "odd lanes keep NCHW"
+    (List.for_all (fun (_, l) -> l = Layout.Nchw) r2.Layout.annotations)
+
+let test_transform_cost () =
+  let g = Models.resnet18 ~input_hw:32 ~width:0.25 ~num_classes:10 () in
+  let r = Layout.annotate ~lanes:4 g in
+  let bytes = Layout.transform_bytes g r in
+  (* the stem (3 channels) cannot block, so at least one boundary needs
+     a repack; cost is bounded by total activation traffic *)
+  checkb "nonzero transform traffic" (bytes > 0.);
+  checkb "bounded" (bytes < 1e9)
+
+let suite =
+  [
+    Alcotest.test_case "layout strings" `Quick test_layout_strings;
+    Alcotest.test_case "transform roundtrip" `Quick test_transform_roundtrip;
+    Alcotest.test_case "preferences" `Quick test_preferences;
+    Alcotest.test_case "transform cost" `Quick test_transform_cost;
+  ]

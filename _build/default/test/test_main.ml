@@ -1,0 +1,18 @@
+(* Test driver: one Alcotest run covering every subsystem of the stack. *)
+
+let () =
+  Tvm_graph.Std_ops.register_all ();
+  Alcotest.run "tvm-repro"
+    [
+      ("tir", Test_tir.suite);
+      ("te", Test_te.suite);
+      ("schedule", Test_schedule.suite);
+      ("lower", Test_lower.suite);
+      ("vthread+vdla", Test_vthread.suite);
+      ("graph", Test_graph.suite);
+      ("layout", Test_layout.suite);
+      ("autotune", Test_autotune.suite);
+      ("sim", Test_sim.suite);
+      ("e2e", Test_e2e.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,200 @@
+(* Tests for schedule construction and the primitives' bookkeeping. *)
+
+open Tvm_tir
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+module Sched = Tvm_schedule.Sched
+module Iter_var = Tvm_schedule.Iter_var
+module Tensor_intrin = Tvm_schedule.Tensor_intrin
+open Test_helpers
+
+let mk_dense m n k =
+  let a = Tensor.placeholder "sa" [ Expr.int m; Expr.int k ] in
+  let b = Tensor.placeholder "sb" [ Expr.int n; Expr.int k ] in
+  let c = Op.dense ~name:"sc" a b in
+  (a, b, c)
+
+let leaf_names st = List.map Iter_var.name st.Sched.s_leaf
+
+let test_create () =
+  let _, _, c = mk_dense 4 4 8 in
+  let sched = Sched.create [ c ] in
+  Alcotest.(check int) "one stage" 1 (List.length (Sched.stages sched));
+  let st = Sched.find sched c in
+  Alcotest.(check int) "2 data axes" 2 (List.length st.Sched.s_root_axes);
+  Alcotest.(check int) "1 reduce axis" 1 (List.length st.Sched.s_reduce_axes);
+  Alcotest.(check int) "3 leaves" 3 (List.length st.Sched.s_leaf)
+
+let test_split () =
+  let _, _, c = mk_dense 8 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let y = Sched.axis st 0 in
+  let o, i = Sched.split st y ~factor:4 in
+  Alcotest.(check int) "outer extent" 2 o.Iter_var.extent;
+  Alcotest.(check int) "inner extent" 4 i.Iter_var.extent;
+  Alcotest.(check int) "4 leaves" 4 (List.length st.Sched.s_leaf)
+
+let test_split_nparts () =
+  let _, _, c = mk_dense 12 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let o, i = Sched.split_nparts st (Sched.axis st 0) ~nparts:3 in
+  Alcotest.(check int) "outer = nparts" 3 o.Iter_var.extent;
+  Alcotest.(check int) "inner" 4 i.Iter_var.extent
+
+let test_fuse_and_reorder () =
+  let _, _, c = mk_dense 4 6 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let y = Sched.axis st 0 and x = Sched.axis st 1 in
+  let f = Sched.fuse st y x in
+  Alcotest.(check int) "fused extent" 24 f.Iter_var.extent;
+  Alcotest.(check int) "2 leaves" 2 (List.length st.Sched.s_leaf);
+  let k = List.nth st.Sched.s_leaf 1 in
+  Sched.reorder st [ k; f ];
+  checkb "reduce now first" (Iter_var.is_reduce (List.hd st.Sched.s_leaf))
+
+let test_fuse_non_adjacent_rejected () =
+  let _, _, c = mk_dense 4 6 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let y = Sched.axis st 0 in
+  let k = List.nth st.Sched.s_leaf 2 in
+  Alcotest.check_raises "non-adjacent fuse"
+    (Invalid_argument
+       (Printf.sprintf "fuse: %s and %s are not adjacent" (Iter_var.name y)
+          (Iter_var.name k)))
+    (fun () -> ignore (Sched.fuse st y k))
+
+let test_annotation_validation () =
+  let _, _, c = mk_dense 4 6 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let k = List.nth st.Sched.s_leaf 2 in
+  checkb "k is reduce" (Iter_var.is_reduce k);
+  (try
+     Sched.parallel st k;
+     Alcotest.fail "parallel on reduce should fail"
+   with Invalid_argument _ -> ());
+  (try
+     Sched.bind st k "threadIdx.x";
+     Alcotest.fail "bind on reduce should fail"
+   with Invalid_argument _ -> ());
+  (try
+     Sched.bind st (Sched.axis st 0) "warpIdx.z";
+     Alcotest.fail "bad tag should fail"
+   with Invalid_argument _ -> ())
+
+let test_tile () =
+  let _, _, c = mk_dense 8 8 4 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let y = Sched.axis st 0 and x = Sched.axis st 1 in
+  let yo, xo, yi, xi = Sched.tile st y x ~y_factor:2 ~x_factor:4 in
+  ignore (yo, xo);
+  Alcotest.(check int) "yi extent" 2 yi.Iter_var.extent;
+  Alcotest.(check int) "xi extent" 4 xi.Iter_var.extent;
+  (* order: yo xo yi xi k *)
+  let names = leaf_names st in
+  Alcotest.(check int) "5 leaves" 5 (List.length names)
+
+let test_cache_write_structure () =
+  let _, _, c = mk_dense 4 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let cl = Sched.cache_write sched st Expr.Local in
+  Alcotest.(check int) "two stages" 2 (List.length (Sched.stages sched));
+  checkb "cache scope" (cl.Sched.s_out.Expr.bscope = Expr.Local);
+  checkb "reduce moved to cache" (cl.Sched.s_reduce_axes <> []);
+  checkb "original became copy" (st.Sched.s_reduce_axes = []);
+  (* cache stage precedes the copy stage *)
+  match Sched.stages sched with
+  | [ first; second ] ->
+      checkb "order" (first == cl && second == st)
+  | _ -> Alcotest.fail "expected two stages"
+
+let test_cache_read_rewrites_reader () =
+  let a, _, c = mk_dense 4 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let cache = Sched.cache_read sched (Tensor.buffer a) Expr.Shared [ st ] in
+  checkb "reader no longer touches A"
+    (not
+       (List.exists
+          (fun b -> Expr.Buffer.equal b (Tensor.buffer a))
+          (Sched.read_buffers st)));
+  checkb "reader reads cache"
+    (List.exists (fun b -> Expr.Buffer.equal b cache.Sched.s_out) (Sched.read_buffers st))
+
+let test_set_scope () =
+  let d = Tensor.placeholder "sd" [ Expr.int 4 ] in
+  let t1 = Tensor.compute "t1" [ Expr.int 4 ] (fun idx -> Tensor.read d idx) in
+  let t2 =
+    Tensor.compute "t2" [ Expr.int 4 ] (fun idx ->
+        Expr.binop Expr.Add (Tensor.read t1 idx) (Expr.f32 1.))
+  in
+  let sched = Sched.create [ t2 ] in
+  let st1 = Sched.find sched t1 and st2 = Sched.find sched t2 in
+  Sched.set_scope sched st1 Expr.Shared;
+  checkb "scope updated" (st1.Sched.s_out.Expr.bscope = Expr.Shared);
+  checkb "consumer retargeted"
+    (List.exists (fun b -> Expr.Buffer.equal b st1.Sched.s_out) (Sched.read_buffers st2))
+
+let test_compute_inline_validation () =
+  let _, _, c = mk_dense 4 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  (try
+     Sched.compute_inline st;
+     Alcotest.fail "inlining a reduction must fail"
+   with Invalid_argument _ -> ())
+
+let test_vthread_and_pragma () =
+  let _, _, c = mk_dense 4 4 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  let y = Sched.axis st 0 in
+  Sched.vthread st y;
+  checkb "vthread recorded" (Sched.ann_of st y = Some Tvm_tir.Stmt.Vthread);
+  Sched.pragma st "double_buffer" "1";
+  checkb "pragma recorded" (List.mem_assoc "double_buffer" st.Sched.s_pragma)
+
+let test_gemm_intrinsic_registry () =
+  let i = Tensor_intrin.gemm 4 4 8 in
+  checkb "registered" (Tensor_intrin.find i.Tensor_intrin.name == i);
+  Alcotest.(check (float 1.)) "flops" (2. *. 4. *. 4. *. 8.) i.Tensor_intrin.flops;
+  (* Execute the intrinsic semantics directly. *)
+  let a = Array.make_matrix 4 8 1. and b = Array.make_matrix 4 8 2. in
+  let out = Array.make_matrix 4 4 0. in
+  i.Tensor_intrin.execute ~variant:"body"
+    ~inputs:
+      [ (fun idx -> match idx with [ r; c ] -> a.(r).(c) | _ -> 0.);
+        (fun idx -> match idx with [ r; c ] -> b.(r).(c) | _ -> 0.) ]
+    ~out_read:(fun idx -> match idx with [ r; c ] -> out.(r).(c) | _ -> 0.)
+    ~out_write:(fun idx v -> match idx with [ r; c ] -> out.(r).(c) <- v | _ -> ());
+  checkb "gemm result" (out.(0).(0) = 16.)
+
+let test_iteration_count () =
+  let _, _, c = mk_dense 4 6 8 in
+  let sched = Sched.create [ c ] in
+  let st = Sched.find sched c in
+  Alcotest.(check int) "iteration count" (4 * 6 * 8) (Sched.iteration_count st)
+
+let suite =
+  [
+    Alcotest.test_case "create schedule" `Quick test_create;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "split nparts" `Quick test_split_nparts;
+    Alcotest.test_case "fuse + reorder" `Quick test_fuse_and_reorder;
+    Alcotest.test_case "fuse non-adjacent rejected" `Quick test_fuse_non_adjacent_rejected;
+    Alcotest.test_case "annotation validation" `Quick test_annotation_validation;
+    Alcotest.test_case "tile" `Quick test_tile;
+    Alcotest.test_case "cache_write structure" `Quick test_cache_write_structure;
+    Alcotest.test_case "cache_read rewrite" `Quick test_cache_read_rewrites_reader;
+    Alcotest.test_case "set_scope" `Quick test_set_scope;
+    Alcotest.test_case "inline validation" `Quick test_compute_inline_validation;
+    Alcotest.test_case "vthread + pragma" `Quick test_vthread_and_pragma;
+    Alcotest.test_case "gemm intrinsic" `Quick test_gemm_intrinsic_registry;
+    Alcotest.test_case "iteration count" `Quick test_iteration_count;
+  ]

@@ -1,0 +1,234 @@
+(* Tests for the tensor expression operator library: every operator's
+   default-schedule lowering must match an independent reference. *)
+
+open Tvm_tir
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+module Winograd = Tvm_te.Winograd
+module Bitserial = Tvm_te.Bitserial
+module Nd = Tvm_nd.Ndarray
+open Test_helpers
+
+let ph ?dtype name shape = Tensor.placeholder ?dtype name (List.map Expr.int shape)
+
+let test_conv2d_strided () =
+  let d = ph "d1" [ 1; 3; 9; 9 ] and w = ph "w1" [ 4; 3; 3; 3 ] in
+  let c = Op.conv2d ~name:"t_conv_s2" ~stride:2 d w in
+  let dv = Nd.random ~seed:1 [ 1; 3; 9; 9 ] and wv = Nd.random ~seed:2 [ 4; 3; 3; 3 ] in
+  let out = Nd.create [ 1; 4; 5; 5 ] in
+  ignore (run_default c [ (d, dv); (w, wv); (c, out) ]);
+  approx "conv stride 2" (ref_conv2d ~stride:2 ~pad:1 dv wv) out
+
+let test_conv2d_1x1 () =
+  let d = ph "d2" [ 1; 6; 5; 5 ] and w = ph "w2" [ 8; 6; 1; 1 ] in
+  let c = Op.conv2d ~name:"t_conv_1x1" ~stride:1 d w in
+  let dv = Nd.random ~seed:3 [ 1; 6; 5; 5 ] and wv = Nd.random ~seed:4 [ 8; 6; 1; 1 ] in
+  let out = Nd.create [ 1; 8; 5; 5 ] in
+  ignore (run_default c [ (d, dv); (w, wv); (c, out) ]);
+  approx "1x1 conv" (ref_conv2d ~stride:1 ~pad:0 dv wv) out
+
+let test_depthwise () =
+  let d = ph "d3" [ 1; 4; 6; 6 ] and w = ph "w3" [ 4; 1; 3; 3 ] in
+  let c = Op.depthwise_conv2d ~name:"t_dw" ~stride:1 d w in
+  let dv = Nd.random ~seed:5 [ 1; 4; 6; 6 ] and wv = Nd.random ~seed:6 [ 4; 1; 3; 3 ] in
+  let out = Nd.create [ 1; 4; 6; 6 ] in
+  ignore (run_default c [ (d, dv); (w, wv); (c, out) ]);
+  let reference =
+    Nd.init [ 1; 4; 6; 6 ] (fun idx ->
+        match idx with
+        | [ _; ch; y; x ] ->
+            let acc = ref 0. in
+            for dy = 0 to 2 do
+              for dx = 0 to 2 do
+                let yy = y + dy - 1 and xx = x + dx - 1 in
+                if yy >= 0 && yy < 6 && xx >= 0 && xx < 6 then
+                  acc := !acc +. (Nd.get dv [ 0; ch; yy; xx ] *. Nd.get wv [ ch; 0; dy; dx ])
+              done
+            done;
+            !acc
+        | _ -> assert false)
+  in
+  approx "depthwise" reference out
+
+let test_dense_matmul () =
+  let a = ph "a4" [ 3; 7 ] and b = ph "b4" [ 5; 7 ] in
+  let c = Op.dense ~name:"t_dense" a b in
+  let av = Nd.random ~seed:7 [ 3; 7 ] and bv = Nd.random ~seed:8 [ 5; 7 ] in
+  let out = Nd.create [ 3; 5 ] in
+  ignore (run_default c [ (a, av); (b, bv); (c, out) ]);
+  approx "dense" (ref_dense av bv) out
+
+let test_matmul_transposed () =
+  (* C[y,x] = sum_k A[k,y]*B[k,x] — the paper's §4.1 example. *)
+  let a = ph "a5" [ 6; 4 ] and b = ph "b5" [ 6; 5 ] in
+  let c = Op.matmul_transposed ~name:"t_mmT" a b in
+  let av = Nd.random ~seed:9 [ 6; 4 ] and bv = Nd.random ~seed:10 [ 6; 5 ] in
+  let out = Nd.create [ 4; 5 ] in
+  ignore (run_default c [ (a, av); (b, bv); (c, out) ]);
+  let reference =
+    Nd.init [ 4; 5 ] (fun idx ->
+        match idx with
+        | [ y; x ] ->
+            let acc = ref 0. in
+            for k = 0 to 5 do
+              acc := !acc +. (Nd.get av [ k; y ] *. Nd.get bv [ k; x ])
+            done;
+            !acc
+        | _ -> assert false)
+  in
+  approx "matmul transposed" reference out
+
+let test_relu_bias_bn () =
+  let d = ph "d6" [ 1; 3; 2; 2 ] in
+  let scale = ph "sc6" [ 3 ] and shift = ph "sh6" [ 3 ] in
+  let bn = Op.scale_shift d scale shift in
+  let r = Op.relu bn in
+  let dv = Nd.random ~seed:11 [ 1; 3; 2; 2 ] in
+  let scv = Nd.random ~seed:12 ~lo:0.5 ~hi:2. [ 3 ] in
+  let shv = Nd.random ~seed:13 [ 3 ] in
+  let out = Nd.create [ 1; 3; 2; 2 ] in
+  ignore (run_default r [ (d, dv); (scale, scv); (shift, shv); (r, out) ]);
+  let reference =
+    Nd.init [ 1; 3; 2; 2 ] (fun idx ->
+        match idx with
+        | [ _; c; y; x ] ->
+            Float.max 0. ((Nd.get dv [ 0; c; y; x ] *. Nd.get scv [ c ]) +. Nd.get shv [ c ])
+        | _ -> assert false)
+  in
+  approx "bn+relu" reference out
+
+let test_max_pool () =
+  let d = ph "d7" [ 1; 2; 4; 4 ] in
+  let p = Op.max_pool2d ~name:"t_pool" ~size:2 ~stride:2 d in
+  let dv = Nd.random ~seed:14 [ 1; 2; 4; 4 ] in
+  let out = Nd.create [ 1; 2; 2; 2 ] in
+  ignore (run_default p [ (d, dv); (p, out) ]);
+  let reference =
+    Nd.init [ 1; 2; 2; 2 ] (fun idx ->
+        match idx with
+        | [ _; c; y; x ] ->
+            List.fold_left Float.max (-1e30)
+              [ Nd.get dv [ 0; c; 2 * y; 2 * x ]; Nd.get dv [ 0; c; 2 * y; (2 * x) + 1 ];
+                Nd.get dv [ 0; c; (2 * y) + 1; 2 * x ];
+                Nd.get dv [ 0; c; (2 * y) + 1; (2 * x) + 1 ] ]
+        | _ -> assert false)
+  in
+  approx "max pool" reference out
+
+let test_global_avg_pool () =
+  let d = ph "d8" [ 1; 3; 4; 4 ] in
+  let p = Op.global_avg_pool2d ~name:"t_gap" d in
+  let dv = Nd.random ~seed:15 [ 1; 3; 4; 4 ] in
+  let out = Nd.create [ 1; 3 ] in
+  ignore (run_default p [ (d, dv); (p, out) ]);
+  let reference =
+    Nd.init [ 1; 3 ] (fun idx ->
+        match idx with
+        | [ _; c ] ->
+            let acc = ref 0. in
+            for y = 0 to 3 do
+              for x = 0 to 3 do
+                acc := !acc +. Nd.get dv [ 0; c; y; x ]
+              done
+            done;
+            !acc /. 16.
+        | _ -> assert false)
+  in
+  approx "global avg pool" reference out
+
+let test_softmax () =
+  let d = ph "d9" [ 2; 5 ] in
+  let s = Op.softmax ~name:"t_sm" d in
+  let dv = Nd.random ~seed:16 ~lo:(-3.) ~hi:3. [ 2; 5 ] in
+  let out = Nd.create [ 2; 5 ] in
+  ignore (run_default s [ (d, dv); (s, out) ]);
+  (* rows sum to one and ordering matches the logits *)
+  for r = 0 to 1 do
+    let sum = ref 0. in
+    for c = 0 to 4 do
+      sum := !sum +. Nd.get out [ r; c ]
+    done;
+    Alcotest.(check (float 1e-4)) "row sums to 1" 1.0 !sum
+  done;
+  checkb "monotone"
+    ((Nd.get dv [ 0; 0 ] < Nd.get dv [ 0; 1 ]) = (Nd.get out [ 0; 0 ] < Nd.get out [ 0; 1 ]))
+
+let test_flatten () =
+  let d = ph "d10" [ 1; 2; 3; 4 ] in
+  let f = Op.flatten ~name:"t_flat" d in
+  let dv = Nd.random ~seed:17 [ 1; 2; 3; 4 ] in
+  let out = Nd.create [ 1; 24 ] in
+  ignore (run_default f [ (d, dv); (f, out) ]);
+  checkb "flatten preserves order" (Nd.to_list dv = Nd.to_list out)
+
+let test_conv2d_transpose () =
+  let d = ph "d11" [ 1; 2; 3; 3 ] and w = ph "w11" [ 2; 3; 4; 4 ] in
+  let c = Op.conv2d_transpose ~name:"t_deconv" ~stride:2 ~padding:1 d w in
+  let dv = Nd.random ~seed:18 [ 1; 2; 3; 3 ] and wv = Nd.random ~seed:19 [ 2; 3; 4; 4 ] in
+  let out = Nd.create [ 1; 3; 6; 6 ] in
+  ignore (run_default c [ (d, dv); (w, wv); (c, out) ]);
+  (* scatter reference *)
+  let reference = Nd.create [ 1; 3; 6; 6 ] in
+  for ic = 0 to 1 do
+    for y = 0 to 2 do
+      for x = 0 to 2 do
+        let v = Nd.get dv [ 0; ic; y; x ] in
+        for oc = 0 to 2 do
+          for ky = 0 to 3 do
+            for kx = 0 to 3 do
+              let oy = (y * 2) + ky - 1 and ox = (x * 2) + kx - 1 in
+              if oy >= 0 && oy < 6 && ox >= 0 && ox < 6 then
+                Nd.set reference [ 0; oc; oy; ox ]
+                  (Nd.get reference [ 0; oc; oy; ox ] +. (v *. Nd.get wv [ ic; oc; ky; kx ]))
+            done
+          done
+        done
+      done
+    done
+  done;
+  approx ~tol:1e-3 "conv2d transpose" reference out
+
+let test_winograd_matches_direct () =
+  let d = ph "d12" [ 1; 4; 8; 8 ] and g = Nd.random ~seed:20 [ 6; 4; 3; 3 ] in
+  let u_val = Winograd.pretransform_weights g in
+  let u = ph "u12" [ 4; 4; 6; 4 ] in
+  let y = Winograd.conv2d_pretransformed ~name:"t_wino" d u in
+  let dv = Nd.random ~seed:21 [ 1; 4; 8; 8 ] in
+  let out = Nd.create [ 1; 6; 8; 8 ] in
+  ignore (run_default y [ (d, dv); (u, u_val); (y, out) ]);
+  approx ~tol:1e-3 "winograd == direct" (ref_conv2d ~stride:1 ~pad:1 dv g) out
+
+let test_bitserial_gemm () =
+  let d = ph ~dtype:Dtype.UInt2 "d13" [ 4; 16 ] in
+  let w = ph ~dtype:Dtype.UInt1 "w13" [ 6; 16 ] in
+  let o = Bitserial.bitserial_gemm ~name:"t_bs" d w in
+  let dv = Nd.random ~dtype:Dtype.UInt2 ~seed:22 ~lo:0. ~hi:4. [ 4; 16 ] in
+  let wv = Nd.random ~dtype:Dtype.UInt1 ~seed:23 ~lo:0. ~hi:2. [ 6; 16 ] in
+  let out = Nd.create ~dtype:Dtype.Int32 [ 4; 6 ] in
+  ignore (run_default o [ (d, dv); (w, wv); (o, out) ]);
+  approx "bitserial gemm" (ref_dense dv wv) out
+
+let test_op_flops () =
+  let d = ph "d14" [ 1; 2; 4; 4 ] and w = ph "w14" [ 3; 2; 3; 3 ] in
+  let c = Op.conv2d ~name:"t_flops" ~stride:1 d w in
+  (* 2 ops (mul+add) per MAC x OC x OH x OW x IC x KH x KW-ish; just
+     require the right order of magnitude and positivity. *)
+  checkb "conv flops positive" (Tensor.op_flops c > 500.)
+
+let suite =
+  [
+    Alcotest.test_case "conv2d stride 2" `Quick test_conv2d_strided;
+    Alcotest.test_case "conv2d 1x1" `Quick test_conv2d_1x1;
+    Alcotest.test_case "depthwise conv2d" `Quick test_depthwise;
+    Alcotest.test_case "dense" `Quick test_dense_matmul;
+    Alcotest.test_case "matmul transposed" `Quick test_matmul_transposed;
+    Alcotest.test_case "scale-shift + relu" `Quick test_relu_bias_bn;
+    Alcotest.test_case "max pool" `Quick test_max_pool;
+    Alcotest.test_case "global avg pool" `Quick test_global_avg_pool;
+    Alcotest.test_case "softmax" `Quick test_softmax;
+    Alcotest.test_case "flatten" `Quick test_flatten;
+    Alcotest.test_case "conv2d transpose" `Quick test_conv2d_transpose;
+    Alcotest.test_case "winograd vs direct" `Quick test_winograd_matches_direct;
+    Alcotest.test_case "bitserial gemm" `Quick test_bitserial_gemm;
+    Alcotest.test_case "op flops" `Quick test_op_flops;
+  ]

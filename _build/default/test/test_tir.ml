@@ -1,0 +1,251 @@
+(* Unit + property tests for the tensor IR: dtypes, expression smart
+   constructors, interval analysis, simplification, and the loop
+   analyses the timing models rely on. *)
+
+open Tvm_tir
+module Nd = Tvm_nd.Ndarray
+
+let check = Alcotest.check
+let checkb name = Alcotest.(check bool) name true
+
+(* ------------------------------------------------------------------ *)
+(* Dtype                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtype_roundtrip () =
+  List.iter
+    (fun d -> checkb "roundtrip" (Dtype.equal d (Dtype.of_string (Dtype.to_string d))))
+    [ Dtype.Float32; Dtype.Float16; Dtype.Int64; Dtype.Int32; Dtype.Int8;
+      Dtype.UInt1; Dtype.UInt2; Dtype.Bool ]
+
+let test_dtype_bits () =
+  check Alcotest.int "f32 bits" 32 (Dtype.bits Dtype.Float32);
+  check (Alcotest.float 1e-9) "uint2 bytes" 0.25 (Dtype.bytes Dtype.UInt2);
+  checkb "int8 integer" (Dtype.is_integer Dtype.Int8);
+  checkb "f16 float" (Dtype.is_float Dtype.Float16)
+
+(* ------------------------------------------------------------------ *)
+(* Expression smart constructors                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_folding () =
+  checkb "add" (Expr.equal Expr.(int 2 + int 3) (Expr.int 5));
+  checkb "mul0" (Expr.equal Expr.(int 0 * Expr.Var (Expr.Var.fresh "x")) (Expr.int 0));
+  let x = Expr.Var (Expr.Var.fresh "x") in
+  checkb "add0" (Expr.equal Expr.(x + int 0) x);
+  checkb "mul1" (Expr.equal Expr.(x * int 1) x);
+  checkb "div1" (Expr.equal Expr.(x / int 1) x);
+  checkb "mod1" (Expr.equal Expr.(x % int 1) (Expr.int 0));
+  checkb "min self" (Expr.equal (Expr.min_ x x) x);
+  checkb "select const" (Expr.equal (Expr.select (Expr.int 1) x (Expr.int 7)) x)
+
+let test_cmp_folding () =
+  checkb "lt" (Expr.equal Expr.(int 2 < int 3) (Expr.int 1));
+  checkb "ge" (Expr.equal Expr.(int 2 >= int 3) (Expr.int 0));
+  checkb "and short" (Expr.equal (Expr.and_ (Expr.int 0) (Expr.Var (Expr.Var.fresh "y"))) (Expr.int 0))
+
+let test_dtype_of () =
+  let b = Expr.Buffer.create ~dtype:Dtype.Int8 "b" [ Expr.int 4 ] in
+  checkb "load dtype" (Dtype.equal (Expr.dtype_of (Expr.load b [ Expr.zero ])) Dtype.Int8);
+  let x = Expr.Var (Expr.Var.fresh "x") in
+  checkb "cmp dtype" (Dtype.equal (Expr.dtype_of Expr.(x < int 2)) Dtype.Bool)
+
+let test_buffer () =
+  let b = Expr.Buffer.create "buf" [ Expr.int 3; Expr.int 5 ] in
+  check Alcotest.(list int) "const shape" [ 3; 5 ] (Expr.Buffer.const_shape b);
+  check Alcotest.int "elems" 15 (Expr.Buffer.num_elems b);
+  let b2 = Expr.Buffer.with_scope Expr.Shared b in
+  checkb "scope changed" (Expr.Buffer.scope b2 = Expr.Shared);
+  checkb "distinct id" (not (Expr.Buffer.equal b b2))
+
+(* ------------------------------------------------------------------ *)
+(* Interval analysis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  let open Interval in
+  check Alcotest.int "len" 8 (length (of_extent ~min:0 ~extent:8));
+  let a = make 2 5 and b = make (-1) 3 in
+  checkb "add" (add a b = make 1 8);
+  checkb "mul" (mul (point 3) b = make (-3) 9);
+  checkb "union" (union a b = make (-1) 5)
+
+let test_interval_eval () =
+  let x = Expr.Var.fresh "x" and y = Expr.Var.fresh "y" in
+  let e = Expr.((Var x * int 8) + Var y) in
+  let itv =
+    Interval.eval_under
+      [ (x, Interval.of_extent ~min:0 ~extent:4); (y, Interval.of_extent ~min:0 ~extent:8) ]
+      e
+  in
+  checkb "tile range" (itv = Interval.make 0 31)
+
+let test_interval_divmod () =
+  let x = Expr.Var.fresh "x" in
+  let env = [ (x, Interval.of_extent ~min:0 ~extent:12) ] in
+  checkb "div" (Interval.eval_under env Expr.(Var x / int 4) = Interval.make 0 2);
+  checkb "mod crossing" (Interval.eval_under env Expr.(Var x % int 4) = Interval.make 0 3);
+  checkb "mod small"
+    (Interval.eval_under [ (x, Interval.make 4 6) ] Expr.(Var x % int 8) = Interval.make 4 6)
+
+(* Property: interval evaluation is sound — the concrete value of a
+   random affine expression always lies within the computed interval. *)
+let interval_soundness =
+  QCheck.Test.make ~name:"interval soundness on affine exprs" ~count:200
+    QCheck.(quad (int_range 1 6) (int_range 1 6) (int_range (-8) 8) (int_range 1 9))
+    (fun (ext_x, ext_y, c, d) ->
+      let x = Expr.Var.fresh "x" and y = Expr.Var.fresh "y" in
+      let modulus = d + 3 in
+      let e = Expr.(((Var x * int d) + (Var y * int c)) % int modulus) in
+      let env =
+        [ (x, Interval.of_extent ~min:0 ~extent:ext_x);
+          (y, Interval.of_extent ~min:0 ~extent:ext_y) ]
+      in
+      let itv = Interval.eval_under env e in
+      let ok = ref true in
+      for vx = 0 to ext_x - 1 do
+        for vy = 0 to ext_y - 1 do
+          let v =
+            let m = (vx * d) + (vy * c) in
+            let r = m mod modulus in
+            if r < 0 then r + modulus else r
+          in
+          if not (Interval.contains itv v) then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Simplify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplify_stmt () =
+  let v = Expr.Var.fresh "i" in
+  let b = Expr.Buffer.create "out" [ Expr.int 4 ] in
+  let dead = Stmt.For { Stmt.loop_var = v; min_ = Expr.zero; extent = Expr.int 0;
+                        kind = Stmt.Serial; body = Stmt.Store (b, [ Expr.zero ], Expr.f32 1.) } in
+  checkb "zero-trip loop removed" (Simplify.stmt dead = Stmt.Skip);
+  let taken = Stmt.If_then_else (Expr.int 1, Stmt.Skip, Some (Stmt.Store (b, [ Expr.zero ], Expr.f32 1.))) in
+  checkb "taken branch" (Simplify.stmt taken = Stmt.Skip)
+
+let test_single_trip_loop () =
+  let v = Expr.Var.fresh "i" in
+  let b = Expr.Buffer.create "out" [ Expr.int 4 ] in
+  let s = Stmt.for_ v (Expr.int 2) (Expr.int 1) (Stmt.Store (b, [ Expr.Var v ], Expr.f32 1.)) in
+  (* single-trip loops become lets, which simplify substitutes away *)
+  match Simplify.stmt s with
+  | Stmt.Store (_, [ Expr.IntImm 2 ], _) -> ()
+  | other -> Alcotest.failf "expected direct store, got %s" (Printer.stmt_to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-built 2-level tiled copy loop for footprint checks. *)
+let tiled_copy () =
+  let src = Expr.Buffer.create "src" [ Expr.int 64 ] in
+  let dst = Expr.Buffer.create "dst" [ Expr.int 64 ] in
+  let o = Expr.Var.fresh "o" and i = Expr.Var.fresh "i" in
+  let idx = Expr.((Var o * int 8) + Var i) in
+  let body = Stmt.Store (dst, [ idx ], Expr.load src [ idx ]) in
+  (Stmt.for_ o Expr.zero (Expr.int 8) (Stmt.for_ i Expr.zero (Expr.int 8) body), src, dst)
+
+let test_collect_accesses () =
+  let stmt, src, _ = tiled_copy () in
+  let accesses = Analysis.collect_accesses stmt in
+  check Alcotest.int "two accesses" 2 (List.length accesses);
+  let load = List.find (fun a -> not a.Analysis.acc_is_store) accesses in
+  checkb "load buffer" (Expr.Buffer.equal load.Analysis.acc_buffer src);
+  check Alcotest.int "count" 64 load.Analysis.acc_count
+
+let test_footprints () =
+  let stmt, _, _ = tiled_copy () in
+  let load =
+    List.find (fun a -> not a.Analysis.acc_is_store) (Analysis.collect_accesses stmt)
+  in
+  check Alcotest.int "whole" 64 (Analysis.footprint_at_level load 0);
+  check Alcotest.int "inner tile" 8 (Analysis.footprint_at_level load 1);
+  check Alcotest.int "point" 1 (Analysis.footprint_at_level load 2)
+
+let test_strides () =
+  let stmt, _, _ = tiled_copy () in
+  let load =
+    List.find (fun a -> not a.Analysis.acc_is_store) (Analysis.collect_accesses stmt)
+  in
+  (match load.Analysis.acc_loops with
+  | [ o; i ] ->
+      checkb "stride o" (Analysis.stride_wrt load o.Analysis.lvar = Some 8);
+      checkb "stride i" (Analysis.stride_wrt load i.Analysis.lvar = Some 1)
+  | _ -> Alcotest.fail "expected two loops");
+  checkb "unit innermost" (Analysis.is_unit_stride_innermost load)
+
+let test_flops () =
+  let b = Expr.Buffer.create "acc" [ Expr.int 1 ] in
+  let v = Expr.Var.fresh "k" in
+  let body =
+    Stmt.Store (b, [ Expr.zero ],
+      Expr.(Expr.load b [ Expr.zero ] + (Expr.load b [ Expr.zero ] * f32 3.)))
+  in
+  let loop = Stmt.for_ v Expr.zero (Expr.int 10) body in
+  check (Alcotest.float 1e-9) "2 flops x 10" 20. (Analysis.flops loop)
+
+let test_ann_summary () =
+  let v = Expr.Var.fresh "p" in
+  let b = Expr.Buffer.create "o" [ Expr.int 4 ] in
+  let s = Stmt.For { Stmt.loop_var = v; min_ = Expr.zero; extent = Expr.int 4;
+                     kind = Stmt.Parallel; body = Stmt.Store (b, [ Expr.Var v ], Expr.f32 0.) } in
+  let ann = Analysis.ann_summary s in
+  check Alcotest.int "parallel" 1 ann.Analysis.n_parallel;
+  check Alcotest.int "serial" 0 ann.Analysis.n_serial
+
+(* ------------------------------------------------------------------ *)
+(* Visit / substitution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_subst () =
+  let x = Expr.Var.fresh "x" in
+  let e = Expr.((Var x * int 2) + int 1) in
+  let e' = Visit.subst_var_expr x (Expr.int 5) e in
+  checkb "subst folds" (Expr.equal e' (Expr.int 11))
+
+let test_free_vars () =
+  let x = Expr.Var.fresh "x" and y = Expr.Var.fresh "y" in
+  let e = Expr.((Var x + Var y) * Var x) in
+  check Alcotest.int "two free vars" 2 (List.length (Visit.free_vars e))
+
+let test_retarget () =
+  let b1 = Expr.Buffer.create "a" [ Expr.int 8 ] in
+  let b2 = Expr.Buffer.create "b" [ Expr.int 8 ] in
+  let v = Expr.Var.fresh "i" in
+  let s = Stmt.for_ v Expr.zero (Expr.int 8)
+      (Stmt.Store (b1, [ Expr.Var v ], Expr.load b1 [ Expr.Var v ])) in
+  let s' = Visit.retarget_buffer ~old_b:b1 ~new_b:b2 ~remap:Fun.id s in
+  let uses_b1 = ref false in
+  Stmt.iter
+    (function Stmt.Store (b, _, _) when Expr.Buffer.equal b b1 -> uses_b1 := true | _ -> ())
+    s';
+  checkb "no b1 store left" (not !uses_b1)
+
+let suite =
+  [
+    Alcotest.test_case "dtype roundtrip" `Quick test_dtype_roundtrip;
+    Alcotest.test_case "dtype bits" `Quick test_dtype_bits;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "cmp folding" `Quick test_cmp_folding;
+    Alcotest.test_case "dtype_of" `Quick test_dtype_of;
+    Alcotest.test_case "buffer" `Quick test_buffer;
+    Alcotest.test_case "interval basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval eval" `Quick test_interval_eval;
+    Alcotest.test_case "interval div/mod" `Quick test_interval_divmod;
+    QCheck_alcotest.to_alcotest interval_soundness;
+    Alcotest.test_case "simplify stmt" `Quick test_simplify_stmt;
+    Alcotest.test_case "single-trip loop" `Quick test_single_trip_loop;
+    Alcotest.test_case "collect accesses" `Quick test_collect_accesses;
+    Alcotest.test_case "footprints" `Quick test_footprints;
+    Alcotest.test_case "strides" `Quick test_strides;
+    Alcotest.test_case "flops" `Quick test_flops;
+    Alcotest.test_case "ann summary" `Quick test_ann_summary;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    Alcotest.test_case "retarget buffer" `Quick test_retarget;
+  ]

@@ -1,0 +1,143 @@
+(* Virtual-thread lowering (§4.4) and the VDLA pipeline: token
+   discipline, interleaving, functional equivalence, and emergent
+   latency hiding. *)
+
+open Tvm_tir
+module V = Tvm_vdla.Vdla_schedule
+module Des = Tvm_vdla.Des
+module Isa = Tvm_vdla.Isa
+module Assemble = Tvm_vdla.Assemble
+module Vthread_lower = Tvm_lower.Vthread_lower
+module Machine = Tvm_sim.Machine
+module Tensor = Tvm_te.Tensor
+module Interp = Tvm_sim.Interp
+module Nd = Tvm_nd.Ndarray
+open Test_helpers
+
+let gemm_io ~m ~n ~k ~seed tag =
+  let wl = V.gemm_workload ~name:("vt_" ^ tag) ~m ~n ~k () in
+  let av = Nd.random ~dtype:Dtype.Int8 ~seed ~lo:(-4.) ~hi:4. [ m; k ] in
+  let wv = Nd.random ~dtype:Dtype.Int8 ~seed:(seed + 1) ~lo:(-4.) ~hi:4. [ n; k ] in
+  (wl, av, wv)
+
+let reference av wv m n k =
+  Nd.init [ m; n ] (fun idx ->
+      match idx with
+      | [ y; x ] ->
+          let acc = ref 0. in
+          for kk = 0 to k - 1 do
+            acc := !acc +. (Nd.get av [ y; kk ] *. Nd.get wv [ x; kk ])
+          done;
+          !acc
+      | _ -> assert false)
+
+let run_vdla wl ~vthreads ~kchunk av wv =
+  let stmt = V.schedule ~vthreads ~kchunk wl in
+  let cv = Nd.create ~dtype:Dtype.Int32 [ wl.V.wl_m; wl.V.wl_n ] in
+  Interp.run stmt
+    ~bindings:
+      [ (Tensor.buffer wl.V.wl_a, av); (Tensor.buffer wl.V.wl_w, wv);
+        (Tensor.buffer wl.V.wl_c, cv) ];
+  cv
+
+let test_functional_vthreads () =
+  List.iter
+    (fun vt ->
+      let wl, av, wv = gemm_io ~m:32 ~n:32 ~k:64 ~seed:(50 + vt) (Printf.sprintf "f%d" vt) in
+      let out = run_vdla wl ~vthreads:vt ~kchunk:32 av wv in
+      approx
+        (Printf.sprintf "vdla gemm vthreads=%d" vt)
+        (reference av wv 32 32 64)
+        out)
+    [ 1; 2; 4 ]
+
+let test_vthread_erased () =
+  let wl, _, _ = gemm_io ~m:32 ~n:32 ~k:64 ~seed:60 "erase" in
+  let stmt = V.schedule ~vthreads:2 wl in
+  Alcotest.(check int) "no vthread loops remain" 0 (Vthread_lower.count_vthreads stmt)
+
+let test_token_balance () =
+  (* Every dependence edge must push exactly as often as it pops. *)
+  let wl, _, _ = gemm_io ~m:48 ~n:32 ~k:128 ~seed:61 "bal" in
+  let stream = Assemble.run (V.schedule ~vthreads:2 ~kchunk:32 wl) in
+  let pushes = Hashtbl.create 4 and pops = Hashtbl.create 4 in
+  List.iter
+    (fun insn ->
+      match insn with
+      | Isa.Push { from_; to_ } ->
+          Hashtbl.replace pushes (from_, to_)
+            (1 + (try Hashtbl.find pushes (from_, to_) with Not_found -> 0))
+      | Isa.Pop { from_; to_ } ->
+          Hashtbl.replace pops (from_, to_)
+            (1 + (try Hashtbl.find pops (from_, to_) with Not_found -> 0))
+      | _ -> ())
+    stream;
+  Hashtbl.iter
+    (fun edge n ->
+      let m = try Hashtbl.find pops edge with Not_found -> 0 in
+      Alcotest.(check int) "push/pop balance" n m)
+    pushes
+
+let test_des_no_deadlock_and_hiding () =
+  let wl, _, _ = gemm_io ~m:64 ~n:64 ~k:512 ~seed:62 "des" in
+  let run vt =
+    let _, stats = V.simulate ~vthreads:vt ~kchunk:64 wl in
+    stats
+  in
+  let s1 = run 1 and s2 = run 2 in
+  checkb "vthreads reduce cycles" (s2.Des.total_cycles <= s1.Des.total_cycles);
+  checkb "utilization improves"
+    (s2.Des.compute_utilization >= s1.Des.compute_utilization);
+  (* busy time never exceeds the makespan *)
+  checkb "ld busy bounded" (s1.Des.ld_busy <= s1.Des.total_cycles);
+  checkb "ex busy bounded" (s1.Des.ex_busy <= s1.Des.total_cycles)
+
+let test_des_deadlock_detection () =
+  (* A pop with no matching push must be reported, not hang. *)
+  let stream = [ Isa.Pop { from_ = Isa.Ld; to_ = Isa.Ex } ] in
+  try
+    ignore (Des.run Machine.vdla stream);
+    Alcotest.fail "expected deadlock"
+  with Des.Deadlock _ -> ()
+
+let test_assembler_collapses_dma () =
+  let wl, _, _ = gemm_io ~m:32 ~n:32 ~k:64 ~seed:63 "dma" in
+  let stream = Assemble.run (V.schedule ~vthreads:2 ~kchunk:32 wl) in
+  let elementwise_stores =
+    List.filter (function Isa.Dma_store { bytes } -> bytes < 64. | _ -> false) stream
+  in
+  Alcotest.(check int) "no elementwise DMA stores" 0 (List.length elementwise_stores)
+
+let test_sram_checked () =
+  (* A workload whose staged tiles exceed SRAM must be rejected. *)
+  let wl = V.gemm_workload ~name:"vt_sram" ~m:16 ~n:16 ~k:65536 () in
+  try
+    ignore (V.simulate ~vthreads:2 ~kchunk:65536 wl);
+    Alcotest.fail "expected SRAM overflow"
+  with Invalid_argument _ -> ()
+
+let test_roofline_point () =
+  let wl, _, _ = gemm_io ~m:64 ~n:64 ~k:256 ~seed:64 "roof" in
+  let stream, stats = V.simulate ~vthreads:2 ~kchunk:64 wl in
+  let intensity, gops = Des.roofline_point Machine.vdla stream stats in
+  checkb "positive intensity" (intensity > 0.);
+  checkb "below peak" (gops <= Machine.accel_peak_gops Machine.vdla)
+
+let test_conv_as_gemm_dims () =
+  let m, n, k = V.conv_as_gemm ~h:14 ~w:14 ~ic:256 ~oc:512 ~kernel:3 ~stride:1 in
+  checkb "m multiple of 16" (m mod 16 = 0);
+  checkb "n = padded oc" (n = 512);
+  checkb "k = padded ic*k*k" (k = ((256 * 9) + 15) / 16 * 16)
+
+let suite =
+  [
+    Alcotest.test_case "functional across vthread counts" `Quick test_functional_vthreads;
+    Alcotest.test_case "vthread loops erased" `Quick test_vthread_erased;
+    Alcotest.test_case "token balance" `Quick test_token_balance;
+    Alcotest.test_case "DES: hiding + no deadlock" `Quick test_des_no_deadlock_and_hiding;
+    Alcotest.test_case "DES: deadlock detection" `Quick test_des_deadlock_detection;
+    Alcotest.test_case "assembler collapses DMA" `Quick test_assembler_collapses_dma;
+    Alcotest.test_case "SRAM capacity check" `Quick test_sram_checked;
+    Alcotest.test_case "roofline point" `Quick test_roofline_point;
+    Alcotest.test_case "conv-as-gemm dims" `Quick test_conv_as_gemm_dims;
+  ]
