@@ -1,0 +1,22 @@
+# Convenience targets; `make check` is the tier-1 gate (build + tests).
+
+.PHONY: all build test check bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+# Machine-readable perf snapshot for the current tree (see README
+# "Observability"): runs the quick benchmark sweep and dumps the
+# metrics registry.
+bench-json:
+	dune exec bench/main.exe -- --quick --json BENCH_obs.json
+
+clean:
+	dune clean

@@ -2,9 +2,14 @@
     (see DESIGN.md's per-experiment index), the ablation studies, and a
     set of Bechamel micro-benchmarks over the compiler's own hot paths.
 
-    Usage: [main.exe [--quick] [exp ...]] where [exp] is one of
-    fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
-    fig21 table1 table2 ablations micro all (default: all). *)
+    Usage: [main.exe [--quick] [--json FILE] [exp ...]] where [exp] is
+    one of fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18
+    fig19 fig21 table1 table2 ablations micro all (default: all).
+
+    [--json FILE] dumps the observability metrics registry (including
+    one [bench.<exp>.duration_s] gauge per experiment run) as JSON —
+    e.g. [--json BENCH_obs.json] — so the perf trajectory of the repo
+    is machine-readable PR over PR. *)
 
 module E = Tvm_experiments.Exp_util
 module Fm = Tvm_experiments.Fig_micro
@@ -116,9 +121,21 @@ let experiments : (string * (unit -> unit)) list =
     ("micro", micro);
   ]
 
+(** Pull [--json FILE] out of the raw argument list. *)
+let rec extract_json_flag = function
+  | [] -> (None, [])
+  | "--json" :: file :: rest ->
+      let _, others = extract_json_flag rest in
+      (Some file, others)
+  | "--json" :: [] -> invalid_arg "--json requires a FILE argument"
+  | a :: rest ->
+      let file, others = extract_json_flag rest in
+      (file, a :: others)
+
 let () =
   Tvm_graph.Std_ops.register_all ();
   let args = Array.to_list Sys.argv |> List.tl in
+  let json_out, args = extract_json_flag args in
   let quick = List.mem "--quick" args in
   if quick then E.trial_scale := 0.3;
   let wanted = List.filter (fun a -> a <> "--quick") args in
@@ -131,8 +148,16 @@ let () =
           let t = Unix.gettimeofday () in
           (try f ()
            with e ->
-             Printf.printf "!! experiment %s failed: %s\n" name (Printexc.to_string e));
-          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+             Printf.printf "!! experiment %s failed: %s\n" name (Printexc.to_string e);
+             Tvm_obs.Metrics.incr "bench.failures");
+          let dt = Unix.gettimeofday () -. t in
+          Tvm_obs.Metrics.set_gauge ("bench." ^ name ^ ".duration_s") dt;
+          Printf.printf "[%s done in %.1fs]\n%!" name dt
       | None -> Printf.printf "unknown experiment %s\n" name)
     wanted;
-  Printf.printf "\ntotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match json_out with
+  | Some path ->
+      Tvm_obs.Metrics.write_json path;
+      Printf.printf "metrics written to %s\n" path
+  | None -> ()

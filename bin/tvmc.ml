@@ -4,14 +4,55 @@
      compile  — build one of the evaluation networks for a target and
                 report per-kernel estimates
      tune     — run the automated optimizer on a Table-2 workload
-     bench    — run one of the paper experiments (same as bench/main.exe)
-     devices  — list the simulated machines *)
+     profile  — compile a network, run it, and report the per-kernel
+                latency breakdown (TVM's debug-executor view)
+     devices  — list the simulated machines
+
+   [compile], [tune] and [profile] all accept [--trace-out FILE]
+   (Chrome trace-event JSON, load in chrome://tracing or Perfetto) and
+   [--metrics-out FILE] (metrics registry dump). *)
 
 open Cmdliner
 module Models = Tvm_models.Models
 module Workloads = Tvm_models.Workloads
 module Machine = Tvm_sim.Machine
 module Rt = Tvm_runtime.Rt_module
+module Obs = Tvm_obs
+
+(* ---- shared observability flags ---- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:"Write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~doc:"Write the metrics registry as JSON")
+
+(** Run [f] with tracing enabled iff a trace file was requested; write
+    the requested observability outputs afterwards (also on failure, so
+    a crashed compile still leaves its partial trace behind). *)
+let with_obs ~trace_out ~metrics_out f =
+  if trace_out <> None then Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace_out with
+      | Some path ->
+          Obs.Trace.write_chrome_trace path;
+          Printf.eprintf "[obs] trace written to %s (%d spans, %d events)\n%!" path
+            (Obs.Trace.span_count ()) (Obs.Trace.event_count ())
+      | None -> ());
+      match metrics_out with
+      | Some path ->
+          Obs.Metrics.write_json path;
+          Printf.eprintf "[obs] metrics written to %s\n%!" path
+      | None -> ())
+    f
 
 let network_of_name = function
   | "resnet18" -> Models.resnet18 ()
@@ -40,7 +81,8 @@ let compile_cmd =
   let trials =
     Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
   in
-  let run network target trials =
+  let run network target trials trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
     let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials } in
@@ -61,7 +103,7 @@ let compile_cmd =
       (pooled /. 1e6) (naive /. 1e6)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
-    Term.(const run $ network $ target $ trials)
+    Term.(const run $ network $ target $ trials $ trace_out_arg $ metrics_out_arg)
 
 (* ---- tune ---- *)
 
@@ -73,7 +115,8 @@ let tune_cmd =
   let method_ =
     Arg.(value & opt string "ml" & info [ "method" ] ~doc:"ml | random | genetic")
   in
-  let run workload trials method_name =
+  let run workload trials method_name trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
     let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
@@ -94,7 +137,58 @@ let tune_cmd =
       (Tvm_autotune.Cfg_space.to_string res.Tvm_autotune.Tuner.best_config)
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
-    Term.(const run $ workload $ trials $ method_)
+    Term.(const run $ workload $ trials $ method_ $ trace_out_arg $ metrics_out_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let network =
+    Arg.(value & pos 0 string "resnet18" & info [] ~docv:"NETWORK" ~doc:"Network to profile")
+  in
+  let target =
+    Arg.(value & opt string "cuda" & info [ "target" ] ~doc:"cuda | arm | mali | llvm")
+  in
+  let trials =
+    Arg.(value & opt int 16 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
+  in
+  let runs =
+    Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Profiled inference runs")
+  in
+  let profile_out =
+    Arg.(value & opt (some string) None & info [ "profile-out" ] ~doc:"Write the per-kernel profile as JSON")
+  in
+  let run network target trials runs profile_out trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    let graph = network_of_name network in
+    let tgt = target_of_name target in
+    let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials } in
+    let t0 = Unix.gettimeofday () in
+    let _result, exec = Tvm.Compiler.build_executor ~options graph tgt in
+    Printf.printf "compiled %s for %s in %.1fs\n" network (Tvm.Target.name tgt)
+      (Unix.gettimeofday () -. t0);
+    let module Exec = Tvm_runtime.Graph_executor in
+    Exec.set_params exec (Models.random_params graph);
+    List.iter (fun (n, v) -> Exec.set_input exec n v) (Models.random_inputs graph);
+    let report = ref None in
+    for _ = 1 to max 1 runs do
+      report := Some (Exec.profile_run ~mode:`Reference exec)
+    done;
+    let report = Option.get !report in
+    Printf.printf "\n%s" (Obs.Profile.to_table report);
+    (match profile_out with
+    | Some path ->
+        Obs.Profile.write_json path report;
+        Printf.eprintf "[obs] profile written to %s\n%!" path
+    | None -> ());
+    if trace_out <> None then
+      Printf.printf "\nspan tree:\n%s" (Obs.Trace.to_tree_string ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Compile and run a network, reporting the per-kernel latency breakdown")
+    Term.(
+      const run $ network $ target $ trials $ runs $ profile_out $ trace_out_arg
+      $ metrics_out_arg)
 
 (* ---- devices ---- *)
 
@@ -119,7 +213,7 @@ let devices_cmd =
 let main =
   Cmd.group
     (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
-    [ compile_cmd; tune_cmd; devices_cmd ]
+    [ compile_cmd; tune_cmd; profile_cmd; devices_cmd ]
 
 let () =
   Tvm_graph.Std_ops.register_all ();

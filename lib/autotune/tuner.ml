@@ -7,6 +7,9 @@
     collected data retrains the model. Exploration state persists
     across model updates, as in the paper. *)
 
+module Obs_trace = Tvm_obs.Trace
+module Obs_metrics = Tvm_obs.Metrics
+
 type template = {
   tpl_name : string;
   tpl_space : Cfg_space.t;
@@ -39,28 +42,43 @@ type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> float
 (** Returns measured run time in seconds ([infinity] = invalid). *)
 
 (** A database of measurement records (§5.4's log), shared across tuning
-    jobs so related workloads benefit from history. *)
+    jobs so related workloads benefit from history. The full record log
+    is kept for history/training; best-per-key lookups go through a
+    hash index so [best] is O(1) instead of a scan of every record. *)
 module Db = struct
   type record = { db_key : string; db_config : Cfg_space.config; db_time : float }
 
-  type t = { mutable records : record list }
+  type t = {
+    mutable records : record list;  (** complete log, newest first *)
+    best_by_key : (string, record) Hashtbl.t;
+    mutable n_records : int;
+  }
 
-  let create () = { records = [] }
-  let add t key config time = t.records <- { db_key = key; db_config = config; db_time = time } :: t.records
-  let best t key =
-    List.filter (fun r -> r.db_key = key) t.records
-    |> List.fold_left
-         (fun acc r ->
-           match acc with
-           | Some b when b.db_time <= r.db_time -> acc
-           | _ -> Some r)
-         None
-  let size t = List.length t.records
+  let create () = { records = []; best_by_key = Hashtbl.create 64; n_records = 0 }
+
+  let add t key config time =
+    let r = { db_key = key; db_config = config; db_time = time } in
+    t.records <- r :: t.records;
+    t.n_records <- t.n_records + 1;
+    match Hashtbl.find_opt t.best_by_key key with
+    | Some b when b.db_time <= time -> ()
+    | _ -> Hashtbl.replace t.best_by_key key r
+
+  let best t key = Hashtbl.find_opt t.best_by_key key
+  let size t = t.n_records
 end
 
 let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
     ~(method_ : method_) ~(measure : measure_fn) ~(n_trials : int)
     (template : template) : result =
+  Obs_trace.with_span "tune"
+    ~attrs:
+      [
+        ("template", template.tpl_name);
+        ("method", method_to_string method_);
+        ("trials", string_of_int n_trials);
+      ]
+  @@ fun () ->
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
   let visited = Hashtbl.create 256 in
   let xs = ref [] and ys = ref [] in
@@ -94,7 +112,22 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
       history :=
         { trial_index = !trial_index; config = cfg; time_s = time;
           best_so_far = !best_time }
-        :: !history
+        :: !history;
+      Obs_metrics.incr "tuner.trials";
+      if Float.is_finite time then Obs_metrics.observe "tuner.trial_time_s" time;
+      if Float.is_finite !best_time then
+        Obs_metrics.set_gauge "tuner.best_time_s" !best_time;
+      (* Guarded so the attribute strings are never built when tracing
+         is off — this is the tuner's innermost loop. *)
+      if Obs_trace.enabled () then
+        Obs_trace.instant "tuner.trial"
+          ~attrs:
+            [
+              ("template", template.tpl_name);
+              ("trial", string_of_int !trial_index);
+              ("time_ms", Printf.sprintf "%.6f" (1e3 *. time));
+              ("best_ms", Printf.sprintf "%.6f" (1e3 *. !best_time));
+            ]
     end
   in
   let feature_memo : (int, float array option) Hashtbl.t = Hashtbl.create 1024 in
@@ -193,6 +226,8 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
         Gbt.rank_accuracy m (Array.of_list !xs) (Array.of_list !ys)
     | _ -> ( match method_ with Ml_model -> 0.5 | _ -> Float.nan)
   in
+  if Float.is_finite model_accuracy then
+    Obs_metrics.set_gauge "tuner.model_accuracy" model_accuracy;
   match !best_config with
   | Some cfg ->
       { best_config = cfg; best_time = !best_time; history = List.rev !history;

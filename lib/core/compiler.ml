@@ -18,6 +18,8 @@ module Templates = Tvm_autotune.Templates
 module Cfg_space = Tvm_autotune.Cfg_space
 module Pool = Tvm_rpc.Device_pool
 module Rt_module = Tvm_runtime.Rt_module
+module Trace = Tvm_obs.Trace
+module Metrics = Tvm_obs.Metrics
 
 let () = Tvm_graph.Std_ops.register_all ()
 
@@ -96,22 +98,33 @@ type build_result = {
     [graph, lib, params = t.compiler.build (graph, target, params)]. *)
 let build ?(options = default_options) (graph : G.t) (target : Target.t) :
     build_result =
+  Trace.with_span "compile" ~attrs:[ ("target", Target.name target) ] @@ fun () ->
   let groups =
-    if options.enable_fusion then Fusion.fuse graph else Fusion.no_fusion graph
+    Trace.with_span "phase.fusion" (fun () ->
+        if options.enable_fusion then Fusion.fuse graph else Fusion.no_fusion graph)
   in
+  Metrics.set_gauge "fusion.groups" (Float.of_int (List.length groups));
+  Metrics.incr "compiler.builds";
   let pool = Pool.create [ Target.device_kind target ] in
   let kind_pred (_ : Pool.device_kind) = true in
   let trials_run = ref 0 in
   let kernels =
     List.map
       (fun g ->
-        let out_tensor, input_placeholders = Fusion.build_group_te graph g in
         let signature = workload_signature graph g target in
-        let tpl = template_for ~name:signature target out_tensor in
+        Trace.with_span "group" ~attrs:[ ("workload", signature) ] @@ fun () ->
+        let (out_tensor, input_placeholders), tpl =
+          Trace.with_span "phase.template" (fun () ->
+              let te = Fusion.build_group_te graph g in
+              (te, template_for ~name:signature target (fst te)))
+        in
         let best_cfg, _best_time =
           match Hashtbl.find_opt tuned_cache signature with
-          | Some hit -> hit
+          | Some hit ->
+              Metrics.incr "compiler.cache_hits";
+              hit
           | None ->
+              Trace.with_span "phase.tuning" @@ fun () ->
               let result =
                 if options.tune_trials > 0 then begin
                   let measure = Pool.measure_fn pool ~kind_pred in
@@ -138,8 +151,11 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
               Hashtbl.replace tuned_cache signature result;
               result
         in
-        let stmt = tpl.Tuner.tpl_instantiate best_cfg in
-        let time_s = Target.time_s target stmt in
+        let stmt, time_s =
+          Trace.with_span "phase.lowering" (fun () ->
+              let stmt = tpl.Tuner.tpl_instantiate best_cfg in
+              (stmt, Target.time_s target stmt))
+        in
         if options.verbose then
           Printf.printf "[tvm] %-60s %.3f ms\n%!" signature (1e3 *. time_s);
         {
@@ -153,6 +169,8 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
         })
       groups
   in
+  Metrics.incr "compiler.trials_run" ~by:(Float.of_int !trials_run);
+  Trace.with_span "phase.packaging" @@ fun () ->
   {
     module_ = Rt_module.create ~target_name:(Target.name target) kernels;
     groups;

@@ -1,0 +1,221 @@
+(** Span tracing: nested timed spans over a monotonic clock.
+
+    The tracer is a process-global, mutex-protected recorder, disabled
+    by default. When disabled, [with_span] is a single flag check and a
+    direct call — no allocation, no locking — so instrumentation can
+    stay in hot paths permanently. When enabled it records a tree of
+    closed spans plus point-in-time instant events (e.g. one per tuner
+    trial), and exports either a human-readable tree or Chrome
+    [trace_event] JSON loadable in [chrome://tracing] / Perfetto.
+
+    Time comes from the monotonic clock (nanoseconds); timestamps are
+    reported relative to the most recent [reset]/[set_enabled true], so
+    traces start near t=0. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [-1] for roots *)
+  sp_depth : int;
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  sp_start_ns : int64;
+  mutable sp_dur_ns : int64;  (** [-1L] while open *)
+}
+
+type event = {
+  ev_name : string;
+  ev_attrs : (string * string) list;
+  ev_ts_ns : int64;
+  ev_parent : int;
+}
+
+let on = ref false
+let lock = Mutex.create ()
+let next_id = ref 0
+let epoch_ns = ref 0L
+let open_stack : span list ref = ref []
+let closed : span list ref = ref []  (* reverse completion order *)
+let events : event list ref = ref []  (* reverse order *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let enabled () = !on
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let reset () =
+  locked (fun () ->
+      next_id := 0;
+      open_stack := [];
+      closed := [];
+      events := [];
+      epoch_ns := now_ns ())
+
+let set_enabled b =
+  if b && not !on then reset ();
+  on := b
+
+let open_span ?(attrs = []) name =
+  locked (fun () ->
+      let parent, depth =
+        match !open_stack with
+        | [] -> (-1, 0)
+        | p :: _ -> (p.sp_id, p.sp_depth + 1)
+      in
+      let sp =
+        {
+          sp_id = !next_id;
+          sp_parent = parent;
+          sp_depth = depth;
+          sp_name = name;
+          sp_attrs = attrs;
+          sp_start_ns = now_ns ();
+          sp_dur_ns = -1L;
+        }
+      in
+      incr next_id;
+      open_stack := sp :: !open_stack;
+      sp)
+
+let close_span ?error sp =
+  locked (fun () ->
+      sp.sp_dur_ns <- Int64.sub (now_ns ()) sp.sp_start_ns;
+      (match error with
+      | Some e -> sp.sp_attrs <- ("error", e) :: sp.sp_attrs
+      | None -> ());
+      (* Pop down to (and including) sp: defensive against a child the
+         caller failed to close, which would otherwise pin the stack. *)
+      let rec pop = function
+        | s :: rest when s.sp_id = sp.sp_id -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      open_stack := pop !open_stack;
+      closed := sp :: !closed)
+
+let with_span ?attrs name f =
+  if not !on then f ()
+  else begin
+    let sp = open_span ?attrs name in
+    match f () with
+    | v ->
+        close_span sp;
+        v
+    | exception e ->
+        close_span ~error:(Printexc.to_string e) sp;
+        raise e
+  end
+
+(** Record a point-in-time event under the current open span. Callers
+    on hot paths should guard with [enabled ()] so attribute lists are
+    not built when tracing is off. *)
+let instant ?(attrs = []) name =
+  if !on then
+    locked (fun () ->
+        let parent = match !open_stack with [] -> -1 | p :: _ -> p.sp_id in
+        events :=
+          { ev_name = name; ev_attrs = attrs; ev_ts_ns = now_ns (); ev_parent = parent }
+          :: !events)
+
+let span_count () = locked (fun () -> List.length !closed)
+let event_count () = locked (fun () -> List.length !events)
+
+(** Closed spans in start order (open spans are not included). *)
+let spans () =
+  locked (fun () ->
+      List.sort (fun a b -> compare a.sp_start_ns b.sp_start_ns) !closed)
+
+let find_span name = List.find_opt (fun s -> s.sp_name = name) (spans ())
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let us_of_ns ns = Int64.to_float (Int64.sub ns !epoch_ns) /. 1e3
+
+let to_tree_string () =
+  let all = spans () in
+  let evs = locked (fun () -> !events) in
+  let event_counts = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace event_counts e.ev_parent
+        (1 + Option.value ~default:0 (Hashtbl.find_opt event_counts e.ev_parent)))
+    evs;
+  let buf = Buffer.create 1024 in
+  let rec emit parent =
+    List.iter
+      (fun s ->
+        if s.sp_parent = parent then begin
+          let attrs =
+            match s.sp_attrs with
+            | [] -> ""
+            | l ->
+                " ("
+                ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+                ^ ")"
+          in
+          let ev_note =
+            match Hashtbl.find_opt event_counts s.sp_id with
+            | Some k -> Printf.sprintf "  [%d events]" k
+            | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-*s %10.3f ms%s\n"
+               (String.make (2 * s.sp_depth) ' ')
+               (max 1 (48 - (2 * s.sp_depth)))
+               (s.sp_name ^ attrs)
+               (Int64.to_float s.sp_dur_ns /. 1e6)
+               ev_note);
+          emit s.sp_id
+        end)
+      all
+  in
+  emit (-1);
+  Buffer.contents buf
+
+let args_json attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+(** Chrome trace-event JSON (the [{"traceEvents": [...]}] envelope). *)
+let to_chrome_json () =
+  let span_events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.sp_name);
+            ("cat", Json.Str "tvm");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (us_of_ns s.sp_start_ns));
+            ("dur", Json.Num (Int64.to_float s.sp_dur_ns /. 1e3));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num 1.);
+            ("args", args_json s.sp_attrs);
+          ])
+      (spans ())
+  in
+  let instant_events =
+    List.rev_map
+      (fun e ->
+        Json.Obj
+          [
+            ("name", Json.Str e.ev_name);
+            ("cat", Json.Str "tvm");
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("ts", Json.Num (us_of_ns e.ev_ts_ns));
+            ("pid", Json.Num 1.);
+            ("tid", Json.Num 1.);
+            ("args", args_json e.ev_attrs);
+          ])
+      (locked (fun () -> !events))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (span_events @ instant_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome_trace path = Json.write_file path (to_chrome_json ())

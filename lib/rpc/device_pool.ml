@@ -70,6 +70,10 @@ let model_time dev stmt =
   | Cpu_dev cpu -> Cpu_model.time_s cpu stmt
   | Gpu_dev gpu -> Gpu_model.time_s gpu stmt
 
+(** Wall-clock time at which all submitted jobs have finished. *)
+let makespan t =
+  List.fold_left (fun acc d -> Float.max acc d.busy_until) t.clock t.devices
+
 (** Submit a measurement job: returns the measured (noisy) run time and
     advances the pool's simulated clock. [key] seeds the deterministic
     noise so a config always measures the same. *)
@@ -81,6 +85,7 @@ let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : float =
     else base
   in
   let start = Float.max t.clock dev.busy_until in
+  let queue_wait = start -. t.clock in
   let run_cost =
     if Float.is_finite measured then float_of_int t.repeats *. measured else 0.01
   in
@@ -88,11 +93,19 @@ let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : float =
   dev.jobs_run <- dev.jobs_run + 1;
   t.clock <- Float.max t.clock start;
   t.total_jobs <- t.total_jobs + 1;
+  Tvm_obs.Metrics.incr "pool.jobs";
+  Tvm_obs.Metrics.observe "pool.queue_wait_s" queue_wait;
+  Tvm_obs.Metrics.observe "pool.job_cost_s" (t.overhead_s +. run_cost);
+  Tvm_obs.Metrics.set_gauge "pool.makespan_s" (makespan t);
+  if Tvm_obs.Trace.enabled () then
+    Tvm_obs.Trace.instant "pool.job"
+      ~attrs:
+        [
+          ("device", kind_name dev.dev_kind);
+          ("measured_ms", Printf.sprintf "%.6f" (1e3 *. measured));
+          ("queue_wait_s", Printf.sprintf "%.3f" queue_wait);
+        ];
   measured
-
-(** Wall-clock time at which all submitted jobs have finished. *)
-let makespan t =
-  List.fold_left (fun acc d -> Float.max acc d.busy_until) t.clock t.devices
 
 let is_gpu = function Gpu_dev _ -> true | Cpu_dev _ -> false
 let is_cpu = function Cpu_dev _ -> true | Gpu_dev _ -> false

@@ -18,6 +18,9 @@ module Graph_ir = Tvm_graph.Graph_ir
 module Fusion = Tvm_graph.Fusion
 module Op_registry = Tvm_graph.Op_registry
 module Mem_plan = Tvm_graph.Mem_plan
+module Trace = Tvm_obs.Trace
+module Metrics = Tvm_obs.Metrics
+module Profile = Tvm_obs.Profile
 
 type t = {
   graph : Graph_ir.t;
@@ -26,6 +29,8 @@ type t = {
   plan : Mem_plan.plan;
   values : (int, Nd.t) Hashtbl.t;  (** node id → current value *)
   mutable launch_overhead_s : float;
+  target_name : string;
+  calls : (int, int) Hashtbl.t;  (** group id → cumulative profiled invocations *)
 }
 
 let create ?(launch_overhead_s = 10e-6) ~(graph : Graph_ir.t)
@@ -33,13 +38,18 @@ let create ?(launch_overhead_s = 10e-6) ~(graph : Graph_ir.t)
   let kernels =
     List.map (fun (k : Rt_module.kernel) -> (k.Rt_module.k_group, k)) (Rt_module.kernels module_)
   in
+  let plan = Mem_plan.plan graph groups in
+  Metrics.set_gauge "mem.pooled_bytes" plan.Mem_plan.total_bytes;
+  Metrics.set_gauge "mem.naive_bytes" plan.Mem_plan.naive_bytes;
   {
     graph;
     groups;
     kernels;
-    plan = Mem_plan.plan graph groups;
+    plan;
     values = Hashtbl.create 32;
     launch_overhead_s;
+    target_name = module_.Rt_module.m_target_name;
+    calls = Hashtbl.create 16;
   }
 
 let set_input t name (v : Nd.t) =
@@ -96,13 +106,82 @@ let run_group_compiled t (g : Fusion.group) =
       Rt_module.run_kernel k ~inputs ~output;
       Hashtbl.replace t.values g.Fusion.g_output output
 
+let run_group t mode g =
+  match mode with
+  | `Reference -> run_group_reference t g
+  | `Compiled -> run_group_compiled t g
+
+let group_kernel t (g : Fusion.group) = List.assoc_opt g.Fusion.g_id t.kernels
+
+let group_name t (g : Fusion.group) =
+  match group_kernel t g with
+  | Some k -> k.Rt_module.k_name
+  | None -> (Graph_ir.node t.graph g.Fusion.g_output).Graph_ir.name
+
+(** Bytes touched by one invocation of the group: all group inputs plus
+    the output, at packed dtype density. *)
+let group_bytes t (g : Fusion.group) =
+  let node_bytes id =
+    let n = Graph_ir.node t.graph id in
+    Float.of_int (List.fold_left ( * ) 1 n.Graph_ir.shape)
+    *. Tvm_tir.Dtype.bytes n.Graph_ir.dtype
+  in
+  List.fold_left
+    (fun acc id -> acc +. node_bytes id)
+    (node_bytes g.Fusion.g_output) g.Fusion.g_inputs
+
 let run ?(mode = `Reference) t =
   List.iter
     (fun g ->
-      match mode with
-      | `Reference -> run_group_reference t g
-      | `Compiled -> run_group_compiled t g)
+      if Trace.enabled () then
+        Trace.with_span "kernel"
+          ~attrs:[ ("name", group_name t g) ]
+          (fun () -> run_group t mode g)
+      else run_group t mode g)
     t.groups
+
+(** Run the graph once in profiling mode: every group is executed under
+    a trace span and accounted into a {!Tvm_obs.Profile.report} with its
+    simulated kernel time, launch overhead, bytes touched and cumulative
+    invocation count — the debug-executor view of one inference. *)
+let profile_run ?(mode = `Reference) t : Profile.report =
+  let records =
+    List.map
+      (fun g ->
+        let k = group_kernel t g in
+        let name = group_name t g in
+        let time_s = match k with Some k -> k.Rt_module.k_time_s | None -> 0. in
+        let flops = match k with Some k -> k.Rt_module.k_flops | None -> 0. in
+        let exec () = run_group t mode g in
+        (if Trace.enabled () then
+           Trace.with_span "kernel"
+             ~attrs:
+               [ ("name", name); ("sim_ms", Printf.sprintf "%.6f" (1e3 *. time_s)) ]
+             exec
+         else exec ());
+        let calls =
+          1 + Option.value ~default:0 (Hashtbl.find_opt t.calls g.Fusion.g_id)
+        in
+        Hashtbl.replace t.calls g.Fusion.g_id calls;
+        Metrics.incr "executor.kernel_launches";
+        Metrics.observe "executor.kernel_time_s" time_s;
+        {
+          Profile.pr_name = name;
+          pr_group = g.Fusion.g_id;
+          pr_calls = calls;
+          pr_time_s = time_s;
+          pr_launch_s = t.launch_overhead_s;
+          pr_bytes = group_bytes t g;
+          pr_flops = flops;
+        })
+      t.groups
+  in
+  let total =
+    List.fold_left (fun acc r -> acc +. r.Profile.pr_time_s +. r.Profile.pr_launch_s)
+      0. records
+  in
+  Metrics.incr "executor.profiled_runs";
+  { Profile.rp_target = t.target_name; rp_records = records; rp_total_s = total }
 
 let get_output t i =
   let id = List.nth t.graph.Graph_ir.outputs i in

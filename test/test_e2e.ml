@@ -120,6 +120,43 @@ let test_baseline_sanity () =
   checkb "tflite rejects DCGAN"
     (not (Framework.supports Framework.tflite (Models.dcgan ~code_dim:8 ~base:4 ())))
 
+let test_profile_run () =
+  let graph = Models.dqn ~input_hw:40 () in
+  let _, exec = Tvm.Compiler.build_executor ~options graph (Tvm.Target.cuda ()) in
+  Exec.set_params exec (Models.random_params graph);
+  List.iter (fun (n, v) -> Exec.set_input exec n v) (Models.random_inputs graph);
+  let report = Exec.profile_run ~mode:`Reference exec in
+  let records = report.Tvm_obs.Profile.rp_records in
+  checkb "one record per group" (List.length records > 0);
+  (* per-kernel times plus launch overhead must account exactly for the
+     executor's end-to-end estimate *)
+  let sum =
+    List.fold_left
+      (fun acc r -> acc +. r.Tvm_obs.Profile.pr_time_s +. r.Tvm_obs.Profile.pr_launch_s)
+      0. records
+  in
+  let est = Exec.estimated_time_s exec in
+  checkb
+    (Printf.sprintf "profile sums to estimate (%.9f vs %.9f)" sum est)
+    (Float.abs (sum -. est) <= 1e-9 +. (1e-3 *. est));
+  checkb "report total matches" (Float.abs (report.Tvm_obs.Profile.rp_total_s -. est) <= 1e-9);
+  List.iter
+    (fun r ->
+      checkb "bytes touched positive" (r.Tvm_obs.Profile.pr_bytes > 0.);
+      Alcotest.(check int) "first run: 1 call" 1 r.Tvm_obs.Profile.pr_calls)
+    records;
+  (* invocation counts accumulate across profiled runs *)
+  let report2 = Exec.profile_run ~mode:`Reference exec in
+  List.iter
+    (fun r -> Alcotest.(check int) "second run: 2 calls" 2 r.Tvm_obs.Profile.pr_calls)
+    report2.Tvm_obs.Profile.rp_records;
+  (* profiling must not corrupt execution: output still matches reference *)
+  Exec.run ~mode:`Reference exec;
+  let reference = Nd.copy (Exec.get_output exec 0) in
+  Exec.run ~mode:`Compiled exec;
+  checkb "profiled executor still correct"
+    (Nd.equal_approx ~tol:2e-3 reference (Exec.get_output exec 0))
+
 let test_module_source () =
   let graph = Models.dqn ~input_hw:40 () in
   let result = Tvm.Compiler.build ~options graph (Tvm.Target.cuda ()) in
@@ -139,5 +176,6 @@ let suite =
     Alcotest.test_case "workloads table" `Quick test_workloads_table;
     Alcotest.test_case "network shapes" `Quick test_networks_shapes;
     Alcotest.test_case "baseline sanity" `Quick test_baseline_sanity;
+    Alcotest.test_case "profile run" `Quick test_profile_run;
     Alcotest.test_case "module source" `Quick test_module_source;
   ]

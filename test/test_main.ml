@@ -4,6 +4,7 @@ let () =
   Tvm_graph.Std_ops.register_all ();
   Alcotest.run "tvm-repro"
     [
+      ("obs", Test_obs.suite);
       ("tir", Test_tir.suite);
       ("te", Test_te.suite);
       ("schedule", Test_schedule.suite);

@@ -1,0 +1,222 @@
+(* Observability layer tests: span nesting and exception safety, the
+   disabled-mode zero-allocation fast path, log-histogram percentiles,
+   metrics registry dumps, and Chrome trace-event JSON well-formedness
+   (checked by re-parsing the emitted file with the JSON parser). *)
+
+module Json = Tvm_obs.Json
+module Trace = Tvm_obs.Trace
+module Metrics = Tvm_obs.Metrics
+module Profile = Tvm_obs.Profile
+open Test_helpers
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(** Offset of [needle] in [haystack]; raises [Not_found]. *)
+let index_of haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then raise Not_found
+    else if String.sub haystack i nn = needle then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let with_fresh_trace f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "quote\" back\\slash \n tab\t");
+        ("n", Json.Num 3.25);
+        ("i", Json.Num 42.);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 1.; Json.Str "two"; Json.Obj [] ]);
+      ]
+  in
+  let reparsed = Json.parse (Json.to_string v) in
+  checkb "roundtrip equal" (reparsed = v);
+  (* integral floats must print as JSON integers *)
+  Alcotest.(check string) "int printing" "42" (Json.to_string (Json.Num 42.));
+  (* non-finite degrades to null, keeping output valid JSON *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Num Float.nan));
+  (* unicode escapes decode *)
+  (match Json.parse "\"a\\u0041b\"" with
+  | Json.Str s -> Alcotest.(check string) "\\u decode" "aAb" s
+  | _ -> Alcotest.fail "expected string");
+  (* malformed input raises *)
+  checkb "trailing garbage rejected"
+    (match Json.parse "{} x" with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+(* ---- trace ---- *)
+
+let test_span_nesting () =
+  with_fresh_trace @@ fun () ->
+  let r =
+    Trace.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Trace.with_span "inner" (fun () ->
+            Trace.instant "tick" ~attrs:[ ("i", "1") ];
+            7))
+  in
+  Alcotest.(check int) "result passes through" 7 r;
+  Alcotest.(check int) "two spans" 2 (Trace.span_count ());
+  Alcotest.(check int) "one event" 1 (Trace.event_count ());
+  let spans = Trace.spans () in
+  let outer = List.find (fun s -> s.Trace.sp_name = "outer") spans in
+  let inner = List.find (fun s -> s.Trace.sp_name = "inner") spans in
+  Alcotest.(check int) "inner parented to outer" outer.Trace.sp_id inner.Trace.sp_parent;
+  Alcotest.(check int) "outer is root" (-1) outer.Trace.sp_parent;
+  Alcotest.(check int) "depths" 1 inner.Trace.sp_depth;
+  (* temporal containment *)
+  checkb "inner starts after outer" (inner.Trace.sp_start_ns >= outer.Trace.sp_start_ns);
+  checkb "inner shorter" (inner.Trace.sp_dur_ns <= outer.Trace.sp_dur_ns);
+  let tree = Trace.to_tree_string () in
+  checkb "tree mentions both" (contains tree "outer" && contains tree "inner");
+  (* child indented under parent *)
+  checkb "inner after outer in tree" (index_of tree "outer" < index_of tree "inner")
+
+let test_span_exception_safety () =
+  with_fresh_trace @@ fun () ->
+  (try
+     Trace.with_span "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 1 (Trace.span_count ());
+  match Trace.find_span "boom" with
+  | Some s -> checkb "error attr recorded" (List.mem_assoc "error" s.Trace.sp_attrs)
+  | None -> Alcotest.fail "span missing"
+
+let test_disabled_zero_cost () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let f () = () in
+  (* warm up (first call may trigger lazy init) *)
+  Trace.with_span "warm" f;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Trace.with_span "off" f
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* zero-allocation fast path: budget is a handful of boxed floats for
+     the Gc counters themselves, not 10k spans *)
+  checkb (Printf.sprintf "disabled path allocates ~nothing (%.0f words)" allocated)
+    (allocated < 256.);
+  Alcotest.(check int) "no spans recorded" 0 (Trace.span_count ())
+
+let test_chrome_json_wellformed () =
+  with_fresh_trace @@ fun () ->
+  Trace.with_span "compile" ~attrs:[ ("target", "cuda \"quoted\"\n") ] (fun () ->
+      Trace.with_span "phase.tuning" (fun () ->
+          for i = 1 to 3 do
+            Trace.instant "tuner.trial" ~attrs:[ ("trial", string_of_int i) ]
+          done));
+  let str = Json.to_string (Trace.to_chrome_json ()) in
+  let v = Json.parse str in
+  let events =
+    match Json.member "traceEvents" v with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "missing traceEvents"
+  in
+  Alcotest.(check int) "2 spans + 3 instants" 5 (List.length events);
+  List.iter
+    (fun e ->
+      checkb "has name" (Json.member "name" e <> None);
+      checkb "has ts" (match Json.member "ts" e with Some (Json.Num _) -> true | _ -> false);
+      match Json.member "ph" e with
+      | Some (Json.Str "X") ->
+          checkb "complete event has dur"
+            (match Json.member "dur" e with Some (Json.Num d) -> d >= 0. | _ -> false)
+      | Some (Json.Str "i") -> ()
+      | _ -> Alcotest.fail "unexpected phase")
+    events;
+  (* the tricky attribute survived escaping and reparsing *)
+  let compile_ev =
+    List.find (fun e -> Json.member "name" e = Some (Json.Str "compile")) events
+  in
+  match Json.member "args" compile_ev with
+  | Some args ->
+      Alcotest.(check (option string)) "attr preserved" (Some "cuda \"quoted\"\n")
+        (Option.bind (Json.member "target" args) Json.to_string_opt)
+  | None -> Alcotest.fail "missing args"
+
+(* ---- metrics ---- *)
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  Metrics.incr "c";
+  Metrics.incr "c" ~by:2.;
+  Metrics.set_gauge "g" 1.5;
+  Metrics.set_gauge "g" 2.5;
+  Alcotest.(check (option (float 1e-9))) "counter" (Some 3.) (Metrics.get "c");
+  Alcotest.(check (option (float 1e-9))) "gauge keeps last" (Some 2.5) (Metrics.get "g");
+  checkb "kind mismatch rejected"
+    (match Metrics.incr "g" with exception Invalid_argument _ -> true | _ -> false);
+  let j = Metrics.to_json () in
+  let reparsed = Json.parse (Json.to_string j) in
+  checkb "counters in json"
+    (Option.bind (Json.member "counters" reparsed) (Json.member "c")
+    = Some (Json.Num 3.));
+  let text = Metrics.dump_text () in
+  checkb "text dump mentions gauge" (contains text "gauge")
+
+let test_histogram_percentiles () =
+  Metrics.reset ();
+  (* 1..1000 ms-scale values: exact median 0.5005 s *)
+  for i = 1 to 1000 do
+    Metrics.observe "h" (Float.of_int i /. 1000.)
+  done;
+  Alcotest.(check (option (float 1e-9))) "count" (Some 1000.) (Metrics.get "h");
+  let p50 = Option.get (Metrics.percentile "h" 50.) in
+  let p99 = Option.get (Metrics.percentile "h" 99.) in
+  (* log-bucket resolution is a factor of 10^(1/8) ≈ 1.33: assert the
+     estimate lands within one bucket of truth, generously *)
+  checkb (Printf.sprintf "p50 ≈ 0.5 (got %g)" p50) (p50 > 0.3 && p50 < 0.8);
+  checkb (Printf.sprintf "p99 ≈ 0.99 (got %g)" p99) (p99 > 0.7 && p99 <= 1.0);
+  checkb "p0 clamps to min" (Option.get (Metrics.percentile "h" 0.) >= 0.001);
+  checkb "p100 clamps to max" (Option.get (Metrics.percentile "h" 100.) <= 1.0);
+  (* non-finite observations are dropped, not crashed on *)
+  Metrics.observe "h" Float.infinity;
+  Alcotest.(check (option (float 1e-9))) "inf dropped" (Some 1000.) (Metrics.get "h")
+
+(* ---- profile report ---- *)
+
+let test_profile_report () =
+  let records =
+    [
+      { Profile.pr_name = "conv"; pr_group = 0; pr_calls = 2; pr_time_s = 2e-3;
+        pr_launch_s = 1e-5; pr_bytes = 1e6; pr_flops = 1e9 };
+      { Profile.pr_name = "dense"; pr_group = 1; pr_calls = 2; pr_time_s = 1e-3;
+        pr_launch_s = 1e-5; pr_bytes = 2e5; pr_flops = 1e8 };
+    ]
+  in
+  let report =
+    { Profile.rp_target = "cuda"; rp_records = records; rp_total_s = 3.02e-3 }
+  in
+  let table = Profile.to_table report in
+  checkb "table ranks conv first" (index_of table "conv" < index_of table "dense");
+  let j = Json.parse (Json.to_string (Profile.to_json report)) in
+  match Option.bind (Json.member "kernels" j) Json.to_list_opt with
+  | Some l -> Alcotest.(check int) "2 kernels in json" 2 (List.length l)
+  | None -> Alcotest.fail "missing kernels"
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "disabled mode zero cost" `Quick test_disabled_zero_cost;
+    Alcotest.test_case "chrome json wellformed" `Quick test_chrome_json_wellformed;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "profile report" `Quick test_profile_report;
+  ]
