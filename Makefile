@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
-.PHONY: all build test check bench-json clean
+.PHONY: all build test check check-fault bench-json clean
 
 all: build
 
@@ -10,7 +10,15 @@ build:
 test:
 	dune runtest
 
-check: build test
+# Fault-injection suite at three different fault-plan seeds (the suite
+# derives its plans from FAULT_SEED, so each run exercises different
+# injected fault sequences).
+check-fault: build
+	FAULT_SEED=1 dune exec test/test_main.exe -- test faults
+	FAULT_SEED=7 dune exec test/test_main.exe -- test faults
+	FAULT_SEED=23 dune exec test/test_main.exe -- test faults
+
+check: build test check-fault
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the

@@ -115,12 +115,44 @@ let tune_cmd =
   let method_ =
     Arg.(value & opt string "ml" & info [ "method" ] ~doc:"ml | random | genetic")
   in
-  let run workload trials method_name trace_out metrics_out =
+  let fault_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-rate" ]
+          ~doc:
+            "Inject transient measurement faults (timeouts, crashes, corrupted \
+             runs) at this per-attempt rate, 0 = off")
+  in
+  let max_retries =
+    Arg.(
+      value
+      & opt int Tvm_rpc.Retry_policy.default.Tvm_rpc.Retry_policy.max_retries
+      & info [ "max-retries" ] ~doc:"Extra measurement attempts after a transient fault")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt float (1e3 *. Tvm_rpc.Retry_policy.default.Tvm_rpc.Retry_policy.timeout_s)
+      & info [ "timeout-ms" ] ~doc:"Per-job measurement budget on the simulated clock")
+  in
+  let run workload trials method_name fault_rate max_retries timeout_ms trace_out
+      metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
     let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
-    let pool = Tvm_rpc.Device_pool.create [ Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x ] in
+    let fault_plan =
+      if fault_rate > 0. then Tvm_rpc.Fault.transient ~rate:fault_rate ()
+      else Tvm_rpc.Fault.none
+    in
+    let retry =
+      { Tvm_rpc.Retry_policy.default with
+        Tvm_rpc.Retry_policy.max_retries; timeout_s = timeout_ms /. 1e3 }
+    in
+    let pool =
+      Tvm_rpc.Device_pool.create ~fault_plan ~retry
+        [ Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x ]
+    in
     let measure = Tvm_rpc.Device_pool.measure_fn pool ~kind_pred:(fun _ -> true) in
     let method_ =
       match method_name with
@@ -131,13 +163,35 @@ let tune_cmd =
     Printf.printf "tuning %s (%s) on titan-x, %d trials, space %d...\n%!"
       (Workloads.to_string w) method_name trials
       (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space);
-    let res = Tvm_autotune.Tuner.tune ~method_ ~measure ~n_trials:trials tpl in
+    let db = Tvm_autotune.Tuner.Db.create () in
+    let res =
+      Tvm_autotune.Tuner.tune
+        ~options:
+          { Tvm_autotune.Tuner.Options.default with
+            Tvm_autotune.Tuner.Options.db = Some db }
+        ~method_ ~measure ~n_trials:trials tpl
+    in
     Printf.printf "best: %.3f ms with %s\n"
       (1e3 *. res.Tvm_autotune.Tuner.best_time)
-      (Tvm_autotune.Cfg_space.to_string res.Tvm_autotune.Tuner.best_config)
+      (Tvm_autotune.Cfg_space.to_string res.Tvm_autotune.Tuner.best_config);
+    Printf.printf "trial outcomes: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (s, n) -> Printf.sprintf "%s=%d" s n)
+            (Tvm_autotune.Tuner.Db.status_counts db)));
+    let metric name =
+      match Obs.Metrics.get name with Some v -> int_of_float v | None -> 0
+    in
+    if fault_rate > 0. then
+      Printf.printf
+        "pool: %d retries, %d timeouts, %d crashes, %d unstable, %d quarantined\n"
+        (metric "pool.retries") (metric "pool.timeouts") (metric "pool.crashes")
+        (metric "pool.corrupt") (Tvm_rpc.Device_pool.quarantined_count pool)
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
-    Term.(const run $ workload $ trials $ method_ $ trace_out_arg $ metrics_out_arg)
+    Term.(
+      const run $ workload $ trials $ method_ $ fault_rate $ max_retries
+      $ timeout_ms $ trace_out_arg $ metrics_out_arg)
 
 (* ---- profile ---- *)
 

@@ -49,4 +49,37 @@ let () =
     (String.concat "; "
        (List.map
           (fun (name, jobs, busy) -> Printf.sprintf "%s ran %d jobs (%.1fs busy)" name jobs busy)
-          devices))
+          devices));
+
+  (* The same search on an unreliable fleet: two GPUs with 20%
+     transient faults, one of which also dies early. Retries and
+     quarantine keep the loop converging on the survivors. *)
+  Printf.printf "\n--- fault-tolerant tuning on a flaky fleet ---\n";
+  let fault_plan =
+    Tvm_rpc.Fault.with_device
+      (Tvm_rpc.Fault.transient ~seed:1 ~rate:0.2 ())
+      1
+      { Tvm_rpc.Fault.no_fault_rates with Tvm_rpc.Fault.death_rate = 0.1 }
+  in
+  let flaky =
+    Pool.create ~fault_plan [ Pool.Gpu_dev Machine.titan_x; Pool.Gpu_dev Machine.titan_x ]
+  in
+  let db = Tuner.Db.create () in
+  let res =
+    Tuner.tune
+      ~options:{ Tuner.Options.default with Tuner.Options.db = Some db }
+      ~method_:Tuner.Ml_model
+      ~measure:(Pool.measure_fn flaky ~kind_pred:Pool.is_gpu)
+      ~n_trials:budget tpl
+  in
+  Printf.printf "best on flaky fleet: %.3f ms\n" (1e3 *. res.Tuner.best_time);
+  Printf.printf "trial outcomes: %s\n"
+    (String.concat ", "
+       (List.map (fun (s, n) -> Printf.sprintf "%s=%d" s n) (Tuner.Db.status_counts db)));
+  List.iter
+    (fun (h : Pool.device_health) ->
+      Printf.printf "  device %d: %d ok / %d attempts, %d failures%s%s\n"
+        h.Pool.h_dev_id h.Pool.h_jobs_run h.Pool.h_attempts h.Pool.h_failures
+        (if h.Pool.h_dead then " [dead]" else "")
+        (if h.Pool.h_quarantined then " [quarantined]" else ""))
+    (Pool.health flaky)

@@ -1,0 +1,48 @@
+(** Structured measurement results.
+
+    Every measurement of a candidate configuration — whether it ran on
+    a device, timed out, crashed, or never lowered — is reported as a
+    [Measure_result.t]. This replaces the old convention of signalling
+    failure in-band as [infinity]: the status says *why* a trial
+    produced no number, and [attempts] says how hard the pool worked
+    for it (retries included). *)
+
+type status =
+  | Ok  (** measurement succeeded; [time_s] holds the run time *)
+  | Timeout  (** the job exceeded its per-job budget (or hung) *)
+  | Crash  (** the remote run died before reporting a time *)
+  | Invalid_config  (** the configuration failed lowering/validation *)
+  | Pool_error of string
+      (** infrastructure failure: unstable measurements that never
+          stabilised, a pool with no healthy device left, ... *)
+
+type t = {
+  time_s : float option;  (** [Some t] iff [status = Ok] *)
+  status : status;
+  attempts : int;  (** measurement attempts consumed, retries included *)
+}
+
+let ok ?(attempts = 1) time_s = { time_s = Some time_s; status = Ok; attempts }
+let fail ?(attempts = 1) status = { time_s = None; status; attempts }
+let invalid_config = { time_s = None; status = Invalid_config; attempts = 0 }
+let is_ok r = match r.status with Ok -> true | _ -> false
+
+(** The measured time, present only for successful trials. *)
+let time r = r.time_s
+
+let status_name = function
+  | Ok -> "ok"
+  | Timeout -> "timeout"
+  | Crash -> "crash"
+  | Invalid_config -> "invalid_config"
+  | Pool_error _ -> "pool_error"
+
+let to_string r =
+  match r.status with
+  | Ok ->
+      Printf.sprintf "ok(%.6gs, %d attempt%s)"
+        (match r.time_s with Some t -> t | None -> Float.nan)
+        r.attempts
+        (if r.attempts = 1 then "" else "s")
+  | Pool_error msg -> Printf.sprintf "pool_error(%s, %d attempts)" msg r.attempts
+  | s -> Printf.sprintf "%s(%d attempts)" (status_name s) r.attempts

@@ -1,0 +1,39 @@
+(** Structured measurement results.
+
+    Every measurement of a candidate configuration is reported as a
+    [Measure_result.t] instead of a bare float: the status says *why*
+    a trial produced no number, and [attempts] says how many tries
+    (retries included) the device pool spent on it. No caller should
+    ever encode measurement failure as [infinity] again. *)
+
+type status =
+  | Ok  (** measurement succeeded; [time_s] holds the run time *)
+  | Timeout  (** the job exceeded its per-job budget (or hung) *)
+  | Crash  (** the remote run died before reporting a time *)
+  | Invalid_config  (** the configuration failed lowering/validation *)
+  | Pool_error of string
+      (** infrastructure failure: unstable measurements that never
+          stabilised, a pool with no healthy device left, ... *)
+
+type t = {
+  time_s : float option;  (** [Some t] iff [status = Ok] *)
+  status : status;
+  attempts : int;  (** measurement attempts consumed, retries included *)
+}
+
+val ok : ?attempts:int -> float -> t
+val fail : ?attempts:int -> status -> t
+
+(** A configuration that failed template instantiation ([attempts = 0]). *)
+val invalid_config : t
+
+val is_ok : t -> bool
+
+(** The measured time, present only for successful trials. *)
+val time : t -> float option
+
+(** Stable short name for a status ("ok", "timeout", "crash",
+    "invalid_config", "pool_error") — used as metric and Db keys. *)
+val status_name : status -> string
+
+val to_string : t -> string

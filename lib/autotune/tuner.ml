@@ -5,7 +5,13 @@
     measured on the (simulated) device via the measurement callback —
     in the full system this goes through the RPC device pool — and the
     collected data retrains the model. Exploration state persists
-    across model updates, as in the paper. *)
+    across model updates, as in the paper.
+
+    Measurements come back as structured [Measure_result.t] values:
+    failed trials (timeouts, crashes, invalid configurations, pool
+    errors) are recorded in the history and database with their
+    failure category, but never pollute the cost model's training
+    set. *)
 
 module Obs_trace = Tvm_obs.Trace
 module Obs_metrics = Tvm_obs.Metrics
@@ -27,7 +33,7 @@ let method_to_string = function
 type trial = {
   trial_index : int;
   config : Cfg_space.config;
-  time_s : float;
+  result : Measure_result.t;
   best_so_far : float;
 }
 
@@ -38,39 +44,87 @@ type result = {
   model_accuracy : float;  (** final rank accuracy on collected data *)
 }
 
-type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> float
-(** Returns measured run time in seconds ([infinity] = invalid). *)
+type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> Measure_result.t
+(** Measure one instantiated configuration; failure is expressed only
+    through [Measure_result.status], never as a sentinel float. *)
 
 (** A database of measurement records (§5.4's log), shared across tuning
     jobs so related workloads benefit from history. The full record log
     is kept for history/training; best-per-key lookups go through a
-    hash index so [best] is O(1) instead of a scan of every record. *)
+    hash index so [best] is O(1) instead of a scan of every record.
+    Failure categories are tallied per status so fleet health is
+    visible from the log alone. *)
 module Db = struct
-  type record = { db_key : string; db_config : Cfg_space.config; db_time : float }
+  type record = {
+    db_key : string;
+    db_config : Cfg_space.config;
+    db_result : Measure_result.t;
+  }
 
   type t = {
     mutable records : record list;  (** complete log, newest first *)
     best_by_key : (string, record) Hashtbl.t;
     mutable n_records : int;
+    status_tally : (string, int) Hashtbl.t;  (** status name → count *)
   }
 
-  let create () = { records = []; best_by_key = Hashtbl.create 64; n_records = 0 }
+  let create () =
+    {
+      records = [];
+      best_by_key = Hashtbl.create 64;
+      n_records = 0;
+      status_tally = Hashtbl.create 8;
+    }
 
-  let add t key config time =
-    let r = { db_key = key; db_config = config; db_time = time } in
+  let add t key config (result : Measure_result.t) =
+    let r = { db_key = key; db_config = config; db_result = result } in
     t.records <- r :: t.records;
     t.n_records <- t.n_records + 1;
-    match Hashtbl.find_opt t.best_by_key key with
-    | Some b when b.db_time <= time -> ()
-    | _ -> Hashtbl.replace t.best_by_key key r
+    let sname = Measure_result.status_name result.Measure_result.status in
+    Hashtbl.replace t.status_tally sname
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.status_tally sname));
+    match result.Measure_result.time_s with
+    | None -> ()  (* failed trials never enter the best index *)
+    | Some time -> (
+        match Hashtbl.find_opt t.best_by_key key with
+        | Some { db_result = { Measure_result.time_s = Some bt; _ }; _ }
+          when bt <= time ->
+            ()
+        | _ -> Hashtbl.replace t.best_by_key key r)
 
+  (** Best successful record for [key], O(1). *)
   let best t key = Hashtbl.find_opt t.best_by_key key
+
   let size t = t.n_records
+
+  (** Count of records with the given status name (see
+      [Measure_result.status_name]). *)
+  let status_count t name =
+    Option.value ~default:0 (Hashtbl.find_opt t.status_tally name)
+
+  (** All (status name, count) pairs, sorted by name. *)
+  let status_counts t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.status_tally []
+    |> List.sort compare
 end
 
-let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
-    ~(method_ : method_) ~(measure : measure_fn) ~(n_trials : int)
-    (template : template) : result =
+(** Knobs of the tuning loop, consolidated so adding one stops
+    rippling through every call site. Override what you need:
+    [{ Options.default with seed = 7 }]. *)
+module Options = struct
+  type t = {
+    seed : int;
+    batch : int;  (** configurations measured per model update *)
+    sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
+    n_chains : int;  (** parallel annealing chains *)
+    db : Db.t option;  (** shared measurement log, if any *)
+  }
+
+  let default = { seed = 42; batch = 16; sa_steps = 60; n_chains = 16; db = None }
+end
+
+let tune ?(options = Options.default) ~(method_ : method_)
+    ~(measure : measure_fn) ~(n_trials : int) (template : template) : result =
   Obs_trace.with_span "tune"
     ~attrs:
       [
@@ -79,43 +133,60 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
         ("trials", string_of_int n_trials);
       ]
   @@ fun () ->
+  let { Options.seed; batch; sa_steps; n_chains; db } = options in
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
   let visited = Hashtbl.create 256 in
   let xs = ref [] and ys = ref [] in
   let history = ref [] in
-  let best_time = ref Float.infinity in
+  let best_time = ref Float.max_float in
   let best_config = ref None in
   let trial_index = ref 0 in
-  let measure_config cfg =
-    if !trial_index >= n_trials then ()
+  (* Measure one configuration and return its structured result
+     directly ([None] once the trial budget is spent) — callers such
+     as the genetic-algorithm branch read the trial time from the
+     return value instead of re-fetching the head of [history]. *)
+  let measure_config cfg : Measure_result.t option =
+    if !trial_index >= n_trials then None
     else begin
       Hashtbl.replace visited (Cfg_space.hash cfg) ();
       let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
-      let time =
+      let result =
         match stmt with
-        | Some s -> ( try measure cfg s with _ -> Float.infinity)
-        | None -> Float.infinity
+        | None -> Measure_result.invalid_config
+        | Some s -> (
+            try measure cfg s
+            with e ->
+              (* Pool exhaustion and other infrastructure failures
+                 become trials with a pool_error category; the loop
+                 keeps going on whatever budget remains. *)
+              Measure_result.fail (Measure_result.Pool_error (Printexc.to_string e)))
       in
-      (match stmt with
-      | Some s when Float.is_finite time ->
+      (match (stmt, result.Measure_result.time_s) with
+      | Some s, Some time ->
+          (* Only successful measurements train the cost model. *)
           xs := Feature.extract s :: !xs;
           ys := -.Float.log time :: !ys
       | _ -> ());
-      if time < !best_time then begin
-        best_time := time;
-        best_config := Some cfg
-      end;
+      (match result.Measure_result.time_s with
+      | Some time when time < !best_time ->
+          best_time := time;
+          best_config := Some cfg
+      | _ -> ());
       incr trial_index;
       (match db with
-      | Some db -> Db.add db template.tpl_name cfg time
+      | Some db -> Db.add db template.tpl_name cfg result
       | None -> ());
       history :=
-        { trial_index = !trial_index; config = cfg; time_s = time;
+        { trial_index = !trial_index; config = cfg; result;
           best_so_far = !best_time }
         :: !history;
       Obs_metrics.incr "tuner.trials";
-      if Float.is_finite time then Obs_metrics.observe "tuner.trial_time_s" time;
-      if Float.is_finite !best_time then
+      Obs_metrics.incr
+        ("tuner.status." ^ Measure_result.status_name result.Measure_result.status);
+      (match result.Measure_result.time_s with
+      | Some time -> Obs_metrics.observe "tuner.trial_time_s" time
+      | None -> Obs_metrics.incr "tuner.failed_trials");
+      if !best_config <> None then
         Obs_metrics.set_gauge "tuner.best_time_s" !best_time;
       (* Guarded so the attribute strings are never built when tracing
          is off — this is the tuner's innermost loop. *)
@@ -125,9 +196,16 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
             [
               ("template", template.tpl_name);
               ("trial", string_of_int !trial_index);
-              ("time_ms", Printf.sprintf "%.6f" (1e3 *. time));
-              ("best_ms", Printf.sprintf "%.6f" (1e3 *. !best_time));
-            ]
+              ("status", Measure_result.status_name result.Measure_result.status);
+              ( "time_ms",
+                match result.Measure_result.time_s with
+                | Some t -> Printf.sprintf "%.6f" (1e3 *. t)
+                | None -> "-" );
+              ( "best_ms",
+                if !best_config = None then "-"
+                else Printf.sprintf "%.6f" (1e3 *. !best_time) );
+            ];
+      Some result
     end
   in
   let feature_memo : (int, float array option) Hashtbl.t = Hashtbl.create 1024 in
@@ -139,7 +217,7 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
      if i < seed_attempts && !trial_index = 0 then begin
        let cfg = Cfg_space.random_config template.tpl_space rng in
        (match (try Some (template.tpl_instantiate cfg) with _ -> None) with
-       | Some _ -> measure_config cfg
+       | Some _ -> ignore (measure_config cfg)
        | None -> ());
        seek (i + 1)
      end
@@ -156,7 +234,7 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
     (match method_ with
     | Random_search ->
         let cfgs = Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now in
-        List.iter measure_config cfgs
+        List.iter (fun cfg -> ignore (measure_config cfg)) cfgs
     | Genetic_algorithm ->
         let cfgs =
           if !trial_index = 0 then
@@ -164,8 +242,15 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
           else Explorers.Genetic.next_generation template.tpl_space rng ga_state ~mutation_rate:0.3
         in
         let cfgs = List.filteri (fun i _ -> i < batch_now) cfgs in
-        let times = List.map (fun cfg -> measure_config cfg; (List.hd !history).time_s) cfgs in
-        let fitness = List.map (fun t -> if Float.is_finite t then -.Float.log t else -1e9) times in
+        let results = List.map measure_config cfgs in
+        let fitness =
+          List.map
+            (fun r ->
+              match Option.bind r Measure_result.time with
+              | Some t -> -.Float.log t
+              | None -> -1e9  (* failed or unmeasured: minimal fitness *))
+            results
+        in
         (* Population and measured prefix may differ on the last round. *)
         if List.length fitness = List.length ga_state.Explorers.Genetic.population then
           Explorers.Genetic.record_fitness ga_state fitness
@@ -214,7 +299,7 @@ let tune ?(seed = 42) ?(batch = 16) ?(sa_steps = 60) ?(n_chains = 16) ?db
                 Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
               else proposed @ filler
         in
-        List.iter measure_config cfgs;
+        List.iter (fun cfg -> ignore (measure_config cfg)) cfgs;
         if !xs <> [] then
           model := Some (Gbt.fit (Array.of_list !xs) (Array.of_list !ys)));
     (* A round with no new measurements means the space is exhausted. *)

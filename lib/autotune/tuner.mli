@@ -1,0 +1,92 @@
+(** The automated optimization loop (§5, Fig 11).
+
+    [tune] alternates between proposing candidate configurations
+    (random search, a genetic algorithm, or the paper's ML-guided
+    simulated annealing) and measuring them through a [measure_fn] —
+    in the full system the RPC device pool. Measurements come back as
+    structured {!Measure_result.t} values; failed trials are recorded
+    with their failure category and never train the cost model. *)
+
+type template = {
+  tpl_name : string;
+  tpl_space : Cfg_space.t;
+  tpl_instantiate : Cfg_space.config -> Tvm_tir.Stmt.t;
+      (** lowered program for a configuration; raises on invalid ones *)
+}
+
+type method_ = Ml_model | Random_search | Genetic_algorithm
+
+val method_to_string : method_ -> string
+
+type trial = {
+  trial_index : int;  (** 1-based position in measurement order *)
+  config : Cfg_space.config;
+  result : Measure_result.t;
+  best_so_far : float;  (** best successful time up to this trial *)
+}
+
+type result = {
+  best_config : Cfg_space.config;
+  best_time : float;  (** always finite: [tune] raises if no trial succeeded *)
+  history : trial list;  (** in measurement order *)
+  model_accuracy : float;  (** final rank accuracy on collected data *)
+}
+
+type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> Measure_result.t
+(** Measure one instantiated configuration; failure is expressed only
+    through [Measure_result.status], never as a sentinel float. *)
+
+(** A database of measurement records (§5.4's log), shared across
+    tuning jobs so related workloads benefit from history. Keeps the
+    complete record log, an O(1) best-per-key index over successful
+    trials, and a per-status tally of failure categories. *)
+module Db : sig
+  type record = {
+    db_key : string;
+    db_config : Cfg_space.config;
+    db_result : Measure_result.t;
+  }
+
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> Cfg_space.config -> Measure_result.t -> unit
+
+  (** Best successful record for a key, O(1). *)
+  val best : t -> string -> record option
+
+  val size : t -> int
+
+  (** Count of records with the given status name (see
+      [Measure_result.status_name]). *)
+  val status_count : t -> string -> int
+
+  (** All (status name, count) pairs, sorted by name. *)
+  val status_counts : t -> (string * int) list
+end
+
+(** Knobs of the tuning loop, consolidated so adding one stops
+    rippling through every call site. Override what you need:
+    [{ Options.default with seed = 7 }]. *)
+module Options : sig
+  type t = {
+    seed : int;
+    batch : int;  (** configurations measured per model update *)
+    sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
+    n_chains : int;  (** parallel annealing chains *)
+    db : Db.t option;  (** shared measurement log, if any *)
+  }
+
+  val default : t
+end
+
+(** Run the optimization loop for [n_trials] measurements (failed
+    trials consume budget too). Raises [Invalid_argument] if no
+    configuration ever measured successfully. *)
+val tune :
+  ?options:Options.t ->
+  method_:method_ ->
+  measure:measure_fn ->
+  n_trials:int ->
+  template ->
+  result

@@ -132,8 +132,9 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
                      better: guards against a seed-stranded run. *)
                   let half = max 8 (options.tune_trials / 2) in
                   let run seed =
-                    Tuner.tune ~seed ~method_:options.tuner_method ~measure
-                      ~n_trials:half tpl
+                    Tuner.tune
+                      ~options:{ Tuner.Options.default with Tuner.Options.seed }
+                      ~method_:options.tuner_method ~measure ~n_trials:half tpl
                   in
                   let r1 = run options.seed in
                   let r2 = run (options.seed + 1000) in

@@ -94,12 +94,19 @@ let ablation_explorer ?(n_trials = 240) () =
   let tpl, _ = Fig_micro.fig12_template () in
   let pool = Pool.create [ Pool.Gpu_dev Machine.titan_x ] in
   let measure = Pool.measure_fn pool ~kind_pred:(fun _ -> true) in
-  let sa = Tuner.tune ~seed:5 ~method_:Tuner.Ml_model ~measure ~n_trials tpl in
+  let sa =
+    Tuner.tune
+      ~options:{ Tuner.Options.default with Tuner.Options.seed = 5 }
+      ~method_:Tuner.Ml_model ~measure ~n_trials tpl
+  in
   (* Greedy: rank a large random pool with the model, measure top-k.
      Approximated here by SA with zero walk steps. *)
   let greedy =
-    Tuner.tune ~seed:5 ~sa_steps:1 ~n_chains:64 ~method_:Tuner.Ml_model ~measure
-      ~n_trials tpl
+    Tuner.tune
+      ~options:
+        { Tuner.Options.default with Tuner.Options.seed = 5; sa_steps = 1;
+          n_chains = 64 }
+      ~method_:Tuner.Ml_model ~measure ~n_trials tpl
   in
   Printf.printf "SA explorer best:      %.3f ms\n" (ms sa.Tuner.best_time);
   Printf.printf "greedy ranking best:   %.3f ms\n" (ms greedy.Tuner.best_time);

@@ -30,7 +30,9 @@ let force_knob (tpl : Tuner.template) (k, v) =
 let tune_gpu ?(method_ = Tuner.Ml_model) ?(seed = 42) ~trials tpl =
   let pool = Pool.create [ Pool.Gpu_dev titan ] in
   let measure = Pool.measure_fn pool ~kind_pred:Pool.is_gpu in
-  Tuner.tune ~seed ~method_ ~measure ~n_trials:trials tpl
+  Tuner.tune
+    ~options:{ Tuner.Options.default with Tuner.Options.seed }
+    ~method_ ~measure ~n_trials:trials tpl
 
 (* ------------------------------------------------------------------ *)
 (* Fig 4: operator fusion                                               *)

@@ -6,12 +6,21 @@
     upload, compilation and repeated timed runs on a simulated wall
     clock. This exercises the scheduling/batching code paths of the
     paper's infrastructure while measurements themselves come from the
-    analytical machine models plus deterministic noise. *)
+    analytical machine models plus deterministic noise.
+
+    The pool is fault-tolerant: a {!Fault.plan} injects deterministic
+    transient timeouts, crashes, corrupted measurements and device
+    deaths, and a {!Retry_policy.t} governs bounded retries with
+    exponential backoff, the per-job timeout, and quarantine of
+    devices whose error rate crosses a threshold. Jobs degrade
+    gracefully to the remaining healthy devices; {!No_healthy_device}
+    is raised only when the pool is truly exhausted. *)
 
 open Tvm_tir
 module Machine = Tvm_sim.Machine
 module Cpu_model = Tvm_sim.Cpu_model
 module Gpu_model = Tvm_sim.Gpu_model
+module Measure_result = Tvm_autotune.Measure_result
 
 type device_kind =
   | Cpu_dev of Machine.cpu
@@ -25,7 +34,11 @@ type device = {
   dev_id : int;
   dev_kind : device_kind;
   mutable busy_until : float;  (** simulated wall-clock seconds *)
-  mutable jobs_run : int;
+  mutable jobs_run : int;  (** successful measurements *)
+  mutable attempts : int;  (** measurement attempts, failures included *)
+  mutable failures : int;
+  mutable dead : bool;  (** dropped out of the pool permanently *)
+  mutable quarantined : bool;  (** error rate crossed the threshold *)
 }
 
 type t = {
@@ -35,16 +48,26 @@ type t = {
   noise : float;  (** relative measurement noise amplitude *)
   repeats : int;  (** timed repetitions per measurement *)
   overhead_s : float;  (** upload + build + RPC round trip per job *)
+  fault_plan : Fault.plan;
+  retry : Retry_policy.t;
 }
 
-let create ?(noise = 0.05) ?(repeats = 3) ?(overhead_s = 0.5) kinds =
+let create ?(noise = 0.05) ?(repeats = 3) ?(overhead_s = 0.5)
+    ?(fault_plan = Fault.none) ?(retry = Retry_policy.default) kinds =
   {
-    devices = List.mapi (fun i k -> { dev_id = i; dev_kind = k; busy_until = 0.; jobs_run = 0 }) kinds;
+    devices =
+      List.mapi
+        (fun i k ->
+          { dev_id = i; dev_kind = k; busy_until = 0.; jobs_run = 0;
+            attempts = 0; failures = 0; dead = false; quarantined = false })
+        kinds;
     clock = 0.;
     total_jobs = 0;
     noise;
     repeats;
     overhead_s;
+    fault_plan;
+    retry;
   }
 
 (** Deterministic noise in [-1,1] from a key (config hash). *)
@@ -55,14 +78,23 @@ let noise_of_key key =
   (float_of_int !h /. float_of_int 0x3FFFFFFF *. 2.) -. 1.
 
 exception No_matching_device of string
+exception No_healthy_device of string
+
+let healthy d = (not d.dead) && not d.quarantined
 
 let request t ~kind_pred =
-  match
-    List.filter (fun d -> kind_pred d.dev_kind) t.devices
-    |> List.sort (fun a b -> compare a.busy_until b.busy_until)
-  with
+  match List.filter (fun d -> kind_pred d.dev_kind) t.devices with
   | [] -> raise (No_matching_device "device pool: no device of requested type")
-  | d :: _ -> d
+  | matching -> (
+      match
+        List.filter healthy matching
+        |> List.sort (fun a b -> compare a.busy_until b.busy_until)
+      with
+      | [] ->
+          raise
+            (No_healthy_device
+               "device pool: every matching device is dead or quarantined")
+      | d :: _ -> d)
 
 (** Model run time of [stmt] on a device. *)
 let model_time dev stmt =
@@ -74,38 +106,155 @@ let model_time dev stmt =
 let makespan t =
   List.fold_left (fun acc d -> Float.max acc d.busy_until) t.clock t.devices
 
-(** Submit a measurement job: returns the measured (noisy) run time and
-    advances the pool's simulated clock. [key] seeds the deterministic
-    noise so a config always measures the same. *)
-let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : float =
-  let dev = request t ~kind_pred in
-  let base = model_time dev stmt in
-  let measured =
-    if Float.is_finite base then base *. (1. +. (t.noise *. noise_of_key key))
-    else base
-  in
-  let start = Float.max t.clock dev.busy_until in
-  let queue_wait = start -. t.clock in
-  let run_cost =
-    if Float.is_finite measured then float_of_int t.repeats *. measured else 0.01
-  in
-  dev.busy_until <- start +. t.overhead_s +. run_cost;
-  dev.jobs_run <- dev.jobs_run + 1;
-  t.clock <- Float.max t.clock start;
-  t.total_jobs <- t.total_jobs + 1;
-  Tvm_obs.Metrics.incr "pool.jobs";
-  Tvm_obs.Metrics.observe "pool.queue_wait_s" queue_wait;
-  Tvm_obs.Metrics.observe "pool.job_cost_s" (t.overhead_s +. run_cost);
-  Tvm_obs.Metrics.set_gauge "pool.makespan_s" (makespan t);
+let quarantined_count t =
+  List.length (List.filter (fun d -> d.quarantined) t.devices)
+
+(** Record a failed attempt on [dev] and quarantine it if its error
+    rate has crossed the policy threshold — unless it is the last
+    healthy device, which stays in service however flaky it is:
+    quarantine must never empty the pool. *)
+let record_failure t dev =
+  dev.failures <- dev.failures + 1;
+  let r = t.retry in
+  if
+    healthy dev
+    && List.exists (fun d -> d != dev && healthy d) t.devices
+    && dev.attempts >= r.Retry_policy.quarantine_min_jobs
+    && float_of_int dev.failures /. float_of_int dev.attempts
+       > r.Retry_policy.quarantine_error_rate
+  then begin
+    dev.quarantined <- true;
+    Tvm_obs.Metrics.incr "pool.quarantined";
+    Tvm_obs.Metrics.set_gauge "pool.quarantined_devices"
+      (float_of_int (quarantined_count t));
+    if Tvm_obs.Trace.enabled () then
+      Tvm_obs.Trace.instant "pool.quarantine"
+        ~attrs:
+          [
+            ("device", kind_name dev.dev_kind);
+            ("dev_id", string_of_int dev.dev_id);
+            ("failures", string_of_int dev.failures);
+            ("attempts", string_of_int dev.attempts);
+          ]
+  end
+
+let job_event dev status ~measured ~queue_wait =
   if Tvm_obs.Trace.enabled () then
     Tvm_obs.Trace.instant "pool.job"
       ~attrs:
         [
           ("device", kind_name dev.dev_kind);
-          ("measured_ms", Printf.sprintf "%.6f" (1e3 *. measured));
+          ("status", status);
+          ( "measured_ms",
+            match measured with
+            | Some m -> Printf.sprintf "%.6f" (1e3 *. m)
+            | None -> "-" );
           ("queue_wait_s", Printf.sprintf "%.3f" queue_wait);
-        ];
-  measured
+        ]
+
+(** Submit a measurement job and return its structured result,
+    advancing the pool's simulated clock. [key] seeds the
+    deterministic noise so a config always measures the same.
+    Transient faults are retried per the pool's {!Retry_policy.t};
+    permanent failures (invalid configurations, deterministic
+    overruns) are not. *)
+let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : Measure_result.t =
+  let retry = t.retry in
+  let rec attempt_job n =
+    match request t ~kind_pred with
+    | exception No_healthy_device msg when n > 0 ->
+        (* The pool was lost out from under an in-flight job (its last
+           devices died or were quarantined during the retries): degrade
+           to a structured failure. A fresh submission (n = 0) to an
+           exhausted pool still raises. *)
+        Measure_result.fail ~attempts:n (Measure_result.Pool_error msg)
+    | dev ->
+    dev.attempts <- dev.attempts + 1;
+    t.total_jobs <- t.total_jobs + 1;
+    Tvm_obs.Metrics.incr "pool.jobs";
+    let start = Float.max t.clock dev.busy_until in
+    let queue_wait = start -. t.clock in
+    Tvm_obs.Metrics.observe "pool.queue_wait_s" queue_wait;
+    t.clock <- Float.max t.clock start;
+    (* Account the failed attempt's cost on the device, then either
+       back off and retry on whichever device is free next, or give
+       up with the failure's category. *)
+    let transient_failure status ~cost ~metric =
+      dev.busy_until <- start +. cost;
+      Tvm_obs.Metrics.incr metric;
+      Tvm_obs.Metrics.observe "pool.job_cost_s" cost;
+      record_failure t dev;
+      job_event dev (Measure_result.status_name status) ~measured:None ~queue_wait;
+      if n < retry.Retry_policy.max_retries then begin
+        Tvm_obs.Metrics.incr "pool.retries";
+        t.clock <- t.clock +. Retry_policy.backoff_s retry ~attempt:n;
+        attempt_job (n + 1)
+      end
+      else Measure_result.fail ~attempts:(n + 1) status
+    in
+    match Fault.draw t.fault_plan ~dev_id:dev.dev_id ~attempt:dev.attempts with
+    | Fault.Died ->
+        (* The board drops off the tracker; the in-flight job is lost
+           and rescheduled on the remaining devices. *)
+        dev.dead <- true;
+        record_failure t dev;
+        Tvm_obs.Metrics.incr "pool.device_deaths";
+        job_event dev "device_death" ~measured:None ~queue_wait;
+        if n < retry.Retry_policy.max_retries then begin
+          Tvm_obs.Metrics.incr "pool.retries";
+          attempt_job (n + 1)
+        end
+        else Measure_result.fail ~attempts:(n + 1) Measure_result.Crash
+    | Fault.Timeout ->
+        (* The job hangs; the tracker kills it at the per-job budget. *)
+        transient_failure Measure_result.Timeout
+          ~cost:retry.Retry_policy.timeout_s ~metric:"pool.timeouts"
+    | Fault.Crash ->
+        transient_failure Measure_result.Crash ~cost:t.overhead_s
+          ~metric:"pool.crashes"
+    | (Fault.No_fault | Fault.Corrupt _) as outcome -> (
+        let base = model_time dev stmt in
+        if not (Float.is_finite base) then begin
+          (* The machine model rejected the schedule: this is the one
+             place where the model's infinity sentinel is translated
+             into a structured status. Deterministic, so no retry. *)
+          dev.busy_until <- start +. 0.01;
+          Tvm_obs.Metrics.incr "pool.invalid_configs";
+          job_event dev "invalid_config" ~measured:None ~queue_wait;
+          Measure_result.fail ~attempts:(n + 1) Measure_result.Invalid_config
+        end
+        else
+          let measured = base *. (1. +. (t.noise *. noise_of_key key)) in
+          match outcome with
+          | Fault.Corrupt factor ->
+              (* One of the [repeats] timed runs came back as a wild
+                 outlier; the disagreement is detected and the
+                 measurement discarded as unstable. *)
+              transient_failure
+                (Measure_result.Pool_error "unstable measurement")
+                ~cost:(t.overhead_s +. (float_of_int t.repeats *. measured *. factor))
+                ~metric:"pool.corrupt"
+          | _ ->
+              let run_cost = float_of_int t.repeats *. measured in
+              if t.overhead_s +. run_cost > retry.Retry_policy.timeout_s then begin
+                (* Genuine overrun: the kernel really is slower than
+                   the per-job budget. Deterministic, so no retry. *)
+                dev.busy_until <- start +. retry.Retry_policy.timeout_s;
+                Tvm_obs.Metrics.incr "pool.timeouts";
+                record_failure t dev;
+                job_event dev "timeout" ~measured:(Some measured) ~queue_wait;
+                Measure_result.fail ~attempts:(n + 1) Measure_result.Timeout
+              end
+              else begin
+                dev.busy_until <- start +. t.overhead_s +. run_cost;
+                dev.jobs_run <- dev.jobs_run + 1;
+                Tvm_obs.Metrics.observe "pool.job_cost_s" (t.overhead_s +. run_cost);
+                Tvm_obs.Metrics.set_gauge "pool.makespan_s" (makespan t);
+                job_event dev "ok" ~measured:(Some measured) ~queue_wait;
+                Measure_result.ok ~attempts:(n + 1) measured
+              end)
+  in
+  attempt_job 0
 
 let is_gpu = function Gpu_dev _ -> true | Cpu_dev _ -> false
 let is_cpu = function Cpu_dev _ -> true | Gpu_dev _ -> false
@@ -116,3 +265,28 @@ let measure_fn t ~kind_pred : Tvm_autotune.Tuner.measure_fn =
 
 let stats t =
   List.map (fun d -> (kind_name d.dev_kind, d.jobs_run, d.busy_until)) t.devices
+
+type device_health = {
+  h_dev_id : int;
+  h_name : string;
+  h_jobs_run : int;
+  h_attempts : int;
+  h_failures : int;
+  h_dead : bool;
+  h_quarantined : bool;
+}
+
+(** Per-device health snapshot (job/failure counts, quarantine, death). *)
+let health t =
+  List.map
+    (fun d ->
+      {
+        h_dev_id = d.dev_id;
+        h_name = kind_name d.dev_kind;
+        h_jobs_run = d.jobs_run;
+        h_attempts = d.attempts;
+        h_failures = d.failures;
+        h_dead = d.dead;
+        h_quarantined = d.quarantined;
+      })
+    t.devices

@@ -5,9 +5,20 @@
     assigns each job to the first free matching device, accounting for
     upload, compilation and repeated timed runs on a simulated wall
     clock. Measurements come from the analytical machine models plus
-    deterministic noise keyed by the configuration. *)
+    deterministic noise keyed by the configuration, and are returned
+    as structured {!Measure_result.t} values.
+
+    The pool is fault-tolerant: a {!Fault.plan} injects deterministic
+    transient timeouts, crashes, corrupted measurements and device
+    deaths, and a {!Retry_policy.t} governs bounded retries with
+    exponential backoff, the per-job timeout, and quarantine of
+    devices whose error rate crosses a threshold (never the last
+    healthy device — quarantine cannot empty the pool). Jobs degrade
+    gracefully to the remaining healthy devices; {!No_healthy_device}
+    is raised only when the pool is truly exhausted. *)
 
 module Machine = Tvm_sim.Machine
+module Measure_result = Tvm_autotune.Measure_result
 
 type device_kind =
   | Cpu_dev of Machine.cpu
@@ -19,7 +30,11 @@ type device = {
   dev_id : int;
   dev_kind : device_kind;
   mutable busy_until : float;  (** simulated wall-clock seconds *)
-  mutable jobs_run : int;
+  mutable jobs_run : int;  (** successful measurements *)
+  mutable attempts : int;  (** measurement attempts, failures included *)
+  mutable failures : int;
+  mutable dead : bool;  (** dropped out of the pool permanently *)
+  mutable quarantined : bool;  (** error rate crossed the threshold *)
 }
 
 type t = {
@@ -29,27 +44,50 @@ type t = {
   noise : float;  (** relative measurement noise amplitude *)
   repeats : int;  (** timed repetitions per measurement *)
   overhead_s : float;  (** upload + build + RPC round trip per job *)
+  fault_plan : Fault.plan;
+  retry : Retry_policy.t;
 }
 
 val create :
-  ?noise:float -> ?repeats:int -> ?overhead_s:float -> device_kind list -> t
+  ?noise:float ->
+  ?repeats:int ->
+  ?overhead_s:float ->
+  ?fault_plan:Fault.plan ->
+  ?retry:Retry_policy.t ->
+  device_kind list ->
+  t
 
 (** Deterministic noise in [-1, 1] from a key (config hash). *)
 val noise_of_key : int -> float
 
+(** No device of the requested kind exists in the pool at all. *)
 exception No_matching_device of string
+
+(** Devices of the requested kind exist, but every one of them is dead
+    or quarantined — the pool is truly exhausted. *)
+exception No_healthy_device of string
 
 (** Model run time of a lowered kernel on a device. *)
 val model_time : device -> Tvm_tir.Stmt.t -> float
 
-(** Submit a measurement job: returns the measured (noisy) run time and
-    advances the pool's simulated clock. [key] seeds the deterministic
-    noise so a configuration always measures the same. *)
+(** Submit a measurement job and return its structured result,
+    advancing the pool's simulated clock. [key] seeds the
+    deterministic noise so a configuration always measures the same.
+    Transient faults are retried per the pool's {!Retry_policy.t};
+    permanent failures (invalid configurations, deterministic
+    overruns) are not. *)
 val measure :
-  ?key:int -> t -> kind_pred:(device_kind -> bool) -> Tvm_tir.Stmt.t -> float
+  ?key:int ->
+  t ->
+  kind_pred:(device_kind -> bool) ->
+  Tvm_tir.Stmt.t ->
+  Measure_result.t
 
 (** Wall-clock time at which all submitted jobs have finished. *)
 val makespan : t -> float
+
+(** Number of currently quarantined devices. *)
+val quarantined_count : t -> int
 
 val is_gpu : device_kind -> bool
 val is_cpu : device_kind -> bool
@@ -58,5 +96,18 @@ val is_cpu : device_kind -> bool
 val measure_fn :
   t -> kind_pred:(device_kind -> bool) -> Tvm_autotune.Tuner.measure_fn
 
-(** Per-device (name, jobs run, busy seconds). *)
+(** Per-device (name, successful jobs run, busy seconds). *)
 val stats : t -> (string * int * float) list
+
+type device_health = {
+  h_dev_id : int;
+  h_name : string;
+  h_jobs_run : int;
+  h_attempts : int;
+  h_failures : int;
+  h_dead : bool;
+  h_quarantined : bool;
+}
+
+(** Per-device health snapshot (job/failure counts, quarantine, death). *)
+val health : t -> device_health list

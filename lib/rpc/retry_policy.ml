@@ -1,0 +1,34 @@
+(** Retry policy for pool measurements, on the simulated clock.
+
+    Transient faults (timeouts, crashes, unstable measurements) are
+    retried up to [max_retries] extra attempts with exponential
+    backoff; every job gets a wall-clock budget of [timeout_s]; and a
+    device whose observed error rate crosses
+    [quarantine_error_rate] (after at least [quarantine_min_jobs]
+    attempts) is quarantined and receives no further jobs. *)
+
+type t = {
+  max_retries : int;  (** extra attempts after the first failure *)
+  backoff_base_s : float;  (** pause before the first retry *)
+  backoff_mult : float;  (** backoff multiplier per further retry *)
+  timeout_s : float;  (** per-job budget on the simulated clock *)
+  quarantine_error_rate : float;
+      (** quarantine a device whose failures/attempts exceeds this *)
+  quarantine_min_jobs : int;
+      (** ... but only after it has seen this many attempts *)
+}
+
+let default =
+  {
+    max_retries = 2;
+    backoff_base_s = 0.25;
+    backoff_mult = 2.0;
+    timeout_s = 10.0;
+    quarantine_error_rate = 0.5;
+    quarantine_min_jobs = 8;
+  }
+
+(** Simulated pause before retrying after failed attempt number
+    [attempt] (0-based): [backoff_base_s *. backoff_mult ^ attempt]. *)
+let backoff_s t ~attempt =
+  t.backoff_base_s *. (t.backoff_mult ** float_of_int attempt)

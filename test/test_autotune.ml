@@ -137,8 +137,12 @@ let measure_fn_for machine =
 let test_tuner_improves () =
   let tpl = conv_template () in
   let measure = measure_fn_for Machine.titan_x in
-  let res = Tuner.tune ~seed:3 ~method_:Tuner.Ml_model ~measure ~n_trials:48 tpl in
-  checkb "found a finite config" (Float.is_finite res.Tuner.best_time);
+  let res =
+    Tuner.tune
+      ~options:{ Tuner.Options.default with Tuner.Options.seed = 3 }
+      ~method_:Tuner.Ml_model ~measure ~n_trials:48 tpl
+  in
+  checkb "found a config" (res.Tuner.best_time > 0.);
   (* best-so-far is monotone *)
   let rec mono best = function
     | [] -> true
@@ -151,8 +155,9 @@ let test_tuner_improves () =
 let test_ml_beats_random_on_budget () =
   let tpl = conv_template () in
   let run m =
-    (Tuner.tune ~seed:9 ~method_:m ~measure:(measure_fn_for Machine.titan_x)
-       ~n_trials:40 tpl)
+    (Tuner.tune
+       ~options:{ Tuner.Options.default with Tuner.Options.seed = 9 }
+       ~method_:m ~measure:(measure_fn_for Machine.titan_x) ~n_trials:40 tpl)
       .Tuner.best_time
   in
   let ml = run Tuner.Ml_model and rand = run Tuner.Random_search in
@@ -173,17 +178,30 @@ let test_measurement_deterministic () =
       | None -> valid (n - 1)
   in
   let cfg, stmt = valid 100 in
-  let m1 = measure_fn_for Machine.titan_x cfg stmt in
-  let m2 = measure_fn_for Machine.titan_x cfg stmt in
+  let time m =
+    match Tvm_autotune.Measure_result.time m with
+    | Some t -> t
+    | None -> Alcotest.fail "expected a successful measurement"
+  in
+  let m1 = time (measure_fn_for Machine.titan_x cfg stmt) in
+  let m2 = time (measure_fn_for Machine.titan_x cfg stmt) in
   Alcotest.(check (float 1e-12)) "same config same measurement" m1 m2
 
 let test_db_best () =
+  let module R = Tvm_autotune.Measure_result in
   let db = Tuner.Db.create () in
-  Tuner.Db.add db "k" [ ("a", 1) ] 0.5;
-  Tuner.Db.add db "k" [ ("a", 2) ] 0.3;
-  Tuner.Db.add db "other" [ ("a", 3) ] 0.1;
+  Tuner.Db.add db "k" [ ("a", 1) ] (R.ok 0.5);
+  Tuner.Db.add db "k" [ ("a", 2) ] (R.ok 0.3);
+  Tuner.Db.add db "k" [ ("a", 4) ] (R.fail R.Timeout);
+  Tuner.Db.add db "other" [ ("a", 3) ] (R.ok 0.1);
+  Alcotest.(check int) "all records kept" 4 (Tuner.Db.size db);
+  Alcotest.(check int) "ok tally" 3 (Tuner.Db.status_count db "ok");
+  Alcotest.(check int) "timeout tally" 1 (Tuner.Db.status_count db "timeout");
   match Tuner.Db.best db "k" with
-  | Some r -> Alcotest.(check (float 1e-9)) "best time" 0.3 r.Tuner.Db.db_time
+  | Some r -> (
+      match R.time r.Tuner.Db.db_result with
+      | Some t -> Alcotest.(check (float 1e-9)) "best time" 0.3 t
+      | None -> Alcotest.fail "best record must be successful")
   | None -> Alcotest.fail "expected a record"
 
 let suite =
