@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
-.PHONY: all build test check check-fault bench-json clean
+.PHONY: all build test check check-fault check-validate bench-json clean
 
 all: build
 
@@ -18,7 +18,14 @@ check-fault: build
 	FAULT_SEED=7 dune exec test/test_main.exe -- test faults
 	FAULT_SEED=23 dune exec test/test_main.exe -- test faults
 
-check: build test check-fault
+# Static TIR sanitizer over every Table-2 workload x template at two
+# different config-sampling seeds (the suite samples template configs
+# from VALIDATE_SEED, so each run validates different lowered programs).
+check-validate: build
+	VALIDATE_SEED=3 dune exec test/test_main.exe -- test validate
+	VALIDATE_SEED=11 dune exec test/test_main.exe -- test validate
+
+check: build test check-fault check-validate
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the

@@ -71,6 +71,21 @@ let target_of_name = function
 
 (* ---- compile ---- *)
 
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "Run the static TIR sanitizer on every lowered kernel and fail \
+           (exit 1) if it proves a defect (out-of-bounds access, unbalanced \
+           dependence tokens, write race, dtype mismatch, ...)")
+
+let print_violations name vs =
+  Printf.eprintf "validation failed for %s:\n" name;
+  List.iter
+    (fun v -> Printf.eprintf "  %s\n" (Tvm_tir.Validate.to_string v))
+    vs
+
 let compile_cmd =
   let network =
     Arg.(value & pos 0 string "resnet18" & info [] ~docv:"NETWORK" ~doc:"Network to compile")
@@ -81,13 +96,21 @@ let compile_cmd =
   let trials =
     Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
   in
-  let run network target trials trace_out metrics_out =
+  let run network target trials validate trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
-    let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials } in
+    let options =
+      { Tvm.Compiler.default_options with
+        Tvm.Compiler.tune_trials = trials; validate }
+    in
     let t0 = Unix.gettimeofday () in
-    let result, exec = Tvm.Compiler.build_executor ~options graph tgt in
+    let result, exec =
+      try Tvm.Compiler.build_executor ~options graph tgt
+      with Tvm.Compiler.Validation_failed (name, errs) ->
+        print_violations name errs;
+        exit 1
+    in
     Printf.printf "compiled %s for %s in %.1fs (%d tuning trials)\n\n" network
       (Tvm.Target.name tgt)
       (Unix.gettimeofday () -. t0)
@@ -103,7 +126,9 @@ let compile_cmd =
       (pooled /. 1e6) (naive /. 1e6)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
-    Term.(const run $ network $ target $ trials $ trace_out_arg $ metrics_out_arg)
+    Term.(
+      const run $ network $ target $ trials $ validate_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* ---- tune ---- *)
 
@@ -135,8 +160,8 @@ let tune_cmd =
       & opt float (1e3 *. Tvm_rpc.Retry_policy.default.Tvm_rpc.Retry_policy.timeout_s)
       & info [ "timeout-ms" ] ~doc:"Per-job measurement budget on the simulated clock")
   in
-  let run workload trials method_name fault_rate max_retries timeout_ms trace_out
-      metrics_out =
+  let run workload trials method_name fault_rate max_retries timeout_ms validate
+      trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
@@ -186,12 +211,25 @@ let tune_cmd =
       Printf.printf
         "pool: %d retries, %d timeouts, %d crashes, %d unstable, %d quarantined\n"
         (metric "pool.retries") (metric "pool.timeouts") (metric "pool.crashes")
-        (metric "pool.corrupt") (Tvm_rpc.Device_pool.quarantined_count pool)
+        (metric "pool.corrupt") (Tvm_rpc.Device_pool.quarantined_count pool);
+    if validate then begin
+      let stmt =
+        tpl.Tvm_autotune.Tuner.tpl_instantiate res.Tvm_autotune.Tuner.best_config
+      in
+      let vs = Tvm_tir.Validate.check stmt in
+      match Tvm_tir.Validate.errors vs with
+      | [] ->
+          Printf.printf "validation: ok (%d warnings)\n"
+            (List.length (Tvm_tir.Validate.warnings vs))
+      | errs ->
+          print_violations ("tvmc_" ^ workload) errs;
+          exit 1
+    end
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
     Term.(
       const run $ workload $ trials $ method_ $ fault_rate $ max_retries
-      $ timeout_ms $ trace_out_arg $ metrics_out_arg)
+      $ timeout_ms $ validate_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- profile ---- *)
 

@@ -22,8 +22,12 @@ let simulated_annealing space rng (state : sa_state) ~(predict : predictor)
     ~(visited : (int, unit) Hashtbl.t) ~n_steps ~temp ~batch =
   let seen_scores : (int * Cfg_space.config * float) list ref = ref [] in
   let note cfg score =
+    (* Non-finite predictions (NaN from an untrained model, -inf for
+       rejected configs) must not enter the candidate pool: NaN breaks
+       the final sort and either would surface junk configs. *)
     let h = Cfg_space.hash cfg in
-    if not (Hashtbl.mem visited h) then seen_scores := (h, cfg, score) :: !seen_scores
+    if Float.is_finite score && not (Hashtbl.mem visited h) then
+      seen_scores := (h, cfg, score) :: !seen_scores
   in
   state.chains <-
     List.map

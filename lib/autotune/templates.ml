@@ -102,23 +102,35 @@ let producers_of sched st =
 
 (* Knob space of the flat GPU template: an output of [n] elements with
    reduction depth [k]. *)
-(** Chunk sizes nesting with the shape's suffix chain (the alignment
-    precondition of exact region inference). *)
-let aligned_divisors n shape cap =
+(** Chunk sizes nesting with the suffix chain of every shape in
+    [shapes] (the alignment precondition of exact region inference).
+    Both the fused output's shape and the anchor's shape matter: a
+    chunk of the flattened output must map to a rectangular region of
+    the anchor tensor too (a reshaping epilogue such as flatten makes
+    them differ). *)
+let aligned_divisors n shapes cap =
   let rec suffixes = function
     | [] | [ _ ] -> []
     | _ :: rest -> List.fold_left ( * ) 1 rest :: suffixes rest
   in
-  let sfx = suffixes shape in
+  let sfx = List.concat_map suffixes shapes in
   List.filter
     (fun d -> d <= cap && List.for_all (fun s -> d mod s = 0 || s mod d = 0) sfx)
     (Cfg_space.divisors n)
 
-let gpu_flat_space ~n ~k ~shape =
+(** Shape of the stage region inference anchors on (the reduction
+    nearest the output); the output's own shape when there is none. *)
+let anchor_shape (output : Tensor.t) =
+  let sched = Sched.create [ output ] in
+  match find_anchor sched with
+  | Some st -> Expr.Buffer.const_shape st.Sched.s_out
+  | None -> Tensor.const_shape output
+
+let gpu_flat_space ~n ~k ~shapes =
   let threads = List.filter (fun t -> t >= 8 && t <= 1024) (Cfg_space.divisors n) in
   let threads = if threads = [] then [ 1 ] else threads in
   let items =
-    if k > 1 then aligned_divisors n shape 256
+    if k > 1 then aligned_divisors n shapes 256
     else List.filter (fun i -> i <= 256) (Cfg_space.divisors n)
   in
   let items = if items = [] then [ 1 ] else items in
@@ -158,10 +170,16 @@ let gpu_flat_instantiate ?(target = Lower.Gpu) (output : Tensor.t) cfg : Stmt.t 
   (* Alignment is only required where region inference runs: around an
      attached anchor (per-thread chunks) and for cooperative staging
      (block-wide chunks). Injective-only kernels take any factors. *)
-  if anchor <> None then begin
-    require_aligned_chunk items out_shape;
-    if use_shared then require_aligned_chunk (threads * items) out_shape
-  end;
+  (match anchor with
+  | None -> ()
+  | Some a ->
+      let a_shape = Expr.Buffer.const_shape a.Sched.s_out in
+      require_aligned_chunk items out_shape;
+      require_aligned_chunk items a_shape;
+      if use_shared then begin
+        require_aligned_chunk (threads * items) out_shape;
+        require_aligned_chunk (threads * items) a_shape
+      end);
   let keep =
     match anchor with
     | None -> [ out_st ]
@@ -237,7 +255,7 @@ let gpu_flat ~name (output : Tensor.t) : Tuner.template =
   let k = reduce_depth output in
   {
     Tuner.tpl_name = name;
-    tpl_space = gpu_flat_space ~n ~k ~shape;
+    tpl_space = gpu_flat_space ~n ~k ~shapes:[ shape; anchor_shape output ];
     tpl_instantiate = (fun cfg -> gpu_flat_instantiate output cfg);
   }
 
@@ -245,9 +263,9 @@ let gpu_flat ~name (output : Tensor.t) : Tuner.template =
 (* CPU flat template                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let cpu_flat_space ~n ~k ~shape =
+let cpu_flat_space ~n ~k ~shapes =
   let items =
-    if k > 1 then aligned_divisors n shape 4096
+    if k > 1 then aligned_divisors n shapes 4096
     else List.filter (fun i -> i <= 4096) (Cfg_space.divisors n)
   in
   let items = if items = [] then [ 1 ] else items in
@@ -274,7 +292,11 @@ let cpu_flat_instantiate (output : Tensor.t) cfg : Stmt.t =
     | Some st when st == out_st -> Some (Sched.cache_write sched out_st Expr.Local)
     | other -> other
   in
-  if anchor <> None then require_aligned_chunk items (Tensor.const_shape output);
+  (match anchor with
+  | None -> ()
+  | Some a ->
+      require_aligned_chunk items (Tensor.const_shape output);
+      require_aligned_chunk items (Expr.Buffer.const_shape a.Sched.s_out));
   inline_intermediates sched
     ~keep:(match anchor with None -> [ out_st ] | Some a -> [ out_st; a ]);
   let data = List.filter (fun iv -> not (Iter_var.is_reduce iv)) out_st.Sched.s_leaf in
@@ -342,7 +364,7 @@ let cpu_flat ~name (output : Tensor.t) : Tuner.template =
   let k = reduce_depth output in
   {
     Tuner.tpl_name = name;
-    tpl_space = cpu_flat_space ~n ~k ~shape;
+    tpl_space = cpu_flat_space ~n ~k ~shapes:[ shape; anchor_shape output ];
     tpl_instantiate = (fun cfg -> cpu_flat_instantiate output cfg);
   }
 

@@ -29,11 +29,19 @@ type options = {
   tuner_method : Tuner.method_;
   seed : int;
   verbose : bool;
+  validate : bool;
+      (** fail the build if {!Tvm_tir.Validate} proves a lowered kernel
+          wrong (the check always runs and feeds metrics; this flag
+          controls whether errors are fatal) *)
 }
 
 let default_options =
   { enable_fusion = true; tune_trials = 64; tuner_method = Tuner.Ml_model;
-    seed = 42; verbose = false }
+    seed = 42; verbose = false; validate = false }
+
+exception Validation_failed of string * Tvm_tir.Validate.violation list
+(** Raised by {!build} when [options.validate] is set and the named
+    kernel's lowered program has provable defects. *)
 
 (** Tuning cache: workload signature → (best config, best noise-free time). *)
 let tuned_cache : (string, Cfg_space.config * float) Hashtbl.t = Hashtbl.create 64
@@ -157,6 +165,20 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
               let stmt = tpl.Tuner.tpl_instantiate best_cfg in
               (stmt, Target.time_s target stmt))
         in
+        (Trace.with_span "phase.validate" @@ fun () ->
+         let violations = Tvm_tir.Validate.check stmt in
+         let errs = Tvm_tir.Validate.errors violations in
+         Metrics.incr "validate.errors" ~by:(Float.of_int (List.length errs));
+         Metrics.incr "validate.warnings"
+           ~by:(Float.of_int (List.length (Tvm_tir.Validate.warnings violations)));
+         if options.verbose then
+           List.iter
+             (fun v ->
+               Printf.printf "[tvm] validate %s: %s\n%!" signature
+                 (Tvm_tir.Validate.to_string v))
+             violations;
+         if options.validate && errs <> [] then
+           raise (Validation_failed (signature, errs)));
         if options.verbose then
           Printf.printf "[tvm] %-60s %.3f ms\n%!" signature (1e3 *. time_s);
         {

@@ -50,10 +50,10 @@ let mobilenet_depthwise =
     d "D9" 7 1024 3 1;
   ]
 
+let all = resnet_convs @ mobilenet_depthwise
+
 let find name =
-  match
-    List.find_opt (fun w -> w.name = name) (resnet_convs @ mobilenet_depthwise)
-  with
+  match List.find_opt (fun w -> w.name = name) all with
   | Some w -> w
   | None -> invalid_arg ("Workloads.find: unknown workload " ^ name)
 

@@ -20,6 +20,10 @@ val resnet_convs : conv list
 val mobilenet_depthwise : conv list
 
 (** Look up by name ("C1".."C12", "D1".."D9"); raises on unknown. *)
+val all : conv list
+(** Every Table-2 workload: {!resnet_convs} followed by
+    {!mobilenet_depthwise}. *)
+
 val find : string -> conv
 
 (** Output spatial dimension under SAME padding. *)

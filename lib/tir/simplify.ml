@@ -16,7 +16,11 @@ let rec stmt (s : Stmt.t) : Stmt.t =
       let body = stmt l.Stmt.body in
       match extent with
       | Expr.IntImm 0 -> Stmt.Skip
-      | Expr.IntImm 1 -> stmt (Stmt.Let_stmt (l.Stmt.loop_var, min_, body))
+      | Expr.IntImm 1 when l.Stmt.kind = Stmt.Serial ->
+          (* Only serial unit loops collapse to a binding; thread-bound
+             / parallel / vectorized loops keep their annotation (the
+             device models price them by kind). *)
+          stmt (Stmt.Let_stmt (l.Stmt.loop_var, min_, body))
       | _ -> Stmt.For { l with min_; extent; body })
   | Stmt.If_then_else (c, t, e) -> (
       match expr c with

@@ -77,8 +77,11 @@ and dma = {
 
 let for_ ?(kind = Serial) loop_var min_ extent body =
   match extent with
-  | Expr.IntImm 1 ->
-      (* A single-trip loop is just a binding of the loop var. *)
+  | Expr.IntImm 1 when kind = Serial ->
+      (* A single-trip serial loop is just a binding of the loop var.
+         Annotated loops (thread bindings, parallel, vectorize, ...)
+         must survive even at extent 1: the annotation carries meaning
+         beyond iteration count. *)
       Let_stmt (loop_var, min_, body)
   | _ -> For { loop_var; min_; extent; kind; body }
 

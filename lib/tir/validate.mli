@@ -1,0 +1,48 @@
+(** Static sanitizer for lowered TIR programs.
+
+    {!check} walks a lowered statement and reports structural defects
+    that the rest of the stack would otherwise turn into silently-wrong
+    simulated times: out-of-bounds accesses (proven by interval
+    analysis over the loop/let environment, with guard conditions and
+    region-retarget differences taken into account), use of unallocated
+    or out-of-scope buffers, unbound variables, dtype mismatches,
+    unbalanced dependence-token streams (deadlocks in the VDLA
+    simulator), and provable cross-thread write races.
+
+    Everything proven wrong is an {!Error}; indices that leave the
+    analyzable (affine) fragment produce a conservative {!Warning}
+    instead — nothing was proven either way. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Out_of_bounds of Expr.buffer * int * Interval.t * int
+      (** buffer, dimension, index interval, dimension extent *)
+  | Rank_mismatch of Expr.buffer * int  (** buffer, number of indices used *)
+  | Unallocated of Expr.buffer
+      (** non-[Global] buffer used but never allocated ([Global] buffers
+          never allocated are the kernel's external parameters) *)
+  | Out_of_scope of Expr.buffer
+      (** buffer used outside the [Allocate] that introduces it *)
+  | Unbound_var of Expr.var  (** variable used before any loop/let binds it *)
+  | Dtype_mismatch of Expr.buffer * Dtype.t
+      (** buffer, dtype of the value stored (or DMA-copied) into it *)
+  | Unbalanced_tokens of Stmt.pipe * Stmt.pipe * int
+      (** pipe pair and net token count left after execution *)
+  | Token_underflow of Stmt.pipe * Stmt.pipe
+      (** a [Pop_dep] can run before any matching [Push_dep] *)
+  | Write_race of Expr.buffer * string
+      (** buffer and the concurrent loop whose copies provably write the
+          same cell *)
+  | Non_affine of string
+      (** index outside the analyzable fragment: nothing proven *)
+
+type violation = { severity : severity; kind : kind; site : string }
+
+val check : Stmt.t -> violation list
+(** Validate a lowered program. Returns all violations, deduplicated,
+    errors first. An empty list means the program passed every check. *)
+
+val errors : violation list -> violation list
+val warnings : violation list -> violation list
+val to_string : violation -> string

@@ -44,9 +44,15 @@ let subst_var_expr v replacement e =
 let subst_var_stmt v replacement s =
   subst_stmt (fun v' -> if Expr.Var.equal v v' then Some replacement else None) s
 
-(** Association-list based substitution used by lowering. *)
+(** Association-list based substitution used by lowering. The binding
+    table is built once, outside the per-node lookup — rebuilding it in
+    the closure made substitution O(nodes x bindings). *)
 let subst_map_expr bindings e =
-  subst_expr (fun v -> List.assoc_opt v.Expr.vid (List.map (fun (v, e) -> (v.Expr.vid, e)) bindings)) e
+  let table = Hashtbl.create (List.length bindings * 2) in
+  (* reversed so that, as with [List.assoc_opt], the first binding of a
+     duplicated var wins *)
+  List.iter (fun (v, e) -> Hashtbl.replace table v.Expr.vid e) (List.rev bindings);
+  subst_expr (fun v -> Hashtbl.find_opt table v.Expr.vid) e
 
 (** Free variables of an expression (buffer shapes not included). *)
 let free_vars e =

@@ -13,6 +13,7 @@ let () =
       ("graph", Test_graph.suite);
       ("layout", Test_layout.suite);
       ("autotune", Test_autotune.suite);
+      ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
       ("sim", Test_sim.suite);
       ("e2e", Test_e2e.suite);
