@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
-.PHONY: all build test check check-fault check-validate bench-json clean
+.PHONY: all build test check check-fault check-validate check-par bench-json clean
 
 all: build
 
@@ -25,7 +25,26 @@ check-validate: build
 	VALIDATE_SEED=3 dune exec test/test_main.exe -- test validate
 	VALIDATE_SEED=11 dune exec test/test_main.exe -- test validate
 
-check: build test check-fault check-validate
+# Multicore determinism gate: the par test suite, plus byte-identical
+# tvmc tuning logs at -j1 vs -j8 for two Table-2 workloads (one of
+# them on a 20% faulty fleet), plus the partune throughput comparison
+# recorded into BENCH_obs.json at -j1 and -j4.
+check-par: build
+	dune exec test/test_main.exe -- test par
+	mkdir -p _build/check-par
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 1 --tune-log _build/check-par/c7_j1.log
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 8 --tune-log _build/check-par/c7_j8.log
+	cmp _build/check-par/c7_j1.log _build/check-par/c7_j8.log
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 1 --tune-log _build/check-par/d1_j1.log
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 8 --tune-log _build/check-par/d1_j8.log
+	cmp _build/check-par/d1_j1.log _build/check-par/d1_j8.log
+	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json partune
+
+check: build test check-fault check-validate check-par
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the

@@ -2,9 +2,11 @@
     (see DESIGN.md's per-experiment index), the ablation studies, and a
     set of Bechamel micro-benchmarks over the compiler's own hot paths.
 
-    Usage: [main.exe [--quick] [--json FILE] [exp ...]] where [exp] is
-    one of fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18
-    fig19 fig21 table1 table2 ablations micro all (default: all).
+    Usage: [main.exe [--quick] [--json FILE] [-j N] [exp ...]] where
+    [exp] is one of fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17
+    fig18 fig19 fig21 table1 table2 ablations partune micro all
+    (default: all). [-j N] sets the domain/device count the [partune]
+    throughput comparison scales to (default 4).
 
     [--json FILE] dumps the observability metrics registry (including
     one [bench.<exp>.duration_s] gauge per experiment run) as JSON —
@@ -20,6 +22,9 @@ module Ab = Tvm_experiments.Ablations
 (* Bechamel micro-benchmarks: one per table/figure, measuring the       *)
 (* compiler machinery behind that experiment.                           *)
 (* ------------------------------------------------------------------ *)
+
+(** Domain/device count for the multicore comparisons ([-j N]). *)
+let bench_jobs = ref 4
 
 let micro () =
   let open Bechamel in
@@ -71,6 +76,53 @@ let micro () =
         (Staged.stage (fun () -> Fe.V.schedule ~vthreads:2 wl));
     ]
   in
+  (* Multicore cases: fork-join overhead of [parallel_map] itself (the
+     per-batch fixed cost every parallel tuning phase pays) and the SA
+     explorer's chain scaling, at -j1 vs -jN. *)
+  let par1 = Tvm_par.Pool.sequential in
+  let parn = Tvm_par.Pool.create ~domains:!bench_jobs () in
+  let work = Array.init 64 (fun i -> i) in
+  let spin x =
+    (* ~µs-scale task, comparable to one model prediction *)
+    let acc = ref (float_of_int x) in
+    for _ = 1 to 400 do
+      acc := !acc +. Float.sin !acc
+    done;
+    !acc
+  in
+  let sa_space =
+    Tvm_autotune.Cfg_space.space
+      [
+        Tvm_autotune.Cfg_space.knob "a" (List.init 8 (fun i -> i + 1));
+        Tvm_autotune.Cfg_space.knob "b" (List.init 8 (fun i -> i + 1));
+        Tvm_autotune.Cfg_space.knob "c" (List.init 8 (fun i -> i + 1));
+      ]
+  in
+  let synth_predict _ cfg =
+    Float.sin (float_of_int (Tvm_autotune.Cfg_space.hash cfg land 0xFFFF))
+  in
+  let sa_case pool =
+    let rng = Random.State.make [| 5 |] in
+    let state = Tvm_autotune.Explorers.sa_init sa_space rng ~n_chains:8 in
+    Tvm_autotune.Explorers.simulated_annealing ~pool sa_space rng state
+      ~predict_for_chain:synth_predict ~visited:(Hashtbl.create 8) ~n_steps:40
+      ~temp:1.0 ~batch:16
+  in
+  let tests =
+    tests
+    @ [
+        Test.make ~name:"par.map.j1"
+          (Staged.stage (fun () -> Tvm_par.Pool.parallel_map par1 spin work));
+        Test.make
+          ~name:(Printf.sprintf "par.map.j%d" !bench_jobs)
+          (Staged.stage (fun () -> Tvm_par.Pool.parallel_map parn spin work));
+        Test.make ~name:"par.sa_chains.j1"
+          (Staged.stage (fun () -> sa_case par1));
+        Test.make
+          ~name:(Printf.sprintf "par.sa_chains.j%d" !bench_jobs)
+          (Staged.stage (fun () -> sa_case parn));
+      ]
+  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let ols =
@@ -118,6 +170,7 @@ let experiments : (string * (unit -> unit)) list =
         ignore (Ab.ablation_memplan ());
         ignore (Ab.ablation_layout ());
         ignore (Ab.ablation_fusion ()) );
+    ("partune", fun () -> ignore (Fm.partune ~jobs:!bench_jobs ()));
     ("micro", micro);
   ]
 
@@ -132,10 +185,23 @@ let rec extract_json_flag = function
       let file, others = extract_json_flag rest in
       (file, a :: others)
 
+(** Pull [-j N] out of the raw argument list. *)
+let rec extract_jobs_flag = function
+  | [] -> (None, [])
+  | "-j" :: n :: rest ->
+      let _, others = extract_jobs_flag rest in
+      (Some (int_of_string n), others)
+  | "-j" :: [] -> invalid_arg "-j requires a count argument"
+  | a :: rest ->
+      let n, others = extract_jobs_flag rest in
+      (n, a :: others)
+
 let () =
   Tvm_graph.Std_ops.register_all ();
   let args = Array.to_list Sys.argv |> List.tl in
   let json_out, args = extract_json_flag args in
+  let jobs, args = extract_jobs_flag args in
+  Option.iter (fun j -> bench_jobs := max 1 j) jobs;
   let quick = List.mem "--quick" args in
   if quick then E.trial_scale := 0.3;
   let wanted = List.filter (fun a -> a <> "--quick") args in

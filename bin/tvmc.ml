@@ -34,6 +34,17 @@ let metrics_out_arg =
     & opt (some string) None
     & info [ "metrics-out" ] ~doc:"Write the metrics registry as JSON")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Host domains for the tuner's parallel phases (exploration, \
+           feature extraction, model training, batch measurement). Never \
+           changes which configurations are chosen: results are \
+           bit-identical at any -j.")
+
 (** Run [f] with tracing enabled iff a trace file was requested; write
     the requested observability outputs afterwards (also on failure, so
     a crashed compile still leaves its partial trace behind). *)
@@ -96,13 +107,13 @@ let compile_cmd =
   let trials =
     Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
   in
-  let run network target trials validate trace_out metrics_out =
+  let run network target trials validate jobs trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
     let options =
       { Tvm.Compiler.default_options with
-        Tvm.Compiler.tune_trials = trials; validate }
+        Tvm.Compiler.tune_trials = trials; validate; jobs }
     in
     let t0 = Unix.gettimeofday () in
     let result, exec =
@@ -127,8 +138,8 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
     Term.(
-      const run $ network $ target $ trials $ validate_arg $ trace_out_arg
-      $ metrics_out_arg)
+      const run $ network $ target $ trials $ validate_arg $ jobs_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* ---- tune ---- *)
 
@@ -160,8 +171,29 @@ let tune_cmd =
       & opt float (1e3 *. Tvm_rpc.Retry_policy.default.Tvm_rpc.Retry_policy.timeout_s)
       & info [ "timeout-ms" ] ~doc:"Per-job measurement budget on the simulated clock")
   in
-  let run workload trials method_name fault_rate max_retries timeout_ms validate
-      trace_out metrics_out =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Tuning seed (fixed seed = fixed log at any -j)")
+  in
+  let devices =
+    Arg.(
+      value & opt int 1
+      & info [ "devices" ]
+          ~doc:
+            "Simulated devices in the measurement pool. Unlike -j this CAN \
+             change outcomes (fault draws are per-device), so it is a \
+             separate knob.")
+  in
+  let tune_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tune-log" ]
+          ~doc:
+            "Write the full trial history as JSON lines (one record per \
+             measurement; byte-identical for a fixed seed at any -j)")
+  in
+  let run workload trials method_name fault_rate max_retries timeout_ms seed
+      jobs devices tune_log validate trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
@@ -176,26 +208,54 @@ let tune_cmd =
     in
     let pool =
       Tvm_rpc.Device_pool.create ~fault_plan ~retry
-        [ Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x ]
+        (List.init (max 1 devices) (fun _ ->
+             Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x))
     in
+    let par = Tvm_par.Pool.create ~domains:jobs () in
     let measure = Tvm_rpc.Device_pool.measure_fn pool ~kind_pred:(fun _ -> true) in
+    let measure_batch =
+      Tvm_rpc.Device_pool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true)
+    in
     let method_ =
       match method_name with
       | "random" -> Tvm_autotune.Tuner.Random_search
       | "genetic" -> Tvm_autotune.Tuner.Genetic_algorithm
       | _ -> Tvm_autotune.Tuner.Ml_model
     in
-    Printf.printf "tuning %s (%s) on titan-x, %d trials, space %d...\n%!"
-      (Workloads.to_string w) method_name trials
-      (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space);
+    Printf.printf "tuning %s (%s) on %d x titan-x, %d trials, space %d, -j %d...\n%!"
+      (Workloads.to_string w) method_name (max 1 devices) trials
+      (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space)
+      jobs;
     let db = Tvm_autotune.Tuner.Db.create () in
     let res =
       Tvm_autotune.Tuner.tune
         ~options:
           { Tvm_autotune.Tuner.Options.default with
-            Tvm_autotune.Tuner.Options.db = Some db }
-        ~method_ ~measure ~n_trials:trials tpl
+            Tvm_autotune.Tuner.Options.seed; jobs; db = Some db }
+        ~measure_batch ~method_ ~measure ~n_trials:trials tpl
     in
+    (match tune_log with
+    | Some path ->
+        let oc = open_out path in
+        List.iter
+          (fun (t : Tvm_autotune.Tuner.trial) ->
+            Printf.fprintf oc
+              "{\"trial\":%d,\"config\":%S,\"status\":%S,\"time_s\":%s,\"best_s\":%s}\n"
+              t.Tvm_autotune.Tuner.trial_index
+              (Tvm_autotune.Cfg_space.to_string t.Tvm_autotune.Tuner.config)
+              (Tvm_autotune.Measure_result.status_name
+                 t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.status)
+              (match
+                 t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.time_s
+               with
+              | Some v -> Printf.sprintf "%.17g" v
+              | None -> "null")
+              (Printf.sprintf "%.17g" t.Tvm_autotune.Tuner.best_so_far))
+          res.Tvm_autotune.Tuner.history;
+        close_out oc;
+        Printf.eprintf "[obs] tuning log written to %s (%d trials)\n%!" path
+          (List.length res.Tvm_autotune.Tuner.history)
+    | None -> ());
     Printf.printf "best: %.3f ms with %s\n"
       (1e3 *. res.Tvm_autotune.Tuner.best_time)
       (Tvm_autotune.Cfg_space.to_string res.Tvm_autotune.Tuner.best_config);
@@ -229,7 +289,8 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
     Term.(
       const run $ workload $ trials $ method_ $ fault_rate $ max_retries
-      $ timeout_ms $ validate_arg $ trace_out_arg $ metrics_out_arg)
+      $ timeout_ms $ seed $ jobs_arg $ devices $ tune_log $ validate_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* ---- profile ---- *)
 

@@ -17,61 +17,84 @@ let sa_init space rng ~n_chains =
 (** One batch of parallel simulated annealing: walk each chain
     [n_steps] proposals; accept improving moves, accept worsening moves
     with Metropolis probability under [temp]. Returns the top [batch]
-    distinct configs seen (excluding [visited]). *)
-let simulated_annealing space rng (state : sa_state) ~(predict : predictor)
+    distinct configs seen (excluding [visited]).
+
+    Chains genuinely run in parallel on [pool] (§5.3's "parallel
+    simulated annealing"), and the result is bit-identical for any
+    domain count: each chain walks with its own [Random.State] split
+    from [rng] up front, [predict_for_chain i] gives chain [i] its own
+    predictor (so memo tables are chain-local — the tuner merges them
+    afterwards), candidates merge in chain-index order with first-wins
+    dedup, and the final ranking is a stable sort on the predicted
+    score. [visited] is only read during the walk; callers must not
+    mutate it concurrently. *)
+let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
+    (state : sa_state) ~(predict_for_chain : int -> predictor)
     ~(visited : (int, unit) Hashtbl.t) ~n_steps ~temp ~batch =
-  let seen_scores : (int * Cfg_space.config * float) list ref = ref [] in
-  let note cfg score =
-    (* Non-finite predictions (NaN from an untrained model, -inf for
-       rejected configs) must not enter the candidate pool: NaN breaks
-       the final sort and either would surface junk configs. *)
-    let h = Cfg_space.hash cfg in
-    if Float.is_finite score && not (Hashtbl.mem visited h) then
-      seen_scores := (h, cfg, score) :: !seen_scores
+  let chains = Array.of_list state.chains in
+  (* Split per-chain streams from the caller's rng before fanning out,
+     so the caller's stream advances the same way at every -j. *)
+  let seeds = Array.map (fun _ -> Random.State.bits rng) chains in
+  let walk ci =
+    let crng = Random.State.make [| seeds.(ci); ci |] in
+    let predict = predict_for_chain ci in
+    let seen_scores : (int * Cfg_space.config * float) list ref = ref [] in
+    let note cfg score =
+      (* Non-finite predictions (NaN from an untrained model, -inf for
+         rejected configs) must not enter the candidate pool: NaN breaks
+         the final sort and either would surface junk configs. *)
+      let h = Cfg_space.hash cfg in
+      if Float.is_finite score && not (Hashtbl.mem visited h) then
+        seen_scores := (h, cfg, score) :: !seen_scores
+    in
+    let cur = ref chains.(ci) in
+    let cur_score = ref (predict !cur) in
+    let stuck = ref 0 in
+    note !cur !cur_score;
+    for step = 1 to n_steps do
+      let t = temp *. (1. -. (float_of_int step /. float_of_int (n_steps + 1))) in
+      let cand =
+        (* teleport a chain that keeps proposing invalid neighbours
+           (sparse-validity spaces strand single-knob walks) *)
+        if !stuck > 8 then begin
+          stuck := 0;
+          Cfg_space.random_config space crng
+        end
+        else Cfg_space.mutate space crng !cur
+      in
+      let score = predict cand in
+      note cand score;
+      let accept =
+        score > !cur_score
+        || Random.State.float crng 1.
+           < Float.exp ((score -. !cur_score) /. Float.max 1e-9 t)
+      in
+      if accept && Float.is_finite score then begin
+        cur := cand;
+        cur_score := score;
+        stuck := 0
+      end
+      else incr stuck
+    done;
+    (!cur, List.rev !seen_scores)
   in
-  state.chains <-
-    List.map
-      (fun start ->
-        let cur = ref start in
-        let cur_score = ref (predict start) in
-        let stuck = ref 0 in
-        note start !cur_score;
-        for step = 1 to n_steps do
-          let t = temp *. (1. -. (float_of_int step /. float_of_int (n_steps + 1))) in
-          let cand =
-            (* teleport a chain that keeps proposing invalid neighbours
-               (sparse-validity spaces strand single-knob walks) *)
-            if !stuck > 8 then begin
-              stuck := 0;
-              Cfg_space.random_config space rng
-            end
-            else Cfg_space.mutate space rng !cur
-          in
-          let score = predict cand in
-          note cand score;
-          let accept =
-            score > !cur_score
-            || Random.State.float rng 1. < Float.exp ((score -. !cur_score) /. Float.max 1e-9 t)
-          in
-          if accept && Float.is_finite score then begin
-            cur := cand;
-            cur_score := score;
-            stuck := 0
-          end
-          else incr stuck
-        done;
-        !cur)
-      state.chains;
-  (* Top-[batch] distinct by predicted score. *)
+  let walked =
+    Tvm_par.Pool.parallel_map pool walk (Array.init (Array.length chains) Fun.id)
+  in
+  state.chains <- Array.to_list (Array.map fst walked);
+  (* Deterministic ordered merge: concatenate per-chain candidates in
+     chain-index order, dedup first-wins, then a *stable* sort by score
+     so ties keep that order. Top-[batch] distinct survive. *)
   let dedup = Hashtbl.create 64 in
-  !seen_scores
+  Array.to_list walked
+  |> List.concat_map snd
   |> List.filter (fun (h, _, _) ->
          if Hashtbl.mem dedup h then false
          else begin
            Hashtbl.replace dedup h ();
            true
          end)
-  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a)
   |> List.filteri (fun i _ -> i < batch)
   |> List.map (fun (_, cfg, _) -> cfg)
 

@@ -1,0 +1,33 @@
+(* See feature_cache.mli. *)
+
+type key = Cfg_space.config
+
+type t = (key, float array option) Hashtbl.t
+
+let create ?(size = 256) () : t = Hashtbl.create size
+
+(* Configs are assoc lists whose order is arbitrary; sorting gives one
+   canonical representative so structural equality on keys is exact.
+   This is what fixes the old int-hash keying: two distinct configs
+   whose [Cfg_space.hash] collide now occupy separate entries. *)
+let canonical (cfg : Cfg_space.config) : key = List.sort compare cfg
+
+let find (t : t) cfg = Hashtbl.find_opt t (canonical cfg)
+
+let add (t : t) cfg feats =
+  let k = canonical cfg in
+  if not (Hashtbl.mem t k) then Hashtbl.add t k feats
+
+let find_or_extract (t : t) cfg ~extract =
+  let k = canonical cfg in
+  match Hashtbl.find_opt t k with
+  | Some feats -> feats
+  | None ->
+      let feats = extract cfg in
+      Hashtbl.replace t k feats;
+      feats
+
+let size (t : t) = Hashtbl.length t
+
+let merge ~(into : t) (src : t) =
+  Hashtbl.iter (fun k v -> if not (Hashtbl.mem into k) then Hashtbl.add into k v) src

@@ -1,0 +1,39 @@
+(** Memo table for per-configuration lowering + feature extraction —
+    the cost-model hot path (§5.2): prediction must stay thousands of
+    times cheaper than measurement, so the SA explorer's revisits must
+    never re-lower.
+
+    Keys are the {e canonical} configuration value (knobs sorted by
+    name) compared structurally, so two distinct configurations can
+    never share an entry — unlike the old [Cfg_space.hash]-keyed memo,
+    where an int-hash collision silently shared features and
+    predictions between different schedules.
+
+    [None] entries record configurations whose instantiation failed,
+    so invalid points are not retried either.
+
+    Not domain-safe by design: the tuner gives each SA chain its own
+    cache and merges them on the coordinator afterwards ([merge] in
+    chain-index order — first entry wins, and since extraction is
+    deterministic, duplicated keys carry equal values, making the
+    merged table independent of domain count). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+
+(** [find t cfg] — [None]: never seen; [Some None]: known-invalid;
+    [Some (Some f)]: cached feature vector. *)
+val find : t -> Cfg_space.config -> float array option option
+
+(** Insert without overwriting an existing entry. *)
+val add : t -> Cfg_space.config -> float array option -> unit
+
+val find_or_extract :
+  t -> Cfg_space.config -> extract:(Cfg_space.config -> float array option) ->
+  float array option
+
+val size : t -> int
+
+(** [merge ~into src] adds [src]'s entries absent from [into]. *)
+val merge : into:t -> t -> unit

@@ -68,38 +68,67 @@ let candidates (xs : float array array) feature idxs =
           (arr.(pos - 1) +. arr.(pos)) /. 2.)
       |> List.sort_uniq compare
 
-let best_split xs residuals idxs =
+(* Best split within one feature column: scan thresholds ascending,
+   keep the first strictly-best gain — the same tie-break the old
+   sequential double loop applied within a column. *)
+let column_best xs residuals idxs total_sse f =
+  let best = ref None in
+  List.iter
+    (fun threshold ->
+      let left, right = List.partition (fun i -> xs.(i).(f) <= threshold) idxs in
+      if left <> [] && right <> [] then begin
+        let ml = mean residuals left and mr = mean residuals right in
+        let gain = total_sse -. sse residuals left ml -. sse residuals right mr in
+        match !best with
+        | Some (g, _, _, _, _) when g >= gain -> ()
+        | _ -> best := Some (gain, f, threshold, left, right)
+      end)
+    (candidates xs f idxs);
+  !best
+
+(* Combine per-column winners in ascending feature order with the same
+   strictly-greater rule, which reproduces the sequential loop's result
+   exactly — so split search parallelizes over feature columns (§5.2's
+   training hot loop) without changing a single tree. *)
+let pick_best acc cand =
+  match (acc, cand) with
+  | _, None -> acc
+  | None, c -> c
+  | Some (g0, _, _, _, _), Some (g, _, _, _, _) -> if g0 >= g then acc else cand
+
+let best_split ?(pool = Tvm_par.Pool.sequential) xs residuals idxs =
   let n_features = Array.length xs.(List.hd idxs) in
   let total_mean = mean residuals idxs in
   let total_sse = sse residuals idxs total_mean in
-  let best = ref None in
-  for f = 0 to n_features - 1 do
-    List.iter
-      (fun threshold ->
-        let left, right = List.partition (fun i -> xs.(i).(f) <= threshold) idxs in
-        if left <> [] && right <> [] then begin
-          let ml = mean residuals left and mr = mean residuals right in
-          let gain = total_sse -. sse residuals left ml -. sse residuals right mr in
-          match !best with
-          | Some (g, _, _, _, _) when g >= gain -> ()
-          | _ -> best := Some (gain, f, threshold, left, right)
-        end)
-      (candidates xs f idxs)
-  done;
-  !best
+  (* Fan out only when the node is big enough for the split search to
+     dwarf the fork-join overhead; the guard depends only on data
+     sizes, so results are identical either way. *)
+  if Tvm_par.Pool.domains pool > 1 && n_features > 1 && List.length idxs >= 64
+  then
+    Tvm_par.Pool.parallel_reduce pool
+      ~map:(column_best xs residuals idxs total_sse)
+      ~combine:pick_best ~init:None
+      (Array.init n_features Fun.id)
+  else begin
+    let best = ref None in
+    for f = 0 to n_features - 1 do
+      best := pick_best !best (column_best xs residuals idxs total_sse f)
+    done;
+    !best
+  end
 
-let rec grow_tree params xs residuals idxs depth =
+let rec grow_tree ?pool params xs residuals idxs depth =
   let m = mean residuals idxs in
   if depth >= params.max_depth || List.length idxs < params.min_samples then Leaf m
   else
-    match best_split xs residuals idxs with
+    match best_split ?pool xs residuals idxs with
     | Some (gain, feature, threshold, left, right) when gain > 1e-12 ->
         Node
           {
             feature;
             threshold;
-            left = grow_tree params xs residuals left (depth + 1);
-            right = grow_tree params xs residuals right (depth + 1);
+            left = grow_tree ?pool params xs residuals left (depth + 1);
+            right = grow_tree ?pool params xs residuals right (depth + 1);
           }
     | Some _ | None -> Leaf m
 
@@ -126,7 +155,8 @@ let transform_targets obj (ys : float array) =
 
 (** Fit a boosted ensemble on [(xs, ys)]. Callers typically pass
     [ys = score] where higher is better (e.g. -log time). *)
-let fit ?(params = default_params) (xs : float array array) (ys : float array) : t =
+let fit ?(params = default_params) ?pool (xs : float array array)
+    (ys : float array) : t =
   let n = Array.length xs in
   if n = 0 then { trees = []; base = 0.; objective = params.obj }
   else begin
@@ -135,9 +165,12 @@ let fit ?(params = default_params) (xs : float array array) (ys : float array) :
     let preds = Array.make n base in
     let idxs = List.init n Fun.id in
     let trees = ref [] in
+    (* Boosting is sequential by construction (each tree fits the
+       previous ensemble's residuals); the parallelism lives inside
+       [best_split]'s per-column search. *)
     for _ = 1 to params.n_trees do
       let residuals = Array.init n (fun i -> targets.(i) -. preds.(i)) in
-      let tree = grow_tree params xs residuals idxs 0 in
+      let tree = grow_tree ?pool params xs residuals idxs 0 in
       let tree = scale_tree params.learning_rate tree in
       Array.iteri (fun i x -> preds.(i) <- preds.(i) +. predict_tree tree x) xs;
       trees := tree :: !trees
@@ -146,17 +179,36 @@ let fit ?(params = default_params) (xs : float array array) (ys : float array) :
   end
 
 (** Kendall-style pairwise ordering accuracy on held-out data; the
-    quantity that matters for explorer quality. *)
-let rank_accuracy model xs ys =
+    quantity that matters for explorer quality. Rows fan out over
+    [pool]; per-row pair counts are exact integers, so the summed
+    accuracy is independent of domain count. *)
+let rank_accuracy ?(pool = Tvm_par.Pool.sequential) model xs ys =
   let n = Array.length xs in
-  let correct = ref 0 and total = ref 0 in
-  for i = 0 to n - 1 do
+  let row i =
+    let correct = ref 0 and total = ref 0 in
+    let pi = predict model xs.(i) in
     for j = i + 1 to n - 1 do
       if ys.(i) <> ys.(j) then begin
         incr total;
-        let pi = predict model xs.(i) and pj = predict model xs.(j) in
+        let pj = predict model xs.(j) in
         if (ys.(i) < ys.(j)) = (pi < pj) then incr correct
       end
-    done
-  done;
-  if !total = 0 then 1. else float_of_int !correct /. float_of_int !total
+    done;
+    (!correct, !total)
+  in
+  let correct, total =
+    if Tvm_par.Pool.domains pool > 1 && n >= 64 then
+      Tvm_par.Pool.parallel_reduce pool ~map:row
+        ~combine:(fun (c, t) (c', t') -> (c + c', t + t'))
+        ~init:(0, 0) (Array.init n Fun.id)
+    else begin
+      let c = ref 0 and t = ref 0 in
+      for i = 0 to n - 1 do
+        let c', t' = row i in
+        c := !c + c';
+        t := !t + t'
+      done;
+      (!c, !t)
+    end
+  in
+  if total = 0 then 1. else float_of_int correct /. float_of_int total

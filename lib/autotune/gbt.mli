@@ -35,9 +35,15 @@ val predict : t -> float array -> float
 val transform_targets : objective -> float array -> float array
 
 (** Fit a boosted ensemble on [(xs, ys)]; callers typically pass
-    [ys = -log time] so that higher is better. *)
-val fit : ?params:params -> float array array -> float array -> t
+    [ys = -log time] so that higher is better. With [pool], each
+    node's split search fans out over feature columns; the combined
+    winner is chosen in column order with the sequential loop's exact
+    tie-break, so the fitted model is bit-identical at any domain
+    count. *)
+val fit : ?params:params -> ?pool:Tvm_par.Pool.t -> float array array -> float array -> t
 
 (** Pairwise ordering accuracy on held-out data — the quantity that
-    matters for explorer quality (1.0 = perfect ranking). *)
-val rank_accuracy : t -> float array array -> float array -> float
+    matters for explorer quality (1.0 = perfect ranking). Rows fan out
+    over [pool]; exact integer tallies keep the result independent of
+    domain count. *)
+val rank_accuracy : ?pool:Tvm_par.Pool.t -> t -> float array array -> float array -> float

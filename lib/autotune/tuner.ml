@@ -11,7 +11,14 @@
     failed trials (timeouts, crashes, invalid configurations, pool
     errors) are recorded in the history and database with their
     failure category, but never pollute the cost model's training
-    set. *)
+    set.
+
+    The loop is multicore (§5.3): candidate lowering + feature
+    extraction, the simulated-annealing chains, and the GBT split
+    search all fan out over a {!Tvm_par.Pool.t} of [Options.jobs]
+    domains. Every parallel section merges its results in a fixed
+    input order, so the tuning log and the best configuration are
+    bit-identical for a given seed at any [jobs] count. *)
 
 module Obs_trace = Tvm_obs.Trace
 module Obs_metrics = Tvm_obs.Metrics
@@ -48,12 +55,21 @@ type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> Measure_result.t
 (** Measure one instantiated configuration; failure is expressed only
     through [Measure_result.status], never as a sentinel float. *)
 
+type batch_measure_fn =
+  (Cfg_space.config * Tvm_tir.Stmt.t) array -> Measure_result.t array
+(** Measure a whole batch at once (the device pool overlaps jobs on
+    free devices); result [i] belongs to job [i]. *)
+
 (** A database of measurement records (§5.4's log), shared across tuning
     jobs so related workloads benefit from history. The full record log
     is kept for history/training; best-per-key lookups go through a
     hash index so [best] is O(1) instead of a scan of every record.
     Failure categories are tallied per status so fleet health is
-    visible from the log alone. *)
+    visible from the log alone.
+
+    Domain-safe: every operation takes the database's mutex, so
+    concurrent [add]s from tuning jobs running on different domains
+    keep the log, the best index and the tallies consistent. *)
 module Db = struct
   type record = {
     db_key : string;
@@ -66,6 +82,7 @@ module Db = struct
     best_by_key : (string, record) Hashtbl.t;
     mutable n_records : int;
     status_tally : (string, int) Hashtbl.t;  (** status name → count *)
+    lock : Mutex.t;
   }
 
   let create () =
@@ -74,9 +91,15 @@ module Db = struct
       best_by_key = Hashtbl.create 64;
       n_records = 0;
       status_tally = Hashtbl.create 8;
+      lock = Mutex.create ();
     }
 
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
   let add t key config (result : Measure_result.t) =
+    locked t @@ fun () ->
     let r = { db_key = key; db_config = config; db_result = result } in
     t.records <- r :: t.records;
     t.n_records <- t.n_records + 1;
@@ -93,17 +116,19 @@ module Db = struct
         | _ -> Hashtbl.replace t.best_by_key key r)
 
   (** Best successful record for [key], O(1). *)
-  let best t key = Hashtbl.find_opt t.best_by_key key
+  let best t key = locked t @@ fun () -> Hashtbl.find_opt t.best_by_key key
 
-  let size t = t.n_records
+  let size t = locked t @@ fun () -> t.n_records
 
   (** Count of records with the given status name (see
       [Measure_result.status_name]). *)
   let status_count t name =
+    locked t @@ fun () ->
     Option.value ~default:0 (Hashtbl.find_opt t.status_tally name)
 
   (** All (status name, count) pairs, sorted by name. *)
   let status_counts t =
+    locked t @@ fun () ->
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.status_tally []
     |> List.sort compare
 end
@@ -117,13 +142,29 @@ module Options = struct
     batch : int;  (** configurations measured per model update *)
     sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
     n_chains : int;  (** parallel annealing chains *)
+    jobs : int;
+        (** host domains for exploration, feature extraction, model
+            training and batch measurement; never changes results *)
     db : Db.t option;  (** shared measurement log, if any *)
   }
 
-  let default = { seed = 42; batch = 16; sa_steps = 60; n_chains = 16; db = None }
+  let default =
+    { seed = 42; batch = 16; sa_steps = 60; n_chains = 16;
+      jobs = Domain.recommended_domain_count (); db = None }
 end
 
-let tune ?(options = Options.default) ~(method_ : method_)
+let now_s () = Int64.to_float (Obs_trace.now_ns ()) /. 1e9
+
+(** Accumulate wall-clock spent in a tuning phase into a
+    [tune.phase.*_s] counter, so per-phase speedups are visible from
+    the metrics dump alone. *)
+let timed_phase name f =
+  let t0 = now_s () in
+  Fun.protect
+    ~finally:(fun () -> Obs_metrics.incr ~by:(now_s () -. t0) ("tune.phase." ^ name ^ "_s"))
+    f
+
+let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
     ~(measure : measure_fn) ~(n_trials : int) (template : template) : result =
   Obs_trace.with_span "tune"
     ~attrs:
@@ -133,7 +174,8 @@ let tune ?(options = Options.default) ~(method_ : method_)
         ("trials", string_of_int n_trials);
       ]
   @@ fun () ->
-  let { Options.seed; batch; sa_steps; n_chains; db } = options in
+  let { Options.seed; batch; sa_steps; n_chains; jobs; db } = options in
+  let par = Tvm_par.Pool.create ~domains:jobs () in
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
   let visited = Hashtbl.create 256 in
   let xs = ref [] and ys = ref [] in
@@ -141,74 +183,160 @@ let tune ?(options = Options.default) ~(method_ : method_)
   let best_time = ref Float.max_float in
   let best_config = ref None in
   let trial_index = ref 0 in
-  (* Measure one configuration and return its structured result
-     directly ([None] once the trial budget is spent) — callers such
-     as the genetic-algorithm branch read the trial time from the
-     return value instead of re-fetching the head of [history]. *)
-  let measure_config cfg : Measure_result.t option =
-    if !trial_index >= n_trials then None
-    else begin
-      Hashtbl.replace visited (Cfg_space.hash cfg) ();
-      let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
-      let result =
-        match stmt with
-        | None -> Measure_result.invalid_config
-        | Some s -> (
-            try measure cfg s
-            with e ->
-              (* Pool exhaustion and other infrastructure failures
-                 become trials with a pool_error category; the loop
-                 keeps going on whatever budget remains. *)
-              Measure_result.fail (Measure_result.Pool_error (Printexc.to_string e)))
-      in
-      (match (stmt, result.Measure_result.time_s) with
-      | Some s, Some time ->
-          (* Only successful measurements train the cost model. *)
-          xs := Feature.extract s :: !xs;
-          ys := -.Float.log time :: !ys
-      | _ -> ());
-      (match result.Measure_result.time_s with
-      | Some time when time < !best_time ->
-          best_time := time;
-          best_config := Some cfg
-      | _ -> ());
-      incr trial_index;
-      (match db with
-      | Some db -> Db.add db template.tpl_name cfg result
-      | None -> ());
-      history :=
-        { trial_index = !trial_index; config = cfg; result;
-          best_so_far = !best_time }
-        :: !history;
-      Obs_metrics.incr "tuner.trials";
-      Obs_metrics.incr
-        ("tuner.status." ^ Measure_result.status_name result.Measure_result.status);
-      (match result.Measure_result.time_s with
-      | Some time -> Obs_metrics.observe "tuner.trial_time_s" time
-      | None -> Obs_metrics.incr "tuner.failed_trials");
-      if !best_config <> None then
-        Obs_metrics.set_gauge "tuner.best_time_s" !best_time;
-      (* Guarded so the attribute strings are never built when tracing
-         is off — this is the tuner's innermost loop. *)
-      if Obs_trace.enabled () then
-        Obs_trace.instant "tuner.trial"
-          ~attrs:
-            [
-              ("template", template.tpl_name);
-              ("trial", string_of_int !trial_index);
-              ("status", Measure_result.status_name result.Measure_result.status);
-              ( "time_ms",
-                match result.Measure_result.time_s with
-                | Some t -> Printf.sprintf "%.6f" (1e3 *. t)
-                | None -> "-" );
-              ( "best_ms",
-                if !best_config = None then "-"
-                else Printf.sprintf "%.6f" (1e3 *. !best_time) );
-            ];
-      Some result
-    end
+  (* Shared lowering+feature memo, keyed by canonical config value so
+     distinct configurations can never collide (structural equality,
+     not int hash). Written only between parallel sections; during SA
+     it is read-only and each chain gets its own overflow cache. *)
+  let feature_memo = Feature_cache.create ~size:1024 () in
+  let extract_features cfg =
+    match (try Some (template.tpl_instantiate cfg) with _ -> None) with
+    | Some s -> Some (Feature.extract s)
+    | None -> None
   in
-  let feature_memo : (int, float array option) Hashtbl.t = Hashtbl.create 1024 in
+  (* Record one measured configuration: training set, incumbent, db,
+     history, metrics. Sequential bookkeeping — always called on the
+     coordinator, in batch order. *)
+  let record_trial cfg (feats : float array option)
+      (result : Measure_result.t) =
+    (match (feats, result.Measure_result.time_s) with
+    | Some f, Some time ->
+        (* Only successful measurements train the cost model. *)
+        xs := f :: !xs;
+        ys := -.Float.log time :: !ys
+    | _ -> ());
+    (match result.Measure_result.time_s with
+    | Some time when time < !best_time ->
+        best_time := time;
+        best_config := Some cfg
+    | _ -> ());
+    incr trial_index;
+    (match db with
+    | Some db -> Db.add db template.tpl_name cfg result
+    | None -> ());
+    history :=
+      { trial_index = !trial_index; config = cfg; result;
+        best_so_far = !best_time }
+      :: !history;
+    Obs_metrics.incr "tuner.trials";
+    Obs_metrics.incr
+      ("tuner.status." ^ Measure_result.status_name result.Measure_result.status);
+    (match result.Measure_result.time_s with
+    | Some time -> Obs_metrics.observe "tuner.trial_time_s" time
+    | None -> Obs_metrics.incr "tuner.failed_trials");
+    if !best_config <> None then
+      Obs_metrics.set_gauge "tuner.best_time_s" !best_time;
+    (* Guarded so the attribute strings are never built when tracing
+       is off — this is the tuner's innermost loop. *)
+    if Obs_trace.enabled () then
+      Obs_trace.instant "tuner.trial"
+        ~attrs:
+          [
+            ("template", template.tpl_name);
+            ("trial", string_of_int !trial_index);
+            ("status", Measure_result.status_name result.Measure_result.status);
+            ( "time_ms",
+              match result.Measure_result.time_s with
+              | Some t -> Printf.sprintf "%.6f" (1e3 *. t)
+              | None -> "-" );
+            ( "best_ms",
+              if !best_config = None then "-"
+              else Printf.sprintf "%.6f" (1e3 *. !best_time) );
+          ]
+  in
+  (* Measure a batch of configurations and return each one's result in
+     input order ([None] past the trial budget). Three stages: prepare
+     (lowering + feature extraction, fanned out over the domain pool),
+     measure (the batch callback overlaps jobs on free devices, or the
+     per-config callback runs them one by one), record (sequential
+     bookkeeping in input order). Results are independent of the
+     domain count: prepared values land in per-index slots and every
+     later stage walks them in input order. *)
+  let run_batch (cfgs : Cfg_space.config list) : Measure_result.t option list =
+    let take = max 0 (min (List.length cfgs) (n_trials - !trial_index)) in
+    let taken = List.filteri (fun i _ -> i < take) cfgs in
+    List.iter (fun cfg -> Hashtbl.replace visited (Cfg_space.hash cfg) ()) taken;
+    let prepared =
+      timed_phase "prepare" @@ fun () ->
+      Tvm_par.Pool.parallel_map par
+        (fun cfg ->
+          match Feature_cache.find feature_memo cfg with
+          | Some None -> (cfg, None, None)  (* known-invalid: skip *)
+          | Some (Some f) ->
+              (* features cached; measurement still needs the program *)
+              let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
+              (cfg, stmt, Some f)
+          | None -> (
+              match (try Some (template.tpl_instantiate cfg) with _ -> None) with
+              | Some s -> (cfg, Some s, Some (Feature.extract s))
+              | None -> (cfg, None, None)))
+        (Array.of_list taken)
+    in
+    (* Merge fresh extractions into the shared memo, in input order. *)
+    Array.iter
+      (fun (cfg, stmt, feats) ->
+        Feature_cache.add feature_memo cfg
+          (match stmt with Some _ -> feats | None -> None))
+      prepared;
+    let results =
+      timed_phase "measure" @@ fun () ->
+      match measure_batch with
+      | Some mb -> (
+          let jobs =
+            Array.of_list
+              (List.filter_map
+                 (fun (cfg, stmt, _) ->
+                   Option.map (fun s -> (cfg, s)) stmt)
+                 (Array.to_list prepared))
+          in
+          let measured =
+            if Array.length jobs = 0 then [||]
+            else
+              try mb jobs
+              with e ->
+                (* A wholesale batch failure degrades to per-job pool
+                   errors, like the per-config path would. *)
+                Array.map
+                  (fun _ ->
+                    Measure_result.fail
+                      (Measure_result.Pool_error (Printexc.to_string e)))
+                  jobs
+          in
+          let next = ref 0 in
+          Array.map
+            (fun (_, stmt, _) ->
+              match stmt with
+              | None -> Measure_result.invalid_config
+              | Some _ ->
+                  let r = measured.(!next) in
+                  incr next;
+                  r)
+            prepared)
+      | None ->
+          Array.map
+            (fun (cfg, stmt, _) ->
+              match stmt with
+              | None -> Measure_result.invalid_config
+              | Some s -> (
+                  try measure cfg s
+                  with e ->
+                    (* Pool exhaustion and other infrastructure
+                       failures become trials with a pool_error
+                       category; the loop keeps going on whatever
+                       budget remains. *)
+                    Measure_result.fail
+                      (Measure_result.Pool_error (Printexc.to_string e))))
+            prepared
+    in
+    Array.iteri
+      (fun i (cfg, _, feats) -> record_trial cfg feats results.(i))
+      prepared;
+    List.mapi
+      (fun i _ -> if i < take then Some results.(i) else None)
+      cfgs
+  in
+  let measure_config cfg =
+    match run_batch [ cfg ] with [ r ] -> r | _ -> None
+  in
   (* Seed the search with one known-valid configuration: heavily
      constrained spaces (odd shapes) can otherwise yield all-invalid
      random batches. A cheap instantiation check suffices. *)
@@ -234,7 +362,7 @@ let tune ?(options = Options.default) ~(method_ : method_)
     (match method_ with
     | Random_search ->
         let cfgs = Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now in
-        List.iter (fun cfg -> ignore (measure_config cfg)) cfgs
+        ignore (run_batch cfgs)
     | Genetic_algorithm ->
         let cfgs =
           if !trial_index = 0 then
@@ -242,7 +370,7 @@ let tune ?(options = Options.default) ~(method_ : method_)
           else Explorers.Genetic.next_generation template.tpl_space rng ga_state ~mutation_rate:0.3
         in
         let cfgs = List.filteri (fun i _ -> i < batch_now) cfgs in
-        let results = List.map measure_config cfgs in
+        let results = run_batch cfgs in
         let fitness =
           List.map
             (fun r ->
@@ -261,36 +389,36 @@ let tune ?(options = Options.default) ~(method_ : method_)
               (* No training data yet: random candidates (§5.3). *)
               Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
           | Some m ->
-              let predict cfg =
-                (* Memoize lowering + feature extraction per config: the
-                   SA explorer revisits configurations frequently, and
-                   model prediction must stay thousands of times cheaper
-                   than measurement (§5.2). *)
-                let h = Cfg_space.hash cfg in
-                let feats =
-                  match Hashtbl.find_opt feature_memo h with
-                  | Some f -> f
-                  | None ->
-                      let f =
-                        match (try Some (template.tpl_instantiate cfg) with _ -> None) with
-                        | Some s -> Some (Feature.extract s)
-                        | None -> None
-                      in
-                      Hashtbl.replace feature_memo h f;
-                      f
-                in
-                match feats with
-                | Some f -> Gbt.predict m f
-                | None -> neg_infinity
+              (* Each SA chain gets its own overflow memo; the shared
+                 one is read-only while the chains run. Afterwards the
+                 chain caches merge back in chain-index order, so the
+                 memo's contents never depend on the domain count. *)
+              let locals = Array.init n_chains (fun _ -> Feature_cache.create ()) in
+              let predict_for_chain ci =
+                let local = locals.(ci) in
+                fun cfg ->
+                  let feats =
+                    match Feature_cache.find feature_memo cfg with
+                    | Some f -> f
+                    | None ->
+                        Feature_cache.find_or_extract local cfg
+                          ~extract:extract_features
+                  in
+                  match feats with
+                  | Some f -> Gbt.predict m f
+                  | None -> neg_infinity
               in
               (* ε-greedy: reserve part of the batch for uniform random
                  exploration so the model keeps seeing fresh regions. *)
               let n_random = max 1 (batch_now / 4) in
               let proposed =
-                Explorers.simulated_annealing template.tpl_space rng sa_state ~predict
-                  ~visited ~n_steps:sa_steps ~temp:1.0
+                timed_phase "propose" @@ fun () ->
+                Explorers.simulated_annealing ~pool:par template.tpl_space rng
+                  sa_state ~predict_for_chain ~visited ~n_steps:sa_steps
+                  ~temp:1.0
                   ~batch:(max 0 (batch_now - n_random))
               in
+              Array.iter (fun l -> Feature_cache.merge ~into:feature_memo l) locals;
               let filler =
                 Explorers.random_batch template.tpl_space rng ~visited
                   ~batch:(batch_now - List.length proposed)
@@ -299,16 +427,19 @@ let tune ?(options = Options.default) ~(method_ : method_)
                 Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
               else proposed @ filler
         in
-        List.iter (fun cfg -> ignore (measure_config cfg)) cfgs;
+        ignore (run_batch cfgs);
         if !xs <> [] then
-          model := Some (Gbt.fit (Array.of_list !xs) (Array.of_list !ys)));
+          model :=
+            Some
+              (timed_phase "fit" @@ fun () ->
+               Gbt.fit ~pool:par (Array.of_list !xs) (Array.of_list !ys)));
     (* A round with no new measurements means the space is exhausted. *)
     if !trial_index = before then exhausted := true
   done;
   let model_accuracy =
     match !model with
     | Some m when List.length !xs > 4 ->
-        Gbt.rank_accuracy m (Array.of_list !xs) (Array.of_list !ys)
+        Gbt.rank_accuracy ~pool:par m (Array.of_list !xs) (Array.of_list !ys)
     | _ -> ( match method_ with Ml_model -> 0.5 | _ -> Float.nan)
   in
   if Float.is_finite model_accuracy then

@@ -36,10 +36,17 @@ type measure_fn = Cfg_space.config -> Tvm_tir.Stmt.t -> Measure_result.t
 (** Measure one instantiated configuration; failure is expressed only
     through [Measure_result.status], never as a sentinel float. *)
 
+type batch_measure_fn =
+  (Cfg_space.config * Tvm_tir.Stmt.t) array -> Measure_result.t array
+(** Measure a whole batch at once — the device pool overlaps jobs on
+    free devices (§5.4) — returning result [i] for job [i]. *)
+
 (** A database of measurement records (§5.4's log), shared across
     tuning jobs so related workloads benefit from history. Keeps the
     complete record log, an O(1) best-per-key index over successful
-    trials, and a per-status tally of failure categories. *)
+    trials, and a per-status tally of failure categories. Domain-safe:
+    every operation takes the database's mutex, so concurrent [add]s
+    from different domains stay consistent. *)
 module Db : sig
   type record = {
     db_key : string;
@@ -74,6 +81,13 @@ module Options : sig
     batch : int;  (** configurations measured per model update *)
     sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
     n_chains : int;  (** parallel annealing chains *)
+    jobs : int;
+        (** host domains used for candidate lowering + feature
+            extraction, the SA chains, GBT training and batch
+            measurement. Defaults to
+            [Domain.recommended_domain_count ()]. Never changes
+            results: every parallel section merges in a fixed input
+            order, so the tuning log is bit-identical at any value. *)
     db : Db.t option;  (** shared measurement log, if any *)
   }
 
@@ -81,10 +95,14 @@ module Options : sig
 end
 
 (** Run the optimization loop for [n_trials] measurements (failed
-    trials consume budget too). Raises [Invalid_argument] if no
-    configuration ever measured successfully. *)
+    trials consume budget too). When [measure_batch] is given it is
+    preferred over [measure]: each batch of valid candidates is handed
+    to it whole, so the device pool can overlap jobs on free devices.
+    Raises [Invalid_argument] if no configuration ever measured
+    successfully. *)
 val tune :
   ?options:Options.t ->
+  ?measure_batch:batch_measure_fn ->
   method_:method_ ->
   measure:measure_fn ->
   n_trials:int ->

@@ -33,11 +33,15 @@ type options = {
       (** fail the build if {!Tvm_tir.Validate} proves a lowered kernel
           wrong (the check always runs and feeds metrics; this flag
           controls whether errors are fatal) *)
+  jobs : int;
+      (** host domains for the tuner's exploration/training/measurement
+          phases; never changes which configurations are chosen *)
 }
 
 let default_options =
   { enable_fusion = true; tune_trials = 64; tuner_method = Tuner.Ml_model;
-    seed = 42; verbose = false; validate = false }
+    seed = 42; verbose = false; validate = false;
+    jobs = Domain.recommended_domain_count () }
 
 exception Validation_failed of string * Tvm_tir.Validate.violation list
 (** Raised by {!build} when [options.validate] is set and the named
@@ -114,6 +118,7 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
   Metrics.set_gauge "fusion.groups" (Float.of_int (List.length groups));
   Metrics.incr "compiler.builds";
   let pool = Pool.create [ Target.device_kind target ] in
+  let par = Tvm_par.Pool.create ~domains:options.jobs () in
   let kind_pred (_ : Pool.device_kind) = true in
   let trials_run = ref 0 in
   let kernels =
@@ -136,13 +141,19 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
               let result =
                 if options.tune_trials > 0 then begin
                   let measure = Pool.measure_fn pool ~kind_pred in
+                  let measure_batch =
+                    Pool.batch_measure_fn ~par pool ~kind_pred
+                  in
                   (* Two independent half-budget searches, keep the
                      better: guards against a seed-stranded run. *)
                   let half = max 8 (options.tune_trials / 2) in
                   let run seed =
                     Tuner.tune
-                      ~options:{ Tuner.Options.default with Tuner.Options.seed }
-                      ~method_:options.tuner_method ~measure ~n_trials:half tpl
+                      ~options:
+                        { Tuner.Options.default with
+                          Tuner.Options.seed; jobs = options.jobs }
+                      ~measure_batch ~method_:options.tuner_method ~measure
+                      ~n_trials:half tpl
                   in
                   let r1 = run options.seed in
                   let r2 = run (options.seed + 1000) in

@@ -285,3 +285,65 @@ let fig12 ?(n_trials = 800) () =
     curves;
   print_endline "(speedup relative to cuDNN; >1 = faster than cuDNN)";
   curves
+
+(* ------------------------------------------------------------------ *)
+(* Multicore tuning throughput (§5.3 parallel exploration +            *)
+(* §5.4 distributed measurement)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Tuner throughput at [-j 1] vs [-j jobs]: [j] maps to [j] simulated
+    devices in the measurement pool {e and} [j] host domains for the
+    parallel phases, mirroring the paper's setup where exploration
+    fans out over a device fleet. Throughput is trials per second of
+    simulated fleet time ([Device_pool.makespan]) — the quantity the
+    device count actually scales — with host wall-clock reported
+    alongside. Both runs share one seed and no fault plan, so the best
+    configuration must come out identical; the comparison is pure
+    throughput. *)
+let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
+  banner
+    (Printf.sprintf
+       "Multicore tuning: throughput at -j1 vs -j%d (C7 conv2d, Titan X)" jobs);
+  let n_trials = trials n_trials in
+  let run j =
+    let tpl, _ = fig12_template () in
+    let pool = Pool.create (List.init j (fun _ -> Pool.Gpu_dev titan)) in
+    let par = Tvm_par.Pool.create ~domains:j () in
+    let measure = Pool.measure_fn pool ~kind_pred:Pool.is_gpu in
+    let measure_batch = Pool.batch_measure_fn ~par pool ~kind_pred:Pool.is_gpu in
+    let t0 = Unix.gettimeofday () in
+    let res =
+      Tuner.tune
+        ~options:{ Tuner.Options.default with Tuner.Options.seed; jobs = j }
+        ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials tpl
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (res, Pool.makespan pool, wall)
+  in
+  let r1, fleet1, wall1 = run 1 in
+  let rj, fleetj, wallj = run jobs in
+  let thr fleet = float_of_int n_trials /. Float.max 1e-9 fleet in
+  let speedup = thr fleetj /. thr fleet1 in
+  let wall_speedup = wall1 /. Float.max 1e-9 wallj in
+  let identical = r1.Tuner.best_config = rj.Tuner.best_config in
+  table
+    ~columns:[ "trials/s (fleet)"; "fleet s"; "host wall s"; "best ms" ]
+    ~fmt:"%.3f"
+    [
+      ("-j1", [ thr fleet1; fleet1; wall1; ms r1.Tuner.best_time ]);
+      ( Printf.sprintf "-j%d" jobs,
+        [ thr fleetj; fleetj; wallj; ms rj.Tuner.best_time ] );
+    ];
+  Printf.printf
+    "tuner throughput speedup: %.2fx (host wall %.2fx); best config %s\n"
+    speedup wall_speedup
+    (if identical then "identical" else "DIFFERS (bug!)");
+  Tvm_obs.Metrics.set_gauge "bench.partune.throughput_j1" (thr fleet1);
+  Tvm_obs.Metrics.set_gauge
+    (Printf.sprintf "bench.partune.throughput_j%d" jobs)
+    (thr fleetj);
+  Tvm_obs.Metrics.set_gauge "bench.partune.speedup" speedup;
+  Tvm_obs.Metrics.set_gauge "bench.partune.wall_speedup" wall_speedup;
+  Tvm_obs.Metrics.set_gauge "bench.partune.identical_best"
+    (if identical then 1. else 0.);
+  (speedup, identical)

@@ -92,12 +92,44 @@ let reset () = locked (fun () -> Hashtbl.reset registry)
 
 let kind_mismatch name = invalid_arg ("metrics: " ^ name ^ " registered with another kind")
 
-let incr ?(by = 1.) name =
+(* Per-domain counter buffer: inside [with_local_counters] (installed by
+   Tvm_par's workers) counter increments accumulate in a domain-local
+   table and merge into the global registry in one locked pass at the
+   end. Counters are commutative sums, so the merged totals are
+   independent of domain scheduling; gauges and histograms are rare on
+   worker domains and go straight through the mutex. *)
+let local_counters : (string, float) Hashtbl.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let incr_locked name by =
   locked (fun () ->
       match Hashtbl.find_opt registry name with
       | Some (Counter c) -> c := !c +. by
       | Some _ -> kind_mismatch name
       | None -> Hashtbl.replace registry name (Counter (ref by)))
+
+let incr ?(by = 1.) name =
+  match Domain.DLS.get local_counters with
+  | Some tbl ->
+      Hashtbl.replace tbl name
+        (by +. Option.value ~default:0. (Hashtbl.find_opt tbl name))
+  | None -> incr_locked name by
+
+(** Buffer this domain's counter increments locally for the duration of
+    [f], merging them into the global registry afterwards (one lock
+    acquisition instead of one per [incr]). Totals are unaffected:
+    counter merge is a commutative sum. *)
+let with_local_counters f =
+  match Domain.DLS.get local_counters with
+  | Some _ -> f ()  (* already buffering *)
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Domain.DLS.set local_counters (Some tbl);
+      Fun.protect
+        ~finally:(fun () ->
+          Domain.DLS.set local_counters None;
+          Hashtbl.iter (fun name by -> incr_locked name by) tbl)
+        f
 
 let set_gauge name v =
   locked (fun () ->

@@ -1,0 +1,88 @@
+(* See pool.mli. Fork-join with atomic index stealing: spawn cost
+   (~tens of µs per domain) is negligible against the coarse tasks the
+   tuner hands us (lowering, feature extraction, cost-model runs), and
+   avoiding a resident worker/condvar loop keeps the pool impossible
+   to deadlock. *)
+
+exception Nested_parallelism
+
+type t = { n_domains : int }
+
+(* True while this domain is executing pool tasks; checked on entry so
+   nested fan-out is rejected identically at every domain count. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  Tvm_obs.Metrics.set_gauge "par.domains" (float_of_int n);
+  { n_domains = n }
+
+let sequential = { n_domains = 1 }
+
+let domains t = t.n_domains
+
+let now_ns () = Tvm_obs.Trace.now_ns ()
+
+let parallel_map t f (xs : 'a array) : 'b array =
+  if Domain.DLS.get in_task then raise Nested_parallelism;
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    Tvm_obs.Metrics.incr ~by:(float_of_int n) "par.tasks";
+    if t.n_domains <= 1 || n = 1 then begin
+      Domain.DLS.set in_task true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_task false)
+        (fun () -> Array.map f xs)
+    end
+    else begin
+      let results = Array.make n None in
+      (* Lowest-index exception, so the raised failure is independent
+         of scheduling. Every task still runs exactly once. *)
+      let first_error : (int * exn) option Atomic.t = Atomic.make None in
+      let next = Atomic.make 0 in
+      let work () =
+        Domain.DLS.set in_task true;
+        Tvm_obs.Metrics.with_local_counters @@ fun () ->
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue_ := false
+          else
+            match f xs.(i) with
+            | y -> results.(i) <- Some y
+            | exception e ->
+                let rec record () =
+                  match Atomic.get first_error with
+                  | Some (j, _) when j <= i -> ()
+                  | cur ->
+                      if not (Atomic.compare_and_set first_error cur (Some (i, e)))
+                      then record ()
+                in
+                record ()
+        done;
+        Domain.DLS.set in_task false
+      in
+      let workers =
+        Array.init (min t.n_domains n - 1) (fun _ -> Domain.spawn work)
+      in
+      work ();
+      let local_done = now_ns () in
+      Array.iter Domain.join workers;
+      Tvm_obs.Metrics.observe "par.steal_idle_s"
+        (Int64.to_float (Int64.sub (now_ns ()) local_done) /. 1e9);
+      match Atomic.get first_error with
+      | Some (_, e) -> raise e
+      | None ->
+          Array.map (function Some y -> y | None -> assert false) results
+    end
+  end
+
+let map_list t f xs = Array.to_list (parallel_map t f (Array.of_list xs))
+
+let parallel_reduce t ~map ~combine ~init xs =
+  Array.fold_left combine init (parallel_map t map xs)

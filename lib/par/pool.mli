@@ -1,0 +1,48 @@
+(** A small reusable domain pool over stdlib [Domain] (§5.3's parallel
+    exploration / §5.4's parallel measurement need host-side
+    parallelism; Domainslib is deliberately not a dependency).
+
+    The pool is fork-join: each [parallel_map] call fans its tasks out
+    over [domains t] domains (the caller participates as one worker)
+    with atomic index stealing, and writes results into a slot per
+    input index — so the output order, and therefore every downstream
+    merge, is identical for any domain count. A pool with one domain
+    runs everything in the caller, making [domains = 1] the exact
+    sequential semantics.
+
+    Exceptions raised by tasks are collected and the one from the
+    {e lowest} input index is re-raised after all tasks have run, so
+    failure behaviour is deterministic too.
+
+    Nesting is rejected: calling [parallel_map] (or friends) from
+    inside a task raises {!Nested_parallelism} — at every domain
+    count, so a nest bug cannot hide at [-j 1].
+
+    Metrics: [par.domains] (gauge, last pool created), [par.tasks]
+    (counter), [par.steal_idle_s] (histogram of the time the caller
+    waited on straggler domains after finishing its own share). *)
+
+exception Nested_parallelism
+
+type t
+
+(** [create ?domains ()] — [domains] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1. *)
+val create : ?domains:int -> unit -> t
+
+(** A pool that runs everything in the caller (one domain). *)
+val sequential : t
+
+val domains : t -> int
+
+(** [parallel_map t f xs] = [Array.map f xs], order preserved. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list t f xs] = [List.map f xs], order preserved. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_reduce t ~map ~combine ~init xs] maps in parallel, then
+    folds [combine] over the mapped values {e in input-index order} on
+    the caller — the deterministic ordered merge. *)
+val parallel_reduce :
+  t -> map:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc

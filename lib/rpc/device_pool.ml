@@ -96,11 +96,16 @@ let request t ~kind_pred =
                "device pool: every matching device is dead or quarantined")
       | d :: _ -> d)
 
-(** Model run time of [stmt] on a device. *)
-let model_time dev stmt =
-  match dev.dev_kind with
+(** Model run time of [stmt] on a device kind. Pure: depends only on
+    the machine description and the program — which is what lets
+    {!measure_batch} precompute it in parallel. *)
+let kind_time kind stmt =
+  match kind with
   | Cpu_dev cpu -> Cpu_model.time_s cpu stmt
   | Gpu_dev gpu -> Gpu_model.time_s gpu stmt
+
+(** Model run time of [stmt] on a device. *)
+let model_time dev stmt = kind_time dev.dev_kind stmt
 
 (** Wall-clock time at which all submitted jobs have finished. *)
 let makespan t =
@@ -152,13 +157,13 @@ let job_event dev status ~measured ~queue_wait =
           ("queue_wait_s", Printf.sprintf "%.3f" queue_wait);
         ]
 
-(** Submit a measurement job and return its structured result,
-    advancing the pool's simulated clock. [key] seeds the
-    deterministic noise so a config always measures the same.
-    Transient faults are retried per the pool's {!Retry_policy.t};
-    permanent failures (invalid configurations, deterministic
-    overruns) are not. *)
-let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : Measure_result.t =
+(** Shared job-submission engine: identical to {!measure} except the
+    model time comes from [time_for dev] — either computed on the spot
+    (per-config path) or looked up from a table {!measure_batch}
+    precomputed in parallel. All clock/fault/retry/quarantine
+    bookkeeping lives here, on the calling domain. *)
+let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
+    Measure_result.t =
   let retry = t.retry in
   let rec attempt_job n =
     match request t ~kind_pred with
@@ -213,7 +218,7 @@ let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : Measure_result.t =
         transient_failure Measure_result.Crash ~cost:t.overhead_s
           ~metric:"pool.crashes"
     | (Fault.No_fault | Fault.Corrupt _) as outcome -> (
-        let base = model_time dev stmt in
+        let base = time_for dev in
         if not (Float.is_finite base) then begin
           (* The machine model rejected the schedule: this is the one
              place where the model's infinity sentinel is translated
@@ -256,12 +261,85 @@ let measure ?(key = 0) t ~kind_pred (stmt : Stmt.t) : Measure_result.t =
   in
   attempt_job 0
 
+(** Submit a measurement job and return its structured result,
+    advancing the pool's simulated clock. [key] seeds the
+    deterministic noise so a config always measures the same.
+    Transient faults are retried per the pool's {!Retry_policy.t};
+    permanent failures (invalid configurations, deterministic
+    overruns) are not. *)
+let measure ?key t ~kind_pred (stmt : Stmt.t) : Measure_result.t =
+  submit ?key t ~kind_pred ~time_for:(fun dev -> model_time dev stmt) ()
+
+(** Measure a batch of jobs, returning result [i] for job [i] (each
+    job is (noise key, program)).
+
+    The expensive part of a simulated measurement — evaluating the
+    analytical machine model on the lowered program — is pure in
+    (device kind, program), so it fans out over [par] across every
+    (job × distinct matching kind) pair up front. The replay below
+    then runs the exact sequential bookkeeping on the calling domain:
+    device choice, fault draws (a pure function of (plan seed, device,
+    attempt) — PR-2 determinism), retries, quarantine and the
+    simulated clock, looking model times up from the precomputed
+    table. Results are byte-identical to calling {!measure} on each
+    job in order, at any domain count.
+
+    A job that raises (e.g. {!No_healthy_device} on a truly exhausted
+    pool) degrades to a [Pool_error] result carrying the exception
+    text — the same conversion the tuner applies on the per-config
+    path — so one doomed job cannot sink the rest of its batch. *)
+let measure_batch ?(par = Tvm_par.Pool.sequential) t ~kind_pred
+    (jobs : (int * Stmt.t) array) : Measure_result.t array =
+  let kinds =
+    List.filter (fun d -> kind_pred d.dev_kind) t.devices
+    |> List.map (fun d -> d.dev_kind)
+    |> List.sort_uniq (fun a b -> compare (kind_name a) (kind_name b))
+  in
+  let tasks =
+    Array.concat
+      (List.map
+         (fun k -> Array.mapi (fun j (_, stmt) -> (j, k, stmt)) jobs)
+         kinds)
+  in
+  let timed =
+    Tvm_par.Pool.parallel_map par
+      (fun (j, k, stmt) ->
+        ( j,
+          kind_name k,
+          match kind_time k stmt with
+          | v -> Ok v
+          | exception e -> Error e ))
+      tasks
+  in
+  let table = Hashtbl.create (Array.length timed) in
+  Array.iter (fun (j, kname, r) -> Hashtbl.replace table (j, kname) r) timed;
+  Array.mapi
+    (fun j (key, _) ->
+      let time_for dev =
+        match Hashtbl.find table (j, kind_name dev.dev_kind) with
+        | Ok v -> v
+        | Error e -> raise e
+      in
+      try submit ~key t ~kind_pred ~time_for ()
+      with e ->
+        Measure_result.fail (Measure_result.Pool_error (Printexc.to_string e)))
+    jobs
+
 let is_gpu = function Gpu_dev _ -> true | Cpu_dev _ -> false
 let is_cpu = function Cpu_dev _ -> true | Gpu_dev _ -> false
 
 (** Tuner-ready measurement callback for a pool and device predicate. *)
 let measure_fn t ~kind_pred : Tvm_autotune.Tuner.measure_fn =
  fun cfg stmt -> measure ~key:(Tvm_autotune.Cfg_space.hash cfg) t ~kind_pred stmt
+
+(** Tuner-ready batch callback: noise keys come from the config hash,
+    exactly as {!measure_fn} derives them. *)
+let batch_measure_fn ?par t ~kind_pred : Tvm_autotune.Tuner.batch_measure_fn =
+ fun jobs ->
+  measure_batch ?par t ~kind_pred
+    (Array.map
+       (fun (cfg, stmt) -> (Tvm_autotune.Cfg_space.hash cfg, stmt))
+       jobs)
 
 let stats t =
   List.map (fun d -> (kind_name d.dev_kind, d.jobs_run, d.busy_until)) t.devices

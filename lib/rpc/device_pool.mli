@@ -83,6 +83,22 @@ val measure :
   Tvm_tir.Stmt.t ->
   Measure_result.t
 
+(** Measure a batch of (noise key, program) jobs, returning result [i]
+    for job [i]. The pure machine-model evaluations fan out over [par]
+    across every (job × distinct matching device kind) pair; the
+    stateful bookkeeping (device choice, fault draws, retries,
+    quarantine, simulated clock) then replays sequentially on the
+    calling domain — so the results are byte-identical to calling
+    {!measure} on each job in order, at any domain count. A job that
+    raises (truly exhausted pool) degrades to a [Pool_error] result
+    instead of sinking the batch. *)
+val measure_batch :
+  ?par:Tvm_par.Pool.t ->
+  t ->
+  kind_pred:(device_kind -> bool) ->
+  (int * Tvm_tir.Stmt.t) array ->
+  Measure_result.t array
+
 (** Wall-clock time at which all submitted jobs have finished. *)
 val makespan : t -> float
 
@@ -95,6 +111,14 @@ val is_cpu : device_kind -> bool
 (** Tuner-ready measurement callback for a pool and device predicate. *)
 val measure_fn :
   t -> kind_pred:(device_kind -> bool) -> Tvm_autotune.Tuner.measure_fn
+
+(** Tuner-ready batch callback (noise keys from the config hash, as
+    {!measure_fn}); see {!measure_batch}. *)
+val batch_measure_fn :
+  ?par:Tvm_par.Pool.t ->
+  t ->
+  kind_pred:(device_kind -> bool) ->
+  Tvm_autotune.Tuner.batch_measure_fn
 
 (** Per-device (name, successful jobs run, busy seconds). *)
 val stats : t -> (string * int * float) list

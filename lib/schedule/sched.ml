@@ -53,14 +53,15 @@ type t = {
   by_tensor : (int, stage) Hashtbl.t;  (** tensor id → stage *)
 }
 
-let stage_counter = ref 0
+(* Atomic: schedules are instantiated from parallel tuner workers.
+   Stage ids only need to be unique. *)
+let stage_counter = Atomic.make 0
 
 let const_shape_of tensor = Tensor.const_shape tensor
 
 let make_stage ~name ~out ~root_axes ~reduce_axes ~body ~is_output =
-  incr stage_counter;
   {
-    s_id = !stage_counter;
+    s_id = 1 + Atomic.fetch_and_add stage_counter 1;
     s_name = name;
     s_out = out;
     s_root_axes = root_axes;

@@ -80,7 +80,11 @@ let miss_bytes ~size ~nest_mates (a : Analysis.access) =
         let prev = try Hashtbl.find tbl key with Not_found -> 0. in
         Hashtbl.replace tbl key (Float.max prev fp))
       nest_mates;
-    Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+    (* Sorted-value summation: keep the float result independent of
+       bucket order (buffer ids vary under parallel instantiation). *)
+    Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+    |> List.sort compare
+    |> List.fold_left ( +. ) 0.
   in
   let rec find_level k = if k >= depth then depth else if working_set k <= size then k else find_level (k + 1) in
   let k = find_level 0 in

@@ -53,15 +53,29 @@ and compute = {
   inputs : t list;  (** tensors read by [body], in discovery order *)
 }
 
-let counter = ref 0
+(* Atomic + mutex: cache stages are created from parallel tuner
+   workers (template instantiation under Tvm_par), so tensor ids must
+   stay unique and the registry structurally sound across domains. *)
+let counter = Atomic.make 0
+
+let fresh_tid () = 1 + Atomic.fetch_and_add counter 1
 
 (* Registry mapping buffer ids back to tensors, so that [compute] can
    discover its inputs from the loads appearing in the body. *)
 let registry : (int, t) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
-let find_by_buffer (b : Expr.buffer) = Hashtbl.find_opt registry b.Expr.bid
+let find_by_buffer (b : Expr.buffer) =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () -> Hashtbl.find_opt registry b.Expr.bid)
 
-let register t = Hashtbl.replace registry t.buffer.Expr.bid t
+let register t =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () -> Hashtbl.replace registry t.buffer.Expr.bid t)
 
 let name t = t.tname
 let shape t = t.shape
@@ -102,10 +116,9 @@ let topo_order (roots : t list) : t list =
 (* ------------------------------------------------------------------ *)
 
 let placeholder ?(dtype = Dtype.Float32) name shape =
-  incr counter;
   let buffer = Expr.Buffer.create ~dtype name shape in
   let t =
-    { tname = name; tid = !counter; shape; dtype; buffer; op = Placeholder }
+    { tname = name; tid = fresh_tid (); shape; dtype; buffer; op = Placeholder }
   in
   register t;
   t
@@ -135,7 +148,6 @@ let discover_inputs (exprs : Expr.t list) : t list =
   List.filter_map find_by_buffer bufs
 
 let make_compute ?(dtype = Dtype.Float32) name shape axes body extra_exprs =
-  incr counter;
   let buffer = Expr.Buffer.create ~dtype name shape in
   let inputs =
     match body with
@@ -143,7 +155,7 @@ let make_compute ?(dtype = Dtype.Float32) name shape axes body extra_exprs =
     | Reduce r -> discover_inputs (r.src :: r.init :: extra_exprs)
   in
   let t =
-    { tname = name; tid = !counter; shape; dtype; buffer;
+    { tname = name; tid = fresh_tid (); shape; dtype; buffer;
       op = Compute { axes; body; inputs } }
   in
   register t;

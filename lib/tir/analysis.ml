@@ -272,7 +272,12 @@ let unique_global_bytes stmt =
         let prev = try Hashtbl.find tbl key with Not_found -> 0. in
         Hashtbl.replace tbl key (Float.max prev fp))
     accesses;
-  Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+  (* Summed in sorted-value order: buffer ids vary run-to-run under
+     parallel instantiation, so bucket order must not pick the float
+     summation order. *)
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort compare
+  |> List.fold_left ( +. ) 0.
 
 (** Summary of loop annotations below each access, used as one-hot
     features by the cost model (Fig 13's "vectorize/unroll/parallel"). *)

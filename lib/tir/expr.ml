@@ -68,11 +68,13 @@ and buffer = {
 module Var = struct
   type nonrec t = var
 
-  let counter = ref 0
+  (* Atomic: fresh vars are minted from parallel tuner workers
+     (template instantiation under Tvm_par). Ids stay unique; nothing
+     downstream depends on their numeric values, only on equality. *)
+  let counter = Atomic.make 0
 
   let fresh ?(dtype = Dtype.Int32) name =
-    incr counter;
-    { vname = name; vid = !counter; vdtype = dtype }
+    { vname = name; vid = 1 + Atomic.fetch_and_add counter 1; vdtype = dtype }
 
   let name v = v.vname
   let dtype v = v.vdtype
@@ -87,11 +89,12 @@ end
 module Buffer = struct
   type nonrec t = buffer
 
-  let counter = ref 0
+  (* Atomic for the same reason as [Var.counter]. *)
+  let counter = Atomic.make 0
 
   let create ?(scope = Global) ?(dtype = Dtype.Float32) name shape =
-    incr counter;
-    { bname = name; bid = !counter; bdtype = dtype; bshape = shape; bscope = scope }
+    { bname = name; bid = 1 + Atomic.fetch_and_add counter 1; bdtype = dtype;
+      bshape = shape; bscope = scope }
 
   let name b = b.bname
   let dtype b = b.bdtype
@@ -113,8 +116,7 @@ module Buffer = struct
 
   (** A copy of [b] with a different scope and its own identity. *)
   let with_scope scope b =
-    incr counter;
-    { b with bid = !counter; bscope = scope }
+    { b with bid = 1 + Atomic.fetch_and_add counter 1; bscope = scope }
 end
 
 (* ------------------------------------------------------------------ *)

@@ -13,6 +13,7 @@ let () =
       ("graph", Test_graph.suite);
       ("layout", Test_layout.suite);
       ("autotune", Test_autotune.suite);
+      ("par", Test_par.suite);
       ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
       ("sim", Test_sim.suite);

@@ -1,0 +1,317 @@
+(* Multicore layer tests: the Tvm_par domain pool itself, and the
+   determinism guarantee of every tuning phase that fans out over it —
+   the whole point of the design is that -j N never changes results. *)
+
+open Tvm_tir
+module Par = Tvm_par.Pool
+module Cfg = Tvm_autotune.Cfg_space
+module Gbt = Tvm_autotune.Gbt
+module Explorers = Tvm_autotune.Explorers
+module Tuner = Tvm_autotune.Tuner
+module Templates = Tvm_autotune.Templates
+module Feature_cache = Tvm_autotune.Feature_cache
+module R = Tvm_autotune.Measure_result
+module Pool = Tvm_rpc.Device_pool
+module Fault = Tvm_rpc.Fault
+module Machine = Tvm_sim.Machine
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let map_matches_sequential =
+  QCheck.Test.make ~name:"parallel_map = Array.map at any domain count"
+    ~count:60
+    QCheck.(pair (int_range 0 80) (int_range 1 6))
+    (fun (n, domains) ->
+      let pool = Par.create ~domains () in
+      let xs = Array.init n (fun i -> i) in
+      let f x = (x * x) + 7 in
+      Par.parallel_map pool f xs = Array.map f xs)
+
+let test_map_list () =
+  let pool = Par.create ~domains:4 () in
+  let xs = List.init 33 (fun i -> i) in
+  Alcotest.(check (list int))
+    "map_list preserves order" (List.map succ xs)
+    (Par.map_list pool succ xs)
+
+let test_reduce_ordered () =
+  (* string concat is non-commutative: only an input-index-order fold
+     produces this result, so any merge-order bug shows up. *)
+  let check_at domains =
+    let pool = Par.create ~domains () in
+    let xs = Array.init 26 (fun i -> Char.chr (Char.code 'a' + i)) in
+    let s =
+      Par.parallel_reduce pool
+        ~map:(fun c -> String.make 1 c)
+        ~combine:( ^ ) ~init:"" xs
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "ordered fold at %d domains" domains)
+      "abcdefghijklmnopqrstuvwxyz" s
+  in
+  List.iter check_at [ 1; 2; 4; 8 ]
+
+let test_exception_lowest_index () =
+  let check_at domains =
+    let pool = Par.create ~domains () in
+    let f i = if i mod 5 = 3 then failwith (string_of_int i) else i in
+    match Par.parallel_map pool f (Array.init 32 (fun i -> i)) with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "lowest failing index at %d domains" domains)
+          "3" msg
+  in
+  List.iter check_at [ 1; 2; 4 ]
+
+let test_nested_rejected () =
+  let check_at domains =
+    let pool = Par.create ~domains () in
+    let nested _ =
+      Array.length (Par.parallel_map Par.sequential succ [| 1; 2 |])
+    in
+    match Par.parallel_map pool nested [| 0; 1; 2 |] with
+    | _ ->
+        Alcotest.fail
+          (Printf.sprintf "nested fan-out not rejected at %d domains" domains)
+    | exception Par.Nested_parallelism -> ()
+  in
+  (* must trip at -j1 too, or the bug hides until someone passes -j *)
+  List.iter check_at [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Feature memo: int-hash collisions must not share entries             *)
+(* ------------------------------------------------------------------ *)
+
+let test_feature_cache_collision () =
+  (* Find two distinct configurations with the same [Cfg.hash] by
+     enumerating a 64^3 space (the seed space has a collision within
+     the first ~34k points; bound the scan so the test stays fast).
+     The old memo was keyed by this int hash, so the second config
+     silently inherited the first one's features. *)
+  let space =
+    Cfg.space
+      [
+        Cfg.knob "a" (List.init 64 Fun.id);
+        Cfg.knob "b" (List.init 64 Fun.id);
+        Cfg.knob "c" (List.init 64 Fun.id);
+      ]
+  in
+  let seen = Hashtbl.create 65536 in
+  let colliding = ref None in
+  (try
+     for i = 0 to min (Cfg.size space) 65536 - 1 do
+       let cfg = Cfg.config_at space i in
+       let h = Cfg.hash cfg in
+       match Hashtbl.find_opt seen h with
+       | Some prev when prev <> cfg ->
+           colliding := Some (prev, cfg);
+           raise Exit
+       | Some _ -> ()
+       | None -> Hashtbl.add seen h cfg
+     done
+   with Exit -> ());
+  match !colliding with
+  | None -> Alcotest.fail "no hash collision found in the scan bound"
+  | Some (c1, c2) ->
+      checkb "the pair really collides" (Cfg.hash c1 = Cfg.hash c2 && c1 <> c2);
+      let cache = Feature_cache.create () in
+      Feature_cache.add cache c1 (Some [| 1.; 2. |]);
+      checkb "colliding config is NOT found" (Feature_cache.find cache c2 = None);
+      Feature_cache.add cache c2 (Some [| 3. |]);
+      Alcotest.(check int) "both entries kept" 2 (Feature_cache.size cache);
+      checkb "first entry intact"
+        (Feature_cache.find cache c1 = Some (Some [| 1.; 2. |]));
+      checkb "second entry distinct"
+        (Feature_cache.find cache c2 = Some (Some [| 3. |]))
+
+let test_feature_cache_merge_first_wins () =
+  let a = Feature_cache.create () and b = Feature_cache.create () in
+  let cfg = [ ("x", 1) ] and cfg2 = [ ("x", 2) ] in
+  Feature_cache.add a cfg (Some [| 1. |]);
+  Feature_cache.add b cfg (Some [| 9. |]);
+  Feature_cache.add b cfg2 None;
+  Feature_cache.merge ~into:a b;
+  checkb "existing entry not overwritten"
+    (Feature_cache.find a cfg = Some (Some [| 1. |]));
+  checkb "new entry (known-invalid) merged" (Feature_cache.find a cfg2 = Some None)
+
+(* ------------------------------------------------------------------ *)
+(* Db under concurrent adds                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_db_concurrent_adds () =
+  let db = Tuner.Db.create () in
+  let n_domains = 4 and per_domain = 500 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let t = 1.0 +. float_of_int ((d * per_domain) + i) in
+      let t = if d = 2 && i = 123 then 0.25 else t in
+      Tuner.Db.add db "k" [ ("a", (d * per_domain) + i) ] (R.ok t)
+    done
+  in
+  let ds = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no add lost" (n_domains * per_domain) (Tuner.Db.size db);
+  Alcotest.(check int) "tally consistent" (n_domains * per_domain)
+    (Tuner.Db.status_count db "ok");
+  match Tuner.Db.best db "k" with
+  | Some r ->
+      checkb "best index survived the races"
+        (R.time r.Tuner.Db.db_result = Some 0.25)
+  | None -> Alcotest.fail "best lost"
+
+(* ------------------------------------------------------------------ *)
+(* Phase determinism: SA chains and GBT training                        *)
+(* ------------------------------------------------------------------ *)
+
+let sa_space () =
+  Cfg.space
+    [
+      Cfg.knob "a" (List.init 8 (fun i -> i + 1));
+      Cfg.knob "b" (List.init 8 (fun i -> i + 1));
+      Cfg.knob "c" (List.init 8 (fun i -> i + 1));
+    ]
+
+let test_sa_bit_identical () =
+  let space = sa_space () in
+  let predict _chain cfg =
+    Float.sin (float_of_int (Cfg.hash cfg land 0xFFFF))
+  in
+  let run domains =
+    let pool = Par.create ~domains () in
+    let rng = Random.State.make [| 7 |] in
+    let state = Explorers.sa_init space rng ~n_chains:8 in
+    Explorers.simulated_annealing ~pool space rng state
+      ~predict_for_chain:predict ~visited:(Hashtbl.create 16) ~n_steps:60
+      ~temp:1.0 ~batch:16
+  in
+  let base = run 1 in
+  checkb "SA proposed something" (base <> []);
+  List.iter
+    (fun d ->
+      checkb
+        (Printf.sprintf "SA batch identical at %d domains" d)
+        (run d = base))
+    [ 2; 4; 8 ]
+
+let test_gbt_pool_identical () =
+  let rng = Random.State.make [| 11 |] in
+  let xs =
+    Array.init 128 (fun _ -> Array.init 6 (fun _ -> Random.State.float rng 1.))
+  in
+  let ys = Array.map (fun x -> (x.(0) *. x.(1)) -. x.(3)) xs in
+  let seq = Gbt.fit xs ys in
+  let par = Gbt.fit ~pool:(Par.create ~domains:4 ()) xs ys in
+  Array.iter
+    (fun x ->
+      checkb "prediction bit-identical" (Gbt.predict seq x = Gbt.predict par x))
+    xs;
+  let acc_seq = Gbt.rank_accuracy seq xs ys in
+  let acc_par = Gbt.rank_accuracy ~pool:(Par.create ~domains:4 ()) par xs ys in
+  checkb "rank accuracy bit-identical" (acc_seq = acc_par)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the whole tuning loop at -j1 vs -j4                      *)
+(* ------------------------------------------------------------------ *)
+
+let conv_template () =
+  let d = Tensor.placeholder "par_d" (List.map Expr.int [ 1; 16; 8; 8 ]) in
+  let w = Tensor.placeholder "par_w" (List.map Expr.int [ 16; 16; 3; 3 ]) in
+  let c = Op.conv2d ~name:"par_conv" ~stride:1 d w in
+  Templates.gpu_flat ~name:"par_tpl" c
+
+let trial_fingerprint (t : Tuner.trial) =
+  (t.Tuner.config, R.status_name t.Tuner.result.R.status, R.time t.Tuner.result,
+   t.Tuner.best_so_far)
+
+let run_tune ~jobs ~fault_rate tpl =
+  let fault_plan =
+    if fault_rate > 0. then Fault.transient ~seed:7 ~rate:fault_rate ()
+    else Fault.none
+  in
+  let pool =
+    Pool.create ~fault_plan (List.init 4 (fun _ -> Pool.Gpu_dev Machine.titan_x))
+  in
+  let par = Par.create ~domains:jobs () in
+  let measure = Pool.measure_fn pool ~kind_pred:(fun _ -> true) in
+  let measure_batch = Pool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true) in
+  Tuner.tune
+    ~options:{ Tuner.Options.default with Tuner.Options.seed = 5; jobs }
+    ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials:32 tpl
+
+let test_tune_identical_across_jobs () =
+  let tpl = conv_template () in
+  let check ~fault_rate =
+    let r1 = run_tune ~jobs:1 ~fault_rate tpl in
+    let r4 = run_tune ~jobs:4 ~fault_rate tpl in
+    checkb
+      (Printf.sprintf "best config identical (fault %.0f%%)" (100. *. fault_rate))
+      (r1.Tuner.best_config = r4.Tuner.best_config);
+    checkb "best time identical" (r1.Tuner.best_time = r4.Tuner.best_time);
+    Alcotest.(check int) "same trial count"
+      (List.length r1.Tuner.history)
+      (List.length r4.Tuner.history);
+    checkb "tuning log identical trial by trial"
+      (List.map trial_fingerprint r1.Tuner.history
+      = List.map trial_fingerprint r4.Tuner.history)
+  in
+  check ~fault_rate:0.0;
+  (* the PR-2 fault machinery replays on the coordinator, so a faulty
+     fleet must be exactly as deterministic as a healthy one *)
+  check ~fault_rate:0.2
+
+let test_measure_batch_matches_sequential () =
+  let tpl = conv_template () in
+  let rng = Random.State.make [| 13 |] in
+  let rec valid n acc =
+    if List.length acc >= 6 || n = 0 then acc
+    else
+      let cfg = Cfg.random_config tpl.Tuner.tpl_space rng in
+      match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+      | Some s -> valid (n - 1) ((Cfg.hash cfg, s) :: acc)
+      | None -> valid (n - 1) acc
+  in
+  let jobs = Array.of_list (List.rev (valid 200 [])) in
+  checkb "found batch jobs" (Array.length jobs > 0);
+  let mk () =
+    Pool.create
+      ~fault_plan:(Fault.transient ~seed:3 ~rate:0.2 ())
+      (List.init 2 (fun _ -> Pool.Gpu_dev Machine.titan_x))
+  in
+  let p_seq = mk () and p_par = mk () in
+  let seq =
+    Array.map (fun (key, s) -> Pool.measure p_seq ~key ~kind_pred:(fun _ -> true) s) jobs
+  in
+  let par =
+    Pool.measure_batch ~par:(Par.create ~domains:4 ()) p_par
+      ~kind_pred:(fun _ -> true) jobs
+  in
+  checkb "batch results byte-identical to sequential submits" (seq = par);
+  checkb "simulated clocks agree" (Pool.makespan p_seq = Pool.makespan p_par)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest map_matches_sequential;
+    Alcotest.test_case "map_list order" `Quick test_map_list;
+    Alcotest.test_case "parallel_reduce is an ordered fold" `Quick test_reduce_ordered;
+    Alcotest.test_case "lowest-index exception wins" `Quick test_exception_lowest_index;
+    Alcotest.test_case "nested fan-out rejected" `Quick test_nested_rejected;
+    Alcotest.test_case "feature memo survives hash collisions" `Quick
+      test_feature_cache_collision;
+    Alcotest.test_case "feature memo merge is first-wins" `Quick
+      test_feature_cache_merge_first_wins;
+    Alcotest.test_case "db concurrent adds" `Quick test_db_concurrent_adds;
+    Alcotest.test_case "sa chains bit-identical across -j" `Quick test_sa_bit_identical;
+    Alcotest.test_case "gbt training bit-identical across -j" `Quick
+      test_gbt_pool_identical;
+    Alcotest.test_case "measure_batch = sequential measure" `Quick
+      test_measure_batch_matches_sequential;
+    Alcotest.test_case "tune log identical at -j1 vs -j4 (with faults)" `Slow
+      test_tune_identical_across_jobs;
+  ]

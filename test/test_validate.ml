@@ -385,15 +385,17 @@ let test_sa_rejects_nan_predictions () =
      entered the candidate pool (and NaN poisons the sort). *)
   let batch =
     Tvm_autotune.Explorers.simulated_annealing space rng state
-      ~predict:(fun _ -> Float.nan) ~visited ~n_steps:20 ~temp:1. ~batch:8
+      ~predict_for_chain:(fun _ _ -> Float.nan) ~visited ~n_steps:20 ~temp:1.
+      ~batch:8
   in
   checkb "no candidates from an all-NaN predictor" (batch = []);
   (* mixed predictor: only finitely-scored configs may surface *)
   let predict cfg = if Cfg_space.get cfg "a" >= 4 then Float.nan else 1. in
   let state = Tvm_autotune.Explorers.sa_init space rng ~n_chains:4 in
   let batch =
-    Tvm_autotune.Explorers.simulated_annealing space rng state ~predict ~visited
-      ~n_steps:20 ~temp:1. ~batch:8
+    Tvm_autotune.Explorers.simulated_annealing space rng state
+      ~predict_for_chain:(fun _ cfg -> predict cfg) ~visited ~n_steps:20
+      ~temp:1. ~batch:8
   in
   checkb "batch nonempty" (batch <> []);
   checkb "every returned config has a finite prediction"
