@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
-.PHONY: all build test check check-fault check-validate check-par bench-json clean
+.PHONY: all build test check check-fault check-validate check-par check-cache bench-json clean
 
 all: build
 
@@ -44,7 +44,27 @@ check-par: build
 	cmp _build/check-par/d1_j1.log _build/check-par/d1_j8.log
 	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json partune
 
-check: build test check-fault check-validate check-par
+# Compile-cache equivalence gate: the cache suite, plus byte-identical
+# tvmc tuning logs with the cross-trial compile cache on vs off at a
+# fixed seed — one clean fleet (C7) and one 20% faulty fleet (D1). The
+# cache may only change how fast trials prepare, never what they
+# measure.
+check-cache: build
+	dune exec test/test_main.exe -- test cache
+	mkdir -p _build/check-cache
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 4 --tune-log _build/check-cache/c7_on.log
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 4 --no-compile-cache --tune-log _build/check-cache/c7_off.log
+	cmp _build/check-cache/c7_on.log _build/check-cache/c7_off.log
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 4 --tune-log _build/check-cache/d1_on.log
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 4 --no-compile-cache \
+	  --tune-log _build/check-cache/d1_off.log
+	cmp _build/check-cache/d1_on.log _build/check-cache/d1_off.log
+
+check: build test check-fault check-validate check-par check-cache
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the

@@ -4,7 +4,7 @@
 
     Usage: [main.exe [--quick] [--json FILE] [-j N] [exp ...]] where
     [exp] is one of fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17
-    fig18 fig19 fig21 table1 table2 ablations partune micro all
+    fig18 fig19 fig21 table1 table2 ablations partune lower cache micro all
     (default: all). [-j N] sets the domain/device count the [partune]
     throughput comparison scales to (default 4).
 
@@ -171,6 +171,8 @@ let experiments : (string * (unit -> unit)) list =
         ignore (Ab.ablation_layout ());
         ignore (Ab.ablation_fusion ()) );
     ("partune", fun () -> ignore (Fm.partune ~jobs:!bench_jobs ()));
+    ("lower", fun () -> ignore (Fm.bench_lower ()));
+    ("cache", fun () -> ignore (Fm.bench_cache ()));
     ("micro", micro);
   ]
 

@@ -45,6 +45,16 @@ let jobs_arg =
            changes which configurations are chosen: results are \
            bit-identical at any -j.")
 
+let no_compile_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile-cache" ]
+        ~doc:
+          "Disable the cross-trial compile cache: every measured \
+           configuration is re-lowered and re-featurized. Results are \
+           bit-identical with the cache on — this flag exists for A/B \
+           timing and verification.")
+
 (** Run [f] with tracing enabled iff a trace file was requested; write
     the requested observability outputs afterwards (also on failure, so
     a crashed compile still leaves its partial trace behind). *)
@@ -107,13 +117,14 @@ let compile_cmd =
   let trials =
     Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
   in
-  let run network target trials validate jobs trace_out metrics_out =
+  let run network target trials validate jobs no_cache trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
     let options =
       { Tvm.Compiler.default_options with
-        Tvm.Compiler.tune_trials = trials; validate; jobs }
+        Tvm.Compiler.tune_trials = trials; validate; jobs;
+        compile_cache = not no_cache }
     in
     let t0 = Unix.gettimeofday () in
     let result, exec =
@@ -139,7 +150,7 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
     Term.(
       const run $ network $ target $ trials $ validate_arg $ jobs_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- tune ---- *)
 
@@ -193,7 +204,7 @@ let tune_cmd =
              measurement; byte-identical for a fixed seed at any -j)")
   in
   let run workload trials method_name fault_rate max_retries timeout_ms seed
-      jobs devices tune_log validate trace_out metrics_out =
+      jobs devices tune_log validate no_cache trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
@@ -231,7 +242,8 @@ let tune_cmd =
       Tvm_autotune.Tuner.tune
         ~options:
           { Tvm_autotune.Tuner.Options.default with
-            Tvm_autotune.Tuner.Options.seed; jobs; db = Some db }
+            Tvm_autotune.Tuner.Options.seed; jobs; db = Some db;
+            use_compile_cache = not no_cache }
         ~measure_batch ~method_ ~measure ~n_trials:trials tpl
     in
     (match tune_log with
@@ -290,7 +302,7 @@ let tune_cmd =
     Term.(
       const run $ workload $ trials $ method_ $ fault_rate $ max_retries
       $ timeout_ms $ seed $ jobs_arg $ devices $ tune_log $ validate_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- profile ---- *)
 

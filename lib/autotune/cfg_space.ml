@@ -85,5 +85,17 @@ let to_string (config : config) =
   String.concat ","
     (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) config)
 
-(** Stable hash for deterministic measurement noise and dedup. *)
-let hash (config : config) = Hashtbl.hash (List.sort compare config)
+(** Canonical representative of a configuration: knobs sorted by name.
+    Configs are assoc lists whose order is arbitrary; canonicalizing
+    gives one structural value per configuration, so tables keyed by it
+    ([Compile_cache], the tuner's visited set, the explorers' dedup)
+    get exact equality — two distinct configurations can never share an
+    entry the way int-hash keys could collide. *)
+let canonical (config : config) : config = List.sort compare config
+
+(** Stable order-insensitive hash of the canonical key. An int hash
+    always has collisions, so this must never be used as an identity:
+    lookups key on {!canonical} itself (equality-checked). The one
+    sanctioned hash-only use is seeding [Device_pool]'s deterministic
+    measurement noise, where a collision merely replays a noise draw. *)
+let hash (config : config) = Hashtbl.hash (canonical config)

@@ -44,6 +44,12 @@ val crossover : Random.State.t -> config -> config -> config
 
 val to_string : config -> string
 
-(** Order-insensitive hash, used for deduplication and to seed the
-    deterministic measurement noise. *)
+(** Canonical representative (knobs sorted by name): the structural key
+    for every table over configurations — exact equality, no collision
+    class. *)
+val canonical : config -> config
+
+(** Order-insensitive hash of {!canonical}. Not an identity (int hashes
+    collide): only for seeding deterministic measurement noise; lookups
+    must key on {!canonical} itself. *)
 val hash : config -> int

@@ -30,7 +30,7 @@ let sa_init space rng ~n_chains =
     mutate it concurrently. *)
 let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
     (state : sa_state) ~(predict_for_chain : int -> predictor)
-    ~(visited : (int, unit) Hashtbl.t) ~n_steps ~temp ~batch =
+    ~(visited : (Cfg_space.config, unit) Hashtbl.t) ~n_steps ~temp ~batch =
   let chains = Array.of_list state.chains in
   (* Split per-chain streams from the caller's rng before fanning out,
      so the caller's stream advances the same way at every -j. *)
@@ -38,14 +38,19 @@ let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
   let walk ci =
     let crng = Random.State.make [| seeds.(ci); ci |] in
     let predict = predict_for_chain ci in
-    let seen_scores : (int * Cfg_space.config * float) list ref = ref [] in
+    let seen_scores : (Cfg_space.config * Cfg_space.config * float) list ref =
+      ref []
+    in
     let note cfg score =
       (* Non-finite predictions (NaN from an untrained model, -inf for
          rejected configs) must not enter the candidate pool: NaN breaks
-         the final sort and either would surface junk configs. *)
-      let h = Cfg_space.hash cfg in
-      if Float.is_finite score && not (Hashtbl.mem visited h) then
-        seen_scores := (h, cfg, score) :: !seen_scores
+         the final sort and either would surface junk configs. Keys are
+         the canonical configuration (structural, collision-free) — an
+         int-hash key here once let distinct configs shadow each
+         other. *)
+      let k = Cfg_space.canonical cfg in
+      if Float.is_finite score && not (Hashtbl.mem visited k) then
+        seen_scores := (k, cfg, score) :: !seen_scores
     in
     let cur = ref chains.(ci) in
     let cur_score = ref (predict !cur) in
@@ -85,29 +90,31 @@ let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
   (* Deterministic ordered merge: concatenate per-chain candidates in
      chain-index order, dedup first-wins, then a *stable* sort by score
      so ties keep that order. Top-[batch] distinct survive. *)
-  let dedup = Hashtbl.create 64 in
+  let dedup : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 64 in
   Array.to_list walked
   |> List.concat_map snd
-  |> List.filter (fun (h, _, _) ->
-         if Hashtbl.mem dedup h then false
+  |> List.filter (fun (k, _, _) ->
+         if Hashtbl.mem dedup k then false
          else begin
-           Hashtbl.replace dedup h ();
+           Hashtbl.replace dedup k ();
            true
          end)
   |> List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a)
   |> List.filteri (fun i _ -> i < batch)
   |> List.map (fun (_, cfg, _) -> cfg)
 
-(** Uniform random batch, deduplicated against [visited]. *)
-let random_batch space rng ~(visited : (int, unit) Hashtbl.t) ~batch =
+(** Uniform random batch, deduplicated against [visited] (keyed by the
+    canonical configuration). *)
+let random_batch space rng ~(visited : (Cfg_space.config, unit) Hashtbl.t)
+    ~batch =
   let out = ref [] in
   let attempts = ref 0 in
   while List.length !out < batch && !attempts < batch * 50 do
     incr attempts;
     let cfg = Cfg_space.random_config space rng in
-    let h = Cfg_space.hash cfg in
-    if not (Hashtbl.mem visited h) then begin
-      Hashtbl.replace visited h ();
+    let k = Cfg_space.canonical cfg in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.replace visited k ();
       out := cfg :: !out
     end
   done;

@@ -146,11 +146,21 @@ module Options = struct
         (** host domains for exploration, feature extraction, model
             training and batch measurement; never changes results *)
     db : Db.t option;  (** shared measurement log, if any *)
+    cache : Compile_cache.t option;
+        (** shared compile cache (e.g. the compiler's per-workload
+            scope), so repeated searches over one workload skip
+            lowering/featurization; [None] = a private cache per [tune]
+            call. Never changes results. *)
+    use_compile_cache : bool;
+        (** [false] restricts the (private) cache to features only —
+            every measured program is re-lowered, the pre-cache
+            behavior. Results are bit-identical either way. *)
   }
 
   let default =
     { seed = 42; batch = 16; sa_steps = 60; n_chains = 16;
-      jobs = Domain.recommended_domain_count (); db = None }
+      jobs = Domain.recommended_domain_count (); db = None; cache = None;
+      use_compile_cache = true }
 end
 
 let now_s () = Int64.to_float (Obs_trace.now_ns ()) /. 1e9
@@ -174,24 +184,34 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
         ("trials", string_of_int n_trials);
       ]
   @@ fun () ->
-  let { Options.seed; batch; sa_steps; n_chains; jobs; db } = options in
+  let { Options.seed; batch; sa_steps; n_chains; jobs; db; cache;
+        use_compile_cache } =
+    options
+  in
   let par = Tvm_par.Pool.create ~domains:jobs () in
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
-  let visited = Hashtbl.create 256 in
+  let visited : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 256 in
   let xs = ref [] and ys = ref [] in
   let history = ref [] in
   let best_time = ref Float.max_float in
   let best_config = ref None in
   let trial_index = ref 0 in
-  (* Shared lowering+feature memo, keyed by canonical config value so
-     distinct configurations can never collide (structural equality,
-     not int hash). Written only between parallel sections; during SA
-     it is read-only and each chain gets its own overflow cache. *)
-  let feature_memo = Feature_cache.create ~size:1024 () in
-  let extract_features cfg =
+  (* Shared compile cache (lowered program + features + validity),
+     keyed by canonical config value so distinct configurations can
+     never collide (structural equality, not int hash). Written only
+     between parallel sections; during SA it is read-only and each
+     chain gets its own overflow cache. *)
+  let memo =
+    match cache with
+    | Some c -> c
+    | None ->
+        Compile_cache.create ~size:1024 ~keep_stmts:use_compile_cache
+          ~name:template.tpl_name ()
+  in
+  let compile cfg =
     match (try Some (template.tpl_instantiate cfg) with _ -> None) with
-    | Some s -> Some (Feature.extract s)
-    | None -> None
+    | Some s -> Compile_cache.Valid { feats = Feature.extract s; stmt = Some s }
+    | None -> Compile_cache.Invalid
   in
   (* Record one measured configuration: training set, incumbent, db,
      history, metrics. Sequential bookkeeping — always called on the
@@ -254,28 +274,40 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
   let run_batch (cfgs : Cfg_space.config list) : Measure_result.t option list =
     let take = max 0 (min (List.length cfgs) (n_trials - !trial_index)) in
     let taken = List.filteri (fun i _ -> i < take) cfgs in
-    List.iter (fun cfg -> Hashtbl.replace visited (Cfg_space.hash cfg) ()) taken;
+    List.iter
+      (fun cfg -> Hashtbl.replace visited (Cfg_space.canonical cfg) ())
+      taken;
     let prepared =
       timed_phase "prepare" @@ fun () ->
       Tvm_par.Pool.parallel_map par
         (fun cfg ->
-          match Feature_cache.find feature_memo cfg with
-          | Some None -> (cfg, None, None)  (* known-invalid: skip *)
-          | Some (Some f) ->
-              (* features cached; measurement still needs the program *)
+          match Compile_cache.find memo cfg with
+          | Some Compile_cache.Invalid -> (cfg, None, None)  (* skip *)
+          | Some (Compile_cache.Valid { feats; stmt = Some s }) ->
+              (* full hit: the propose phase (or an earlier search over
+                 this workload) already lowered this program *)
+              (cfg, Some s, Some feats)
+          | Some (Compile_cache.Valid { feats; stmt = None }) ->
+              (* features cached, program evicted or never retained;
+                 measurement still needs the program *)
               let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
-              (cfg, stmt, Some f)
+              (cfg, stmt, Some feats)
           | None -> (
               match (try Some (template.tpl_instantiate cfg) with _ -> None) with
               | Some s -> (cfg, Some s, Some (Feature.extract s))
               | None -> (cfg, None, None)))
         (Array.of_list taken)
     in
-    (* Merge fresh extractions into the shared memo, in input order. *)
+    (* Merge fresh compilations into the shared memo, in input order
+       (all cache writes happen here on the coordinator). *)
     Array.iter
       (fun (cfg, stmt, feats) ->
-        Feature_cache.add feature_memo cfg
-          (match stmt with Some _ -> feats | None -> None))
+        match (stmt, feats) with
+        | Some s, Some f ->
+            Compile_cache.add memo cfg
+              (Compile_cache.Valid { feats = f; stmt = Some s })
+        | None, _ -> Compile_cache.add memo cfg Compile_cache.Invalid
+        | Some _, None -> ())
       prepared;
     let results =
       timed_phase "measure" @@ fun () ->
@@ -344,9 +376,9 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
    let rec seek i =
      if i < seed_attempts && !trial_index = 0 then begin
        let cfg = Cfg_space.random_config template.tpl_space rng in
-       (match (try Some (template.tpl_instantiate cfg) with _ -> None) with
-       | Some _ -> ignore (measure_config cfg)
-       | None -> ());
+       (match Compile_cache.find_or_compile memo cfg ~compile with
+       | Compile_cache.Valid _ -> ignore (measure_config cfg)
+       | Compile_cache.Invalid -> ());
        seek (i + 1)
      end
    in
@@ -393,18 +425,24 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                  one is read-only while the chains run. Afterwards the
                  chain caches merge back in chain-index order, so the
                  memo's contents never depend on the domain count. *)
-              let locals = Array.init n_chains (fun _ -> Feature_cache.create ()) in
+              let locals =
+                Array.init n_chains (fun _ -> Compile_cache.create_local memo)
+              in
               let predict_for_chain ci =
                 let local = locals.(ci) in
                 fun cfg ->
-                  let feats =
-                    match Feature_cache.find feature_memo cfg with
-                    | Some f -> f
-                    | None ->
-                        Feature_cache.find_or_extract local cfg
-                          ~extract:extract_features
+                  (* Two-tier lookup: the shared memo first (read-only
+                     here, [record:false] so each logical query counts
+                     once), then the chain-local cache, compiling on a
+                     double miss. Chain winners keep their lowered
+                     program, so if this config is measured later the
+                     prepare phase skips instantiation entirely. *)
+                  let entry =
+                    match Compile_cache.find ~record:false memo cfg with
+                    | Some e -> e
+                    | None -> Compile_cache.find_or_compile local cfg ~compile
                   in
-                  match feats with
+                  match Compile_cache.feats entry with
                   | Some f -> Gbt.predict m f
                   | None -> neg_infinity
               in
@@ -418,7 +456,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                   ~temp:1.0
                   ~batch:(max 0 (batch_now - n_random))
               in
-              Array.iter (fun l -> Feature_cache.merge ~into:feature_memo l) locals;
+              Array.iter (fun l -> Compile_cache.merge ~into:memo l) locals;
               let filler =
                 Explorers.random_batch template.tpl_space rng ~visited
                   ~batch:(batch_now - List.length proposed)

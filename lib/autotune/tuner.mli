@@ -89,6 +89,15 @@ module Options : sig
             results: every parallel section merges in a fixed input
             order, so the tuning log is bit-identical at any value. *)
     db : Db.t option;  (** shared measurement log, if any *)
+    cache : Compile_cache.t option;
+        (** shared compile cache (e.g. the compiler's per-workload
+            scope), so repeated searches over one workload skip
+            lowering/featurization; [None] = a private cache per [tune]
+            call. Never changes results. *)
+    use_compile_cache : bool;
+        (** [false] restricts the (private) cache to features only —
+            every measured program is re-lowered, the pre-cache
+            behavior. Results are bit-identical either way. *)
   }
 
   val default : t

@@ -16,6 +16,7 @@ module Tensor = Tvm_te.Tensor
 module Tuner = Tvm_autotune.Tuner
 module Templates = Tvm_autotune.Templates
 module Cfg_space = Tvm_autotune.Cfg_space
+module Compile_cache = Tvm_autotune.Compile_cache
 module Pool = Tvm_rpc.Device_pool
 module Rt_module = Tvm_runtime.Rt_module
 module Trace = Tvm_obs.Trace
@@ -36,12 +37,19 @@ type options = {
   jobs : int;
       (** host domains for the tuner's exploration/training/measurement
           phases; never changes which configurations are chosen *)
+  compile_cache : bool;
+      (** share a {!Tvm_autotune.Compile_cache} per workload scope
+          (signature + fusion mode) across the tuner's half-budget runs,
+          final lowering and validation, so re-proposed and repeated
+          configurations skip lowering/featurization. Never changes
+          results — [false] restores the re-lower-everything behavior
+          for A/B comparison. *)
 }
 
 let default_options =
   { enable_fusion = true; tune_trials = 64; tuner_method = Tuner.Ml_model;
     seed = 42; verbose = false; validate = false;
-    jobs = Domain.recommended_domain_count () }
+    jobs = Domain.recommended_domain_count (); compile_cache = true }
 
 exception Validation_failed of string * Tvm_tir.Validate.violation list
 (** Raised by {!build} when [options.validate] is set and the named
@@ -50,7 +58,9 @@ exception Validation_failed of string * Tvm_tir.Validate.violation list
 (** Tuning cache: workload signature → (best config, best noise-free time). *)
 let tuned_cache : (string, Cfg_space.config * float) Hashtbl.t = Hashtbl.create 64
 
-let clear_cache () = Hashtbl.reset tuned_cache
+let clear_cache () =
+  Hashtbl.reset tuned_cache;
+  Compile_cache.clear_scopes ()
 
 let workload_signature (graph : G.t) (g : Fusion.group) target =
   let anchor = G.node graph g.Fusion.g_anchor in
@@ -131,6 +141,24 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
               let te = Fusion.build_group_te graph g in
               (te, template_for ~name:signature target (fst te)))
         in
+        (* One compile cache per template instance: the scope pins the
+           signature, fusion mode AND this group's output buffer, because
+           a lowered stmt refers to the placeholder buffers of the
+           template that built it — two groups with equal signatures
+           have equal-shaped but distinct buffers, so sharing stmts
+           across them would break binding. Within the instance, both
+           half-budget tuner runs, the final lowering and validation
+           all share the cache (repeated signatures already skip tuning
+           wholesale via [tuned_cache]). *)
+        let ccache =
+          if options.compile_cache then
+            Some
+              (Compile_cache.for_scope
+                 (Printf.sprintf "%s|fusion=%b#%d" signature
+                    options.enable_fusion
+                    (Tensor.buffer out_tensor).Tvm_tir.Expr.bid))
+          else None
+        in
         let best_cfg, _best_time =
           match Hashtbl.find_opt tuned_cache signature with
           | Some hit ->
@@ -151,7 +179,9 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
                     Tuner.tune
                       ~options:
                         { Tuner.Options.default with
-                          Tuner.Options.seed; jobs = options.jobs }
+                          Tuner.Options.seed; jobs = options.jobs;
+                          cache = ccache;
+                          use_compile_cache = options.compile_cache }
                       ~measure_batch ~method_:options.tuner_method ~measure
                       ~n_trials:half tpl
                   in
@@ -173,11 +203,42 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
         in
         let stmt, time_s =
           Trace.with_span "phase.lowering" (fun () ->
-              let stmt = tpl.Tuner.tpl_instantiate best_cfg in
+              (* The tuner retained the winner's lowered program in the
+                 scope cache, so this is normally a hit. *)
+              let stmt =
+                match
+                  Option.bind ccache (fun c ->
+                      Option.bind (Compile_cache.find c best_cfg)
+                        Compile_cache.stmt)
+                with
+                | Some s -> s
+                | None ->
+                    let s = tpl.Tuner.tpl_instantiate best_cfg in
+                    Option.iter
+                      (fun c ->
+                        Compile_cache.add c best_cfg
+                          (Compile_cache.Valid
+                             { feats = Tvm_autotune.Feature.extract s;
+                               stmt = Some s }))
+                      ccache;
+                    s
+              in
               (stmt, Target.time_s target stmt))
         in
         (Trace.with_span "phase.validate" @@ fun () ->
-         let violations = Tvm_tir.Validate.check stmt in
+         let violations =
+           match
+             Option.bind ccache (fun c ->
+                 Compile_cache.find_validation c best_cfg)
+           with
+           | Some v -> v
+           | None ->
+               let v = Tvm_tir.Validate.check stmt in
+               Option.iter
+                 (fun c -> Compile_cache.add_validation c best_cfg v)
+                 ccache;
+               v
+         in
          let errs = Tvm_tir.Validate.errors violations in
          Metrics.incr "validate.errors" ~by:(Float.of_int (List.length errs));
          Metrics.incr "validate.warnings"

@@ -305,7 +305,7 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
     (Printf.sprintf
        "Multicore tuning: throughput at -j1 vs -j%d (C7 conv2d, Titan X)" jobs);
   let n_trials = trials n_trials in
-  let run j =
+  let run ?(use_cache = true) j =
     let tpl, _ = fig12_template () in
     let pool = Pool.create (List.init j (fun _ -> Pool.Gpu_dev titan)) in
     let par = Tvm_par.Pool.create ~domains:j () in
@@ -314,7 +314,9 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
     let t0 = Unix.gettimeofday () in
     let res =
       Tuner.tune
-        ~options:{ Tuner.Options.default with Tuner.Options.seed; jobs = j }
+        ~options:
+          { Tuner.Options.default with
+            Tuner.Options.seed; jobs = j; use_compile_cache = use_cache }
         ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials tpl
     in
     let wall = Unix.gettimeofday () -. t0 in
@@ -346,4 +348,129 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
   Tvm_obs.Metrics.set_gauge "bench.partune.wall_speedup" wall_speedup;
   Tvm_obs.Metrics.set_gauge "bench.partune.identical_best"
     (if identical then 1. else 0.);
+  (* Compile-cache A/B at -j[jobs]: same seed ⇒ bit-identical trial
+     history either way; the only difference is time spent in the
+     prepare phase (lowering + featurization), which the cache turns
+     into lookups for SA winners and revisits. *)
+  let prepare_s () =
+    Option.value ~default:0. (Tvm_obs.Metrics.get "tune.phase.prepare_s")
+  in
+  let p0 = prepare_s () in
+  let r_on, _, _ = run jobs in
+  let p_on = Float.max 1e-9 (prepare_s () -. p0) in
+  let r_off, _, _ = run ~use_cache:false jobs in
+  let p_off = Float.max 1e-9 (prepare_s () -. p0 -. p_on) in
+  let prepare_speedup = p_off /. p_on in
+  let log_identical = r_on.Tuner.history = r_off.Tuner.history in
+  Printf.printf
+    "prepare phase: %.4fs cache-on vs %.4fs cache-off (%.2fx); tuning log %s\n"
+    p_on p_off prepare_speedup
+    (if log_identical then "identical" else "DIFFERS (bug!)");
+  Tvm_obs.Metrics.set_gauge "bench.partune.prepare_s_cache_on" p_on;
+  Tvm_obs.Metrics.set_gauge "bench.partune.prepare_s_cache_off" p_off;
+  Tvm_obs.Metrics.set_gauge "bench.partune.prepare_speedup" prepare_speedup;
+  Tvm_obs.Metrics.set_gauge "bench.partune.cache_identical_log"
+    (if log_identical then 1. else 0.);
   (speedup, identical)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-cache benchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Lowering + featurization throughput, cold vs compile-cache warm:
+    how much work a cache hit saves per configuration. *)
+let bench_lower ?(n = 120) () =
+  banner "Lowering throughput: cold vs compile-cache warm (C7 conv2d)";
+  let n = trials n in
+  let tpl, _ = fig12_template () in
+  let rng = Random.State.make [| 23 |] in
+  (* [n] distinct valid configurations, fixed up front so cold and warm
+     walk the same list. *)
+  let seen = Hashtbl.create (4 * n) in
+  let cfgs = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  while !found < n && !attempts < 100 * n do
+    incr attempts;
+    let cfg = Cfg.random_config tpl.Tuner.tpl_space rng in
+    let k = Cfg.canonical cfg in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+      | Some _ ->
+          cfgs := cfg :: !cfgs;
+          incr found
+      | None -> ()
+    end
+  done;
+  let cfgs = List.rev !cfgs in
+  let n = List.length cfgs in
+  let compile cfg =
+    match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+    | Some s ->
+        Tvm_autotune.Compile_cache.Valid
+          { feats = Tvm_autotune.Feature.extract s; stmt = Some s }
+    | None -> Tvm_autotune.Compile_cache.Invalid
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Float.max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  let cold = time (fun () -> List.iter (fun c -> ignore (compile c)) cfgs) in
+  let cache =
+    Tvm_autotune.Compile_cache.create ~size:(2 * n) ~stmt_cap:(2 * n)
+      ~name:"bench_lower" ()
+  in
+  List.iter
+    (fun c ->
+      ignore (Tvm_autotune.Compile_cache.find_or_compile cache c ~compile))
+    cfgs;
+  let warm =
+    time (fun () ->
+        List.iter
+          (fun c ->
+            ignore
+              (Tvm_autotune.Compile_cache.find_or_compile cache c ~compile))
+          cfgs)
+  in
+  let per_s t = float_of_int n /. t in
+  table
+    ~columns:[ "lowerings/s"; "total s" ]
+    ~fmt:"%.4f"
+    [
+      ("cold", [ per_s cold; cold ]);
+      ("warm (cache hit)", [ per_s warm; warm ]);
+    ];
+  Printf.printf "cache-hit speedup per configuration: %.1fx over %d configs\n"
+    (cold /. warm) n;
+  Tvm_obs.Metrics.set_gauge "bench.lower.cold_per_s" (per_s cold);
+  Tvm_obs.Metrics.set_gauge "bench.lower.warm_per_s" (per_s warm);
+  Tvm_obs.Metrics.set_gauge "bench.lower.warm_speedup" (cold /. warm);
+  (per_s cold, per_s warm)
+
+(** Compile-cache hit rate on a real ML-guided tuning run: the SA
+    explorer's revisits and the prepare phase's re-lookups are what the
+    cache exists for, so measure them on the genuine trace. *)
+let bench_cache ?(seed = 11) ?(n_trials = 120) () =
+  banner "Compile-cache hit rate on an ML tuning trace (C7 conv2d)";
+  let n_trials = trials n_trials in
+  let metric name = Option.value ~default:0. (Tvm_obs.Metrics.get name) in
+  let h0 = metric "cache.hit" in
+  let m0 = metric "cache.miss" in
+  let e0 = metric "cache.evict" in
+  let tpl, _ = fig12_template () in
+  let res = tune_gpu ~seed ~trials:n_trials tpl in
+  let hits = metric "cache.hit" -. h0 in
+  let misses = metric "cache.miss" -. m0 in
+  let evicts = metric "cache.evict" -. e0 in
+  let rate = hits /. Float.max 1. (hits +. misses) in
+  Printf.printf
+    "%d trials: %.0f hits / %.0f misses (%.1f%% hit rate), %.0f stmt \
+     evictions; best %.3f ms\n"
+    n_trials hits misses (100. *. rate) evicts (ms res.Tuner.best_time);
+  Tvm_obs.Metrics.set_gauge "bench.cache.hits" hits;
+  Tvm_obs.Metrics.set_gauge "bench.cache.misses" misses;
+  Tvm_obs.Metrics.set_gauge "bench.cache.hit_rate" rate;
+  Tvm_obs.Metrics.set_gauge "bench.cache.evictions" evicts;
+  rate

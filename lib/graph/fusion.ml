@@ -19,10 +19,14 @@ type group = {
 let group_output g = g.g_output
 let group_size g = List.length g.g_nodes
 
-(** External inputs of a node set: inputs not produced inside. *)
+(** External inputs of a node set: inputs not produced inside. The
+    membership test goes through a set, not [List.mem] — long fused
+    chains made the filter quadratic in the group size. *)
 let external_inputs (graph : Graph_ir.t) nodes =
+  let inside = Hashtbl.create (2 * List.length nodes) in
+  List.iter (fun id -> Hashtbl.replace inside id ()) nodes;
   List.concat_map (fun id -> (Graph_ir.node graph id).Graph_ir.inputs) nodes
-  |> List.filter (fun id -> not (List.mem id nodes))
+  |> List.filter (fun id -> not (Hashtbl.mem inside id))
   |> List.sort_uniq compare
 
 let anchor_of (graph : Graph_ir.t) nodes =

@@ -27,17 +27,33 @@ type t = {
   outputs : int list;
   input_ids : int list;
   param_ids : int list;
+  consumers_of : int list array;
+      (** consumer node ids per producer id, ascending — precomputed at
+          construction so [consumers] is O(1) per query instead of a
+          scan of every node's input list *)
+  output_set : (int, unit) Hashtbl.t;  (** members of [outputs] *)
 }
+
+(* The adjacency indexes behind [consumers]/[is_output], built once by
+   the two constructors below. A consumer reading the same producer
+   through several inputs is listed once, like the original scan. *)
+let index_adjacency nodes outputs =
+  let consumers_of = Array.make (Array.length nodes) [] in
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun inp -> consumers_of.(inp) <- n.id :: consumers_of.(inp))
+        (List.sort_uniq compare n.inputs))
+    nodes;
+  Array.iteri (fun i l -> consumers_of.(i) <- List.rev l) consumers_of;
+  let output_set = Hashtbl.create (max 4 (List.length outputs)) in
+  List.iter (fun id -> Hashtbl.replace output_set id ()) outputs;
+  (consumers_of, output_set)
 
 let node g id = g.nodes.(id)
 let num_nodes g = Array.length g.nodes
-
-let consumers g id =
-  Array.to_list g.nodes
-  |> List.filter (fun n -> List.mem id n.inputs)
-  |> List.map (fun n -> n.id)
-
-let is_output g id = List.mem id g.outputs
+let consumers g id = g.consumers_of.(id)
+let is_output g id = Hashtbl.mem g.output_set id
 
 let iter_ops g f =
   Array.iter (fun n -> match n.kind with Op op -> f n op | Input | Param -> ()) g.nodes
@@ -129,11 +145,15 @@ let op ?(attrs = Attrs.empty) ?name ?dtype b op_name inputs =
   add_node b (Op op_name) name inputs attrs shape dtype
 
 let finalize b outputs =
+  let nodes = Array.of_list (List.rev b.rev_nodes) in
+  let consumers_of, output_set = index_adjacency nodes outputs in
   {
-    nodes = Array.of_list (List.rev b.rev_nodes);
+    nodes;
     outputs;
     input_ids = b.b_inputs;
     param_ids = b.b_params;
+    consumers_of;
+    output_set;
   }
 
 (** Rebuild a graph from an explicit node list (used by passes). Node
@@ -153,4 +173,5 @@ let of_nodes nodes ~outputs =
   let param_ids =
     Array.to_list nodes |> List.filter (fun n -> n.kind = Param) |> List.map (fun n -> n.id)
   in
-  { nodes; outputs; input_ids; param_ids }
+  let consumers_of, output_set = index_adjacency nodes outputs in
+  { nodes; outputs; input_ids; param_ids; consumers_of; output_set }

@@ -41,24 +41,43 @@ let const_extent e =
 (* Access collection                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-domain memo: [expr_flops] is pure and structural, so the count
+   of a hash-consed (physically shared) subtree is computed once per
+   domain. Bounded like the other pass memos. *)
+let flops_memo_limit = 1 lsl 16
+let flops_memo_key = Domain.DLS.new_key (fun () -> Expr.Phys.create 1024)
+
 let rec expr_flops (e : Expr.t) =
   match e with
   | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> 0.
-  | Expr.Binop (_, a, b) -> 1. +. expr_flops a +. expr_flops b
-  | Expr.Cmp (_, a, b) ->
-      (* Predicates (padding guards) compile to flags/masks hoisted out
-         of the arithmetic pipe; not arithmetic throughput. *)
-      expr_flops a +. expr_flops b
-  | Expr.And (a, b) | Expr.Or (a, b) -> expr_flops a +. expr_flops b
-  | Expr.Not a | Expr.Cast (_, a) -> expr_flops a
-  | Expr.Select (_, t, f) -> Float.max (expr_flops t) (expr_flops f)
   | Expr.Load (_, _) ->
       (* Address computation is loop/index overhead, not arithmetic
          throughput; the timing models price it separately. *)
       0.
-  | Expr.Call (_, args) ->
-      (* Transcendental intrinsics priced as several flops. *)
-      8. +. List.fold_left (fun acc a -> acc +. expr_flops a) 0. args
+  | _ -> (
+      let memo = Domain.DLS.get flops_memo_key in
+      match Expr.Phys.find_opt memo e with
+      | Some n -> n
+      | None ->
+          let n =
+            match e with
+            | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ | Expr.Load _ -> 0.
+            | Expr.Binop (_, a, b) -> 1. +. expr_flops a +. expr_flops b
+            | Expr.Cmp (_, a, b) ->
+                (* Predicates (padding guards) compile to flags/masks
+                   hoisted out of the arithmetic pipe; not arithmetic
+                   throughput. *)
+                expr_flops a +. expr_flops b
+            | Expr.And (a, b) | Expr.Or (a, b) -> expr_flops a +. expr_flops b
+            | Expr.Not a | Expr.Cast (_, a) -> expr_flops a
+            | Expr.Select (_, t, f) -> Float.max (expr_flops t) (expr_flops f)
+            | Expr.Call (_, args) ->
+                (* Transcendental intrinsics priced as several flops. *)
+                8. +. List.fold_left (fun acc a -> acc +. expr_flops a) 0. args
+          in
+          if Expr.Phys.length memo >= flops_memo_limit then Expr.Phys.reset memo;
+          Expr.Phys.add memo e n;
+          n)
 
 
 let rec expr_flops_fwd e = expr_flops e

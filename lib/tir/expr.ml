@@ -119,17 +119,165 @@ module Buffer = struct
     { b with bid = 1 + Atomic.fetch_and_add counter 1; bscope = scope }
 end
 
+(** Structural equality modulo nothing — plain [Stdlib.(=)] is unsafe on
+    this type only because of floats; we use compare-based equality.
+    Hash-consed construction (below) makes physically-equal nodes the
+    common case, so the [==] fast path usually answers in O(1). *)
+let rec equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | IntImm x, IntImm y -> Stdlib.( = ) x y
+  | FloatImm x, FloatImm y -> Float.equal x y
+  | Var x, Var y -> Var.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Not a, Not b -> equal a b
+  | Select (c1, t1, f1), Select (c2, t2, f2) -> equal c1 c2 && equal t1 t2 && equal f1 f2
+  | Cast (d1, a), Cast (d2, b) -> Dtype.equal d1 d2 && equal a b
+  | Load (b1, i1), Load (b2, i2) ->
+      Buffer.equal b1 b2
+      && Stdlib.( = ) (List.length i1) (List.length i2)
+      && List.for_all2 equal i1 i2
+  | Call (n1, a1), Call (n2, a2) ->
+      String.equal n1 n2
+      && Stdlib.( = ) (List.length a1) (List.length a2)
+      && List.for_all2 equal a1 a2
+  | _ -> false
+
 (* ------------------------------------------------------------------ *)
-(* Smart constructors.  They fold constants eagerly so that lowering   *)
-(* produces readable, mostly-simplified code without a separate pass.  *)
+(* Hash-consing                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let int n = IntImm n
-let float f = FloatImm f
-let var v = Var v
-let zero = IntImm 0
-let one = IntImm 1
-let f32 f = FloatImm f
+(** Physical-identity hash tables over expressions: the memo-table key
+    type for every pass that caches per-node results ([Simplify],
+    [Analysis], [Visit], [Interval]). [Hashtbl.hash] is depth-bounded,
+    so hashing is O(1) in the node size; equality is pointer equality,
+    which hash-consed construction makes meaningful — structurally
+    equal subtrees built through the smart constructors on one domain
+    are physically equal. *)
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(** The intern tables behind the smart constructors. Each domain owns
+    its table ([Domain.DLS]): template instantiation fans out over
+    [Tvm_par.Pool] domains, and per-domain tables need no locking on
+    the construction fast path. Interning is only a canonicalization
+    cache — two domains may hold physically distinct copies of the same
+    structure, which costs sharing but never correctness. Node ids are
+    minted from one [Atomic] counter so they stay globally unique; no
+    result depends on their numeric values. *)
+module Hashcons = struct
+  (* Shallow equality: same constructor, immediates compared by value,
+     children by physical identity (they are already interned when the
+     parent is built on the same domain). Floats compare bitwise so
+     [-0.]/[0.]/NaN payloads are never conflated — printing must not
+     depend on intern insertion order. Buffers compare physically:
+     [bid]-equal buffers are the same record everywhere in the
+     compiler. Consistent with the depth-bounded structural
+     [Hashtbl.hash]: every shallow-equal pair is structurally equal. *)
+  let imm_equal a b =
+    a == b
+    ||
+    match (a, b) with
+    | IntImm x, IntImm y -> Stdlib.( = ) x y
+    | FloatImm x, FloatImm y ->
+        Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | _ -> false
+
+  let rec imm_equal_list xs ys =
+    match (xs, ys) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> imm_equal x y && imm_equal_list xs ys
+    | _ -> false
+
+  let shallow_equal a b =
+    a == b
+    ||
+    match (a, b) with
+    | IntImm x, IntImm y -> Stdlib.( = ) x y
+    | FloatImm x, FloatImm y ->
+        Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | Var x, Var y -> x == y
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+        Stdlib.( = ) o1 o2 && imm_equal a1 a2 && imm_equal b1 b2
+    | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+        Stdlib.( = ) o1 o2 && imm_equal a1 a2 && imm_equal b1 b2
+    | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+        imm_equal a1 a2 && imm_equal b1 b2
+    | Not a, Not b -> imm_equal a b
+    | Select (c1, t1, f1), Select (c2, t2, f2) ->
+        imm_equal c1 c2 && imm_equal t1 t2 && imm_equal f1 f2
+    | Cast (d1, a), Cast (d2, b) -> Dtype.equal d1 d2 && imm_equal a b
+    | Load (b1, i1), Load (b2, i2) -> b1 == b2 && imm_equal_list i1 i2
+    | Call (n1, a1), Call (n2, a2) -> String.equal n1 n2 && imm_equal_list a1 a2
+    | _ -> false
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = shallow_equal
+    let hash = Hashtbl.hash
+  end)
+
+  type state = { tbl : (t * int) Tbl.t; mutable population : int }
+
+  (* Bound the per-domain table so a long tuning run cannot hold every
+     expression it ever built; on overflow the table resets wholesale
+     (plain FIFO would need a second structure on the hot path). *)
+  let limit = 1 lsl 17
+  let ids = Atomic.make 0
+
+  let key =
+    Domain.DLS.new_key (fun () -> { tbl = Tbl.create 4096; population = 0 })
+
+  (** Canonical representative of [node] on this domain; interns it
+      (minting a fresh unique id) on first sight. *)
+  let cons node =
+    let st = Domain.DLS.get key in
+    match Tbl.find_opt st.tbl node with
+    | Some (canon, _) -> canon
+    | None ->
+        if st.population >= limit then begin
+          Tbl.reset st.tbl;
+          st.population <- 0
+        end;
+        Tbl.add st.tbl node (node, 1 + Atomic.fetch_and_add ids 1);
+        st.population <- st.population + 1;
+        node
+
+  (** Unique id of an interned node on this domain, if it is (still)
+      the canonical representative. *)
+  let id node = Option.map snd (Tbl.find_opt (Domain.DLS.get key).tbl node)
+
+  (** (nodes live in this domain's table, ids minted process-wide). *)
+  let stats () = ((Domain.DLS.get key).population, Atomic.get ids)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors.  They fold constants eagerly so that lowering   *)
+(* produces readable, mostly-simplified code without a separate pass,  *)
+(* and intern every node they build (see [Hashcons]) so structurally   *)
+(* equal subtrees come out physically shared.                          *)
+(* ------------------------------------------------------------------ *)
+
+let intern = Hashcons.cons
+
+(* The common small integers are preallocated: loop bounds, strides and
+   folded guards produce them constantly, and a fixed pool keeps them
+   shared across domains without touching the intern tables. *)
+let int_pool = Array.init 258 (fun i -> IntImm (i - 1))
+let int n = if n >= -1 && n <= 256 then int_pool.(n + 1) else intern (IntImm n)
+let float f = intern (FloatImm f)
+let var v = intern (Var v)
+let zero = int 0
+let one = int 1
+let f32 = float
 
 let dtype_of_binop_operand = function
   | IntImm _ -> Dtype.Int32
@@ -188,8 +336,8 @@ let binop_eval_float op a b =
 
 let binop op a b =
   match (a, b) with
-  | IntImm x, IntImm y -> IntImm (binop_eval_int op x y)
-  | FloatImm x, FloatImm y -> FloatImm (binop_eval_float op x y)
+  | IntImm x, IntImm y -> int (binop_eval_int op x y)
+  | FloatImm x, FloatImm y -> float (binop_eval_float op x y)
   | _ -> (
       match (op, a, b) with
       | Add, IntImm 0, e | Add, e, IntImm 0 -> e
@@ -199,9 +347,9 @@ let binop op a b =
       | Mul, FloatImm 1., e | Mul, e, FloatImm 1. -> e
       | Mul, (IntImm 0 as z), _ | Mul, _, (IntImm 0 as z) -> z
       | Div, e, IntImm 1 -> e
-      | FloorMod, _, IntImm 1 -> IntImm 0
-      | (Min | Max), x, y when x = y -> x
-      | _ -> Binop (op, a, b))
+      | FloorMod, _, IntImm 1 -> zero
+      | (Min | Max), x, y when equal x y -> x
+      | _ -> intern (Binop (op, a, b)))
 
 let ( + ) a b = binop Add a b
 let ( - ) a b = binop Sub a b
@@ -223,8 +371,8 @@ let cmp op a b =
         | Gt -> Stdlib.( > ) x y
         | Ge -> Stdlib.( >= ) x y
       in
-      IntImm (if r then 1 else 0)
-  | _ -> Cmp (op, a, b)
+      if r then one else zero
+  | _ -> intern (Cmp (op, a, b))
 
 let ( = ) a b = cmp Eq a b
 let ( <> ) a b = cmp Ne a b
@@ -237,51 +385,31 @@ let and_ a b =
   match (a, b) with
   | IntImm 1, e | e, IntImm 1 -> e
   | (IntImm 0 as z), _ | _, (IntImm 0 as z) -> z
-  | _ -> And (a, b)
+  | _ -> intern (And (a, b))
 
 let or_ a b =
   match (a, b) with
   | IntImm 0, e | e, IntImm 0 -> e
   | (IntImm 1 as o), _ | _, (IntImm 1 as o) -> o
-  | _ -> Or (a, b)
+  | _ -> intern (Or (a, b))
 
-let not_ = function IntImm 0 -> IntImm 1 | IntImm 1 -> IntImm 0 | e -> Not e
+let not_ = function IntImm 0 -> one | IntImm 1 -> zero | e -> intern (Not e)
 
 let select cond t f =
-  match cond with IntImm 0 -> f | IntImm 1 -> t | _ -> Select (cond, t, f)
+  match cond with
+  | IntImm 0 -> f
+  | IntImm 1 -> t
+  | _ -> intern (Select (cond, t, f))
 
 let cast d e =
   match e with
-  | FloatImm f when Dtype.equal d Dtype.Int32 -> IntImm (int_of_float f)
-  | IntImm n when Dtype.is_float d -> FloatImm (float_of_int n)
+  | FloatImm f when Dtype.equal d Dtype.Int32 -> int (int_of_float f)
+  | IntImm n when Dtype.is_float d -> float (float_of_int n)
   | e when Dtype.equal (dtype_of e) d -> e
-  | e -> Cast (d, e)
+  | e -> intern (Cast (d, e))
 
-let load buf indices = Load (buf, indices)
-let call name args = Call (name, args)
-
-(** Structural equality modulo nothing — plain [Stdlib.(=)] is unsafe on
-    this type only because of floats; we use compare-based equality. *)
-let rec equal a b =
-  match (a, b) with
-  | IntImm x, IntImm y -> Stdlib.( = ) x y
-  | FloatImm x, FloatImm y -> Float.equal x y
-  | Var x, Var y -> Var.equal x y
-  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
-  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
-  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
-  | Not a, Not b -> equal a b
-  | Select (c1, t1, f1), Select (c2, t2, f2) -> equal c1 c2 && equal t1 t2 && equal f1 f2
-  | Cast (d1, a), Cast (d2, b) -> Dtype.equal d1 d2 && equal a b
-  | Load (b1, i1), Load (b2, i2) ->
-      Buffer.equal b1 b2
-      && Stdlib.( = ) (List.length i1) (List.length i2)
-      && List.for_all2 equal i1 i2
-  | Call (n1, a1), Call (n2, a2) ->
-      String.equal n1 n2
-      && Stdlib.( = ) (List.length a1) (List.length a2)
-      && List.for_all2 equal a1 a2
-  | _ -> false
+let load buf indices = intern (Load (buf, indices))
+let call name args = intern (Call (name, args))
 
 let binop_to_string = function
   | Add -> "+"

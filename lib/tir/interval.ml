@@ -48,10 +48,13 @@ let max_ a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
 
 exception Not_analyzable of string
 
-(** Evaluate expression [e] to an interval under [env : var id -> t].
-    Raises {!Not_analyzable} on constructs outside the affine fragment
-    (calls, loads); callers either guarantee affine indices or catch. *)
-let rec eval env (e : Expr.t) : t =
+(* The worker behind {!eval}: [memo] caches the interval of composite
+   nodes by physical identity for the duration of one evaluation, so
+   subtrees shared by hash-consed construction are analyzed once.
+   Only successes are cached — [Not_analyzable] propagates before the
+   store. The environment is fixed for the whole call, so caching is
+   sound. *)
+let rec eval_memo memo env (e : Expr.t) : t =
   match e with
   | Expr.IntImm n -> point n
   | Expr.FloatImm _ -> raise (Not_analyzable "float in index")
@@ -59,21 +62,45 @@ let rec eval env (e : Expr.t) : t =
       match env v.Expr.vid with
       | Some i -> i
       | None -> raise (Not_analyzable ("unbound var " ^ v.Expr.vname)))
-  | Expr.Binop (op, a, b) -> (
-      let ia = eval env a and ib = eval env b in
-      match op with
-      | Expr.Add -> add ia ib
-      | Expr.Sub -> sub ia ib
-      | Expr.Mul -> mul ia ib
-      | Expr.Div -> div ia ib
-      | Expr.FloorMod -> modulo ia ib
-      | Expr.Min -> min_ ia ib
-      | Expr.Max -> max_ ia ib)
-  | Expr.Select (_, t, f) -> union (eval env t) (eval env f)
-  | Expr.Cast (_, a) -> eval env a
   | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ -> { lo = 0; hi = 1 }
   | Expr.Load _ -> raise (Not_analyzable "load in index")
   | Expr.Call (n, _) -> raise (Not_analyzable ("call " ^ n ^ " in index"))
+  | Expr.Binop _ | Expr.Select _ | Expr.Cast _ -> (
+      match Expr.Phys.find_opt memo e with
+      | Some i -> i
+      | None ->
+          let i =
+            match e with
+            | Expr.Binop (op, a, b) -> (
+                let ia = eval_memo memo env a and ib = eval_memo memo env b in
+                match op with
+                | Expr.Add -> add ia ib
+                | Expr.Sub -> sub ia ib
+                | Expr.Mul -> mul ia ib
+                | Expr.Div -> div ia ib
+                | Expr.FloorMod -> modulo ia ib
+                | Expr.Min -> min_ ia ib
+                | Expr.Max -> max_ ia ib)
+            | Expr.Select (_, t, f) ->
+                union (eval_memo memo env t) (eval_memo memo env f)
+            | Expr.Cast (_, a) -> eval_memo memo env a
+            | _ -> assert false
+          in
+          Expr.Phys.add memo e i;
+          i)
+
+(** Evaluate expression [e] to an interval under [env : var id -> t].
+    Raises {!Not_analyzable} on constructs outside the affine fragment
+    (calls, loads); callers either guarantee affine indices or catch. *)
+(* Leaf evaluations never consult the memo; sharing one empty table
+   avoids an allocation on those (frequent) calls. *)
+let leaf_memo : t Expr.Phys.t = Expr.Phys.create 1
+
+let eval env (e : Expr.t) : t =
+  match e with
+  | Expr.Binop _ | Expr.Select _ | Expr.Cast _ ->
+      eval_memo (Expr.Phys.create 16) env e
+  | _ -> eval_memo leaf_memo env e
 
 (** Evaluate under an association list from vars to intervals. *)
 let eval_under bindings e =

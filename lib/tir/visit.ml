@@ -12,10 +12,42 @@ let rec map_expr f (e : Expr.t) : Expr.t =
     | Expr.Not a -> Expr.not_ (map_expr f a)
     | Expr.Select (c, t, fl) -> Expr.select (map_expr f c) (map_expr f t) (map_expr f fl)
     | Expr.Cast (d, a) -> Expr.cast d (map_expr f a)
-    | Expr.Load (b, idx) -> Expr.Load (b, List.map (map_expr f) idx)
-    | Expr.Call (n, args) -> Expr.Call (n, List.map (map_expr f) args)
+    | Expr.Load (b, idx) -> Expr.load b (List.map (map_expr f) idx)
+    | Expr.Call (n, args) -> Expr.call n (List.map (map_expr f) args)
   in
   f e
+
+(** Like {!map_expr} for a {e pure} [f], exploiting structural sharing:
+    each physically distinct subtree is visited once per call, so DAGs
+    that print exponentially large map in time linear in their node
+    count. Not for stateful [f] — a callback counting visits would see
+    each shared node once, not once per occurrence. *)
+let map_expr_shared f (e : Expr.t) : Expr.t =
+  let memo = Expr.Phys.create 64 in
+  let rec go e =
+    match e with
+    | Expr.IntImm _ | Expr.FloatImm _ -> f e
+    | _ -> (
+        match Expr.Phys.find_opt memo e with
+        | Some r -> r
+        | None ->
+            let r =
+              match e with
+              | Expr.IntImm _ | Expr.FloatImm _ | Expr.Var _ -> f e
+              | Expr.Binop (op, a, b) -> f (Expr.binop op (go a) (go b))
+              | Expr.Cmp (op, a, b) -> f (Expr.cmp op (go a) (go b))
+              | Expr.And (a, b) -> f (Expr.and_ (go a) (go b))
+              | Expr.Or (a, b) -> f (Expr.or_ (go a) (go b))
+              | Expr.Not a -> f (Expr.not_ (go a))
+              | Expr.Select (c, t, fl) -> f (Expr.select (go c) (go t) (go fl))
+              | Expr.Cast (d, a) -> f (Expr.cast d (go a))
+              | Expr.Load (b, idx) -> f (Expr.load b (List.map go idx))
+              | Expr.Call (n, args) -> f (Expr.call n (List.map go args))
+            in
+            Expr.Phys.add memo e r;
+            r)
+  in
+  go e
 
 let rec fold_expr f acc (e : Expr.t) =
   let acc = f acc e in
@@ -28,9 +60,11 @@ let rec fold_expr f acc (e : Expr.t) =
   | Expr.Load (_, idx) -> List.fold_left (fold_expr f) acc idx
   | Expr.Call (_, args) -> List.fold_left (fold_expr f) acc args
 
-(** Substitute variables by expressions according to [lookup]. *)
+(** Substitute variables by expressions according to [lookup]. [lookup]
+    must be pure (it is consulted once per distinct variable node, not
+    once per occurrence — see {!map_expr_shared}). *)
 let subst_expr lookup e =
-  map_expr
+  map_expr_shared
     (function Expr.Var v as e -> (match lookup v with Some e' -> e' | None -> e) | e -> e)
     e
 
@@ -64,9 +98,11 @@ let loaded_buffers e =
   fold_expr (fun acc e -> match e with Expr.Load (b, _) -> b :: acc | _ -> acc) [] e
   |> List.sort_uniq Expr.Buffer.compare
 
-(** Replace loads from buffer [b] via [f idx -> expr]. *)
+(** Replace loads from buffer [b] via [f idx -> expr]; [f] must be
+    pure (shared load nodes are rewritten once, see
+    {!map_expr_shared}). *)
 let replace_loads b f e =
-  map_expr
+  map_expr_shared
     (function
       | Expr.Load (b', idx) when Expr.Buffer.equal b b' -> f idx
       | e -> e)
@@ -77,9 +113,9 @@ let replace_loads b f e =
     transforming index lists with [remap]. *)
 let retarget_buffer ~old_b ~new_b ~remap stmt =
   let fix_expr e =
-    map_expr
+    map_expr_shared
       (function
-        | Expr.Load (b, idx) when Expr.Buffer.equal b old_b -> Expr.Load (new_b, remap idx)
+        | Expr.Load (b, idx) when Expr.Buffer.equal b old_b -> Expr.load new_b (remap idx)
         | e -> e)
       e
   in

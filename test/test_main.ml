@@ -14,6 +14,7 @@ let () =
       ("layout", Test_layout.suite);
       ("autotune", Test_autotune.suite);
       ("par", Test_par.suite);
+      ("cache", Test_cache.suite);
       ("validate", Test_validate.suite);
       ("faults", Test_faults.suite);
       ("sim", Test_sim.suite);

@@ -9,7 +9,7 @@ module Gbt = Tvm_autotune.Gbt
 module Explorers = Tvm_autotune.Explorers
 module Tuner = Tvm_autotune.Tuner
 module Templates = Tvm_autotune.Templates
-module Feature_cache = Tvm_autotune.Feature_cache
+module Compile_cache = Tvm_autotune.Compile_cache
 module R = Tvm_autotune.Measure_result
 module Pool = Tvm_rpc.Device_pool
 module Fault = Tvm_rpc.Fault
@@ -120,26 +120,33 @@ let test_feature_cache_collision () =
   | None -> Alcotest.fail "no hash collision found in the scan bound"
   | Some (c1, c2) ->
       checkb "the pair really collides" (Cfg.hash c1 = Cfg.hash c2 && c1 <> c2);
-      let cache = Feature_cache.create () in
-      Feature_cache.add cache c1 (Some [| 1.; 2. |]);
-      checkb "colliding config is NOT found" (Feature_cache.find cache c2 = None);
-      Feature_cache.add cache c2 (Some [| 3. |]);
-      Alcotest.(check int) "both entries kept" 2 (Feature_cache.size cache);
+      let valid fs = Compile_cache.Valid { feats = fs; stmt = None } in
+      let cache = Compile_cache.create () in
+      Compile_cache.add cache c1 (valid [| 1.; 2. |]);
+      checkb "colliding config is NOT found"
+        (Compile_cache.find cache c2 = None);
+      Compile_cache.add cache c2 (valid [| 3. |]);
+      Alcotest.(check int) "both entries kept" 2 (Compile_cache.size cache);
       checkb "first entry intact"
-        (Feature_cache.find cache c1 = Some (Some [| 1.; 2. |]));
+        (Option.bind (Compile_cache.find cache c1) Compile_cache.feats
+        = Some [| 1.; 2. |]);
       checkb "second entry distinct"
-        (Feature_cache.find cache c2 = Some (Some [| 3. |]))
+        (Option.bind (Compile_cache.find cache c2) Compile_cache.feats
+        = Some [| 3. |])
 
 let test_feature_cache_merge_first_wins () =
-  let a = Feature_cache.create () and b = Feature_cache.create () in
+  let valid fs = Compile_cache.Valid { feats = fs; stmt = None } in
+  let a = Compile_cache.create () and b = Compile_cache.create () in
   let cfg = [ ("x", 1) ] and cfg2 = [ ("x", 2) ] in
-  Feature_cache.add a cfg (Some [| 1. |]);
-  Feature_cache.add b cfg (Some [| 9. |]);
-  Feature_cache.add b cfg2 None;
-  Feature_cache.merge ~into:a b;
+  Compile_cache.add a cfg (valid [| 1. |]);
+  Compile_cache.add b cfg (valid [| 9. |]);
+  Compile_cache.add b cfg2 Compile_cache.Invalid;
+  Compile_cache.merge ~into:a b;
   checkb "existing entry not overwritten"
-    (Feature_cache.find a cfg = Some (Some [| 1. |]));
-  checkb "new entry (known-invalid) merged" (Feature_cache.find a cfg2 = Some None)
+    (Option.bind (Compile_cache.find a cfg) Compile_cache.feats
+    = Some [| 1. |]);
+  checkb "new entry (known-invalid) merged"
+    (Compile_cache.find a cfg2 = Some Compile_cache.Invalid)
 
 (* ------------------------------------------------------------------ *)
 (* Db under concurrent adds                                             *)
