@@ -1,6 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
-.PHONY: all build test check check-fault check-validate check-par check-cache bench-json clean
+.PHONY: all build test check check-fault check-validate check-par check-cache \
+  check-journal check-bench bench-json bench-baseline clean
 
 all: build
 
@@ -28,7 +29,7 @@ check-validate: build
 # Multicore determinism gate: the par test suite, plus byte-identical
 # tvmc tuning logs at -j1 vs -j8 for two Table-2 workloads (one of
 # them on a 20% faulty fleet), plus the partune throughput comparison
-# recorded into BENCH_obs.json at -j1 and -j4.
+# at -j1 and -j4 (metrics land in _build/, not the committed baseline).
 check-par: build
 	dune exec test/test_main.exe -- test par
 	mkdir -p _build/check-par
@@ -42,7 +43,7 @@ check-par: build
 	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
 	  --fault-rate 0.2 -j 8 --tune-log _build/check-par/d1_j8.log
 	cmp _build/check-par/d1_j1.log _build/check-par/d1_j8.log
-	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json partune
+	dune exec bench/main.exe -- --quick -j 4 --json _build/check-par/obs.json partune
 
 # Compile-cache equivalence gate: the cache suite, plus byte-identical
 # tvmc tuning logs with the cross-trial compile cache on vs off at a
@@ -64,13 +65,61 @@ check-cache: build
 	  --tune-log _build/check-cache/d1_off.log
 	cmp _build/check-cache/d1_on.log _build/check-cache/d1_off.log
 
-check: build test check-fault check-validate check-par check-cache
+# Flight-recorder gate: the per-trial provenance journal must be
+# byte-identical at -j1 vs -j8 (clean C7 fleet and 20% faulty D1
+# fleet) and with the compile cache on vs off, and `tvmc report` must
+# identify a device injected as a straggler (dev 2 gets 35% timeouts /
+# 15% crashes / 10% corruption on an otherwise clean fleet; the 1 s
+# timeout budget keeps the flaky board receiving jobs instead of
+# hiding behind one 10 s timeout in least-loaded assignment).
+check-journal: build
+	mkdir -p _build/check-journal
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 1 --journal-out _build/check-journal/c7_j1.jsonl
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --devices 4 \
+	  -j 8 --journal-out _build/check-journal/c7_j8.jsonl
+	cmp _build/check-journal/c7_j1.jsonl _build/check-journal/c7_j8.jsonl
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 1 --journal-out _build/check-journal/d1_j1.jsonl
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 8 --journal-out _build/check-journal/d1_j8.jsonl
+	cmp _build/check-journal/d1_j1.jsonl _build/check-journal/d1_j8.jsonl
+	dune exec bin/tvmc.exe -- tune D1 --trials 40 --seed 5 --devices 4 \
+	  --fault-rate 0.2 -j 8 --no-compile-cache \
+	  --journal-out _build/check-journal/d1_nocache.jsonl
+	cmp _build/check-journal/d1_j1.jsonl _build/check-journal/d1_nocache.jsonl
+	dune exec bin/tvmc.exe -- tune C7 --trials 60 --seed 5 --devices 4 \
+	  --fault-rate 0 --straggler 2 --timeout-ms 1000 -j 4 \
+	  --journal-out _build/check-journal/straggler.jsonl
+	dune exec bin/tvmc.exe -- report _build/check-journal/straggler.jsonl \
+	  | tee _build/check-journal/straggler.report
+	grep -q "straggler dev 2" _build/check-journal/straggler.report
+
+# Benchmark regression gate: rerun the gated scopes and compare the
+# metrics dump against the committed BENCH_obs.json baseline under
+# Bench_gate.default_rules (exits nonzero on regression). When a
+# change legitimately moves the numbers, regenerate the baseline with
+# `make bench-baseline` and commit the diff.
+check-bench: build
+	mkdir -p _build/check-bench
+	dune exec bench/main.exe -- --quick -j 4 \
+	  --json _build/check-bench/obs.json --baseline BENCH_obs.json \
+	  partune lower cache
+
+check: build test check-fault check-validate check-par check-cache \
+  check-journal check-bench
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the
 # metrics registry.
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_obs.json
+
+# Regenerate the committed check-bench baseline (same scope and -j as
+# the gate itself, so the comparison is apples to apples).
+bench-baseline:
+	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json \
+	  partune lower cache
 
 clean:
 	dune clean

@@ -2,16 +2,22 @@
     (see DESIGN.md's per-experiment index), the ablation studies, and a
     set of Bechamel micro-benchmarks over the compiler's own hot paths.
 
-    Usage: [main.exe [--quick] [--json FILE] [-j N] [exp ...]] where
-    [exp] is one of fig4 fig6 fig7 fig10 fig12 fig14 fig15 fig16 fig17
-    fig18 fig19 fig21 table1 table2 ablations partune lower cache micro all
-    (default: all). [-j N] sets the domain/device count the [partune]
-    throughput comparison scales to (default 4).
+    Usage: [main.exe [--quick] [--json FILE] [--baseline FILE] [-j N]
+    [exp ...]] where [exp] is one of fig4 fig6 fig7 fig10 fig12 fig14
+    fig15 fig16 fig17 fig18 fig19 fig21 table1 table2 ablations partune
+    lower cache micro all (default: all). [-j N] sets the domain/device
+    count the [partune] throughput comparison scales to (default 4).
 
     [--json FILE] dumps the observability metrics registry (including
     one [bench.<exp>.duration_s] gauge per experiment run) as JSON —
     e.g. [--json BENCH_obs.json] — so the perf trajectory of the repo
-    is machine-readable PR over PR. *)
+    is machine-readable PR over PR.
+
+    [--baseline FILE] compares the run's metrics against a committed
+    baseline dump under {!Tvm_obs.Bench_gate.default_rules} and exits
+    nonzero on regression — the [make check-bench] gate. Update the
+    baseline with [make bench-baseline] when a change legitimately
+    moves the numbers. *)
 
 module E = Tvm_experiments.Exp_util
 module Fm = Tvm_experiments.Fig_micro
@@ -187,6 +193,17 @@ let rec extract_json_flag = function
       let file, others = extract_json_flag rest in
       (file, a :: others)
 
+(** Pull [--baseline FILE] out of the raw argument list. *)
+let rec extract_baseline_flag = function
+  | [] -> (None, [])
+  | "--baseline" :: file :: rest ->
+      let _, others = extract_baseline_flag rest in
+      (Some file, others)
+  | "--baseline" :: [] -> invalid_arg "--baseline requires a FILE argument"
+  | a :: rest ->
+      let file, others = extract_baseline_flag rest in
+      (file, a :: others)
+
 (** Pull [-j N] out of the raw argument list. *)
 let rec extract_jobs_flag = function
   | [] -> (None, [])
@@ -198,10 +215,17 @@ let rec extract_jobs_flag = function
       let n, others = extract_jobs_flag rest in
       (n, a :: others)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let () =
   Tvm_graph.Std_ops.register_all ();
   let args = Array.to_list Sys.argv |> List.tl in
   let json_out, args = extract_json_flag args in
+  let baseline, args = extract_baseline_flag args in
   let jobs, args = extract_jobs_flag args in
   Option.iter (fun j -> bench_jobs := max 1 j) jobs;
   let quick = List.mem "--quick" args in
@@ -224,8 +248,20 @@ let () =
       | None -> Printf.printf "unknown experiment %s\n" name)
     wanted;
   Printf.printf "\ntotal benchmark time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  match json_out with
+  (match json_out with
   | Some path ->
       Tvm_obs.Metrics.write_json path;
       Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  match baseline with
   | None -> ()
+  | Some path ->
+      let base = Tvm_obs.Json.parse (read_file path) in
+      let checks =
+        Tvm_obs.Bench_gate.compare_metrics
+          ~rules:Tvm_obs.Bench_gate.default_rules ~baseline:base
+          ~current:(Tvm_obs.Metrics.to_json ())
+      in
+      Printf.printf "\nregression gate vs %s:\n%s" path
+        (Tvm_obs.Bench_gate.render checks);
+      if Tvm_obs.Bench_gate.failed checks <> [] then exit 1

@@ -34,6 +34,18 @@ let metrics_out_arg =
     & opt (some string) None
     & info [ "metrics-out" ] ~doc:"Write the metrics registry as JSON")
 
+let journal_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-out" ]
+        ~doc:
+          "Write the flight-recorder journal as JSON lines: every trial's \
+           propose/prepare/dispatch/measure lifecycle with provenance \
+           (explorer origin, SA chain, predicted score, cache verdict, \
+           per-attempt device outcomes). Byte-identical for a fixed seed \
+           at any -j; analyze with `tvmc report`.")
+
 let jobs_arg =
   Arg.(
     value
@@ -55,11 +67,13 @@ let no_compile_cache_arg =
            bit-identical with the cache on — this flag exists for A/B \
            timing and verification.")
 
-(** Run [f] with tracing enabled iff a trace file was requested; write
-    the requested observability outputs afterwards (also on failure, so
-    a crashed compile still leaves its partial trace behind). *)
-let with_obs ~trace_out ~metrics_out f =
+(** Run [f] with tracing/journaling enabled iff the matching output
+    file was requested; write the requested observability outputs
+    afterwards (also on failure, so a crashed compile still leaves its
+    partial trace behind). *)
+let with_obs ?(journal_out = None) ~trace_out ~metrics_out f =
   if trace_out <> None then Obs.Trace.set_enabled true;
+  if journal_out <> None then Obs.Journal.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
       (match trace_out with
@@ -67,6 +81,12 @@ let with_obs ~trace_out ~metrics_out f =
           Obs.Trace.write_chrome_trace path;
           Printf.eprintf "[obs] trace written to %s (%d spans, %d events)\n%!" path
             (Obs.Trace.span_count ()) (Obs.Trace.event_count ())
+      | None -> ());
+      (match journal_out with
+      | Some path ->
+          Obs.Journal.write_jsonl path;
+          Printf.eprintf "[obs] journal written to %s (%d records)\n%!" path
+            (Obs.Journal.size ())
       | None -> ());
       match metrics_out with
       | Some path ->
@@ -117,8 +137,9 @@ let compile_cmd =
   let trials =
     Arg.(value & opt int 48 & info [ "trials" ] ~doc:"Tuning trials per kernel (0 = default schedules)")
   in
-  let run network target trials validate jobs no_cache trace_out metrics_out =
-    with_obs ~trace_out ~metrics_out @@ fun () ->
+  let run network target trials validate jobs no_cache trace_out metrics_out
+      journal_out =
+    with_obs ~journal_out ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
     let options =
@@ -150,7 +171,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
     Term.(
       const run $ network $ target $ trials $ validate_arg $ jobs_arg
-      $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg)
+      $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg
+      $ journal_out_arg)
 
 (* ---- tune ---- *)
 
@@ -194,6 +216,17 @@ let tune_cmd =
              change outcomes (fault draws are per-device), so it is a \
              separate knob.")
   in
+  let straggler =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "straggler" ]
+          ~doc:
+            "Make device N a straggler: heavy transient fault rates on that \
+             device only (timeouts dominate, so its jobs burn the per-job \
+             budget). Use with --journal-out and `tvmc report` to see the \
+             outlier detection attribute the damage.")
+  in
   let tune_log =
     Arg.(
       value
@@ -204,14 +237,27 @@ let tune_cmd =
              measurement; byte-identical for a fixed seed at any -j)")
   in
   let run workload trials method_name fault_rate max_retries timeout_ms seed
-      jobs devices tune_log validate no_cache trace_out metrics_out =
-    with_obs ~trace_out ~metrics_out @@ fun () ->
+      jobs devices straggler tune_log validate no_cache trace_out metrics_out
+      journal_out =
+    with_obs ~journal_out ~trace_out ~metrics_out @@ fun () ->
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
     let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
     let fault_plan =
       if fault_rate > 0. then Tvm_rpc.Fault.transient ~rate:fault_rate ()
       else Tvm_rpc.Fault.none
+    in
+    let fault_plan =
+      match straggler with
+      | Some n ->
+          Tvm_rpc.Fault.with_device fault_plan n
+            {
+              Tvm_rpc.Fault.timeout_rate = 0.35;
+              crash_rate = 0.15;
+              corrupt_rate = 0.1;
+              death_rate = 0.;
+            }
+      | None -> fault_plan
     in
     let retry =
       { Tvm_rpc.Retry_policy.default with
@@ -301,8 +347,9 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
     Term.(
       const run $ workload $ trials $ method_ $ fault_rate $ max_retries
-      $ timeout_ms $ seed $ jobs_arg $ devices $ tune_log $ validate_arg
-      $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg)
+      $ timeout_ms $ seed $ jobs_arg $ devices $ straggler $ tune_log
+      $ validate_arg $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg
+      $ journal_out_arg)
 
 (* ---- profile ---- *)
 
@@ -355,6 +402,35 @@ let profile_cmd =
       const run $ network $ target $ trials $ runs $ profile_out $ trace_out_arg
       $ metrics_out_arg)
 
+(* ---- report ---- *)
+
+let report_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOURNAL"
+          ~doc:"Flight-recorder journal (JSON lines) written by --journal-out")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~doc:"Slowest measured trials to list")
+  in
+  let run journal top =
+    let entries = Obs.Journal.load_jsonl journal in
+    if entries = [] then begin
+      Printf.eprintf "no journal records in %s\n" journal;
+      exit 1
+    end;
+    print_string (Obs.Report.render (Obs.Report.analyze ~top entries))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyze a flight-recorder journal: per-device utilization and \
+          straggler detection, fault/retry attribution, per-status, \
+          per-origin and per-SA-chain breakdowns, slowest trials")
+    Term.(const run $ journal $ top)
+
 (* ---- devices ---- *)
 
 let devices_cmd =
@@ -378,7 +454,7 @@ let devices_cmd =
 let main =
   Cmd.group
     (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
-    [ compile_cmd; tune_cmd; profile_cmd; devices_cmd ]
+    [ compile_cmd; tune_cmd; profile_cmd; report_cmd; devices_cmd ]
 
 let () =
   Tvm_graph.Std_ops.register_all ();

@@ -17,7 +17,9 @@ let sa_init space rng ~n_chains =
 (** One batch of parallel simulated annealing: walk each chain
     [n_steps] proposals; accept improving moves, accept worsening moves
     with Metropolis probability under [temp]. Returns the top [batch]
-    distinct configs seen (excluding [visited]).
+    distinct configs seen (excluding [visited]) with their provenance:
+    [(config, chain index, predicted score)] — the flight recorder
+    journals both so per-chain yield is visible after the fact.
 
     Chains genuinely run in parallel on [pool] (§5.3's "parallel
     simulated annealing"), and the result is bit-identical for any
@@ -91,17 +93,19 @@ let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
      chain-index order, dedup first-wins, then a *stable* sort by score
      so ties keep that order. Top-[batch] distinct survive. *)
   let dedup : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 64 in
-  Array.to_list walked
-  |> List.concat_map snd
-  |> List.filter (fun (k, _, _) ->
+  Array.mapi
+    (fun ci (_, seen) -> List.map (fun (k, cfg, s) -> (k, cfg, ci, s)) seen)
+    walked
+  |> Array.to_list |> List.concat
+  |> List.filter (fun (k, _, _, _) ->
          if Hashtbl.mem dedup k then false
          else begin
            Hashtbl.replace dedup k ();
            true
          end)
-  |> List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.stable_sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
   |> List.filteri (fun i _ -> i < batch)
-  |> List.map (fun (_, cfg, _) -> cfg)
+  |> List.map (fun (_, cfg, ci, s) -> (cfg, ci, s))
 
 (** Uniform random batch, deduplicated against [visited] (keyed by the
     canonical configuration). *)

@@ -22,6 +22,17 @@
 
 module Obs_trace = Tvm_obs.Trace
 module Obs_metrics = Tvm_obs.Metrics
+module Journal = Tvm_obs.Journal
+
+(** Provenance of a proposed configuration, journaled by the flight
+    recorder: which explorer emitted it ([seed] for the initial
+    known-valid probe, [random], [sa], [ga], [compiler] for the final
+    lowering job), which SA chain found it ([-1] elsewhere), and the
+    cost model's predicted score ([nan] when there was no model). *)
+type origin = { og_kind : string; og_chain : int; og_score : float }
+
+let origin ?(chain = -1) ?(score = Float.nan) kind =
+  { og_kind = kind; og_chain = chain; og_score = score }
 
 type template = {
   tpl_name : string;
@@ -188,6 +199,8 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
         use_compile_cache } =
     options
   in
+  Journal.run ~name:template.tpl_name ~method_:(method_to_string method_)
+    ~trials:n_trials;
   let par = Tvm_par.Pool.create ~domains:jobs () in
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
   let visited : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -216,7 +229,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
   (* Record one measured configuration: training set, incumbent, db,
      history, metrics. Sequential bookkeeping — always called on the
      coordinator, in batch order. *)
-  let record_trial cfg (feats : float array option)
+  let record_trial uid cfg (feats : float array option)
       (result : Measure_result.t) =
     (match (feats, result.Measure_result.time_s) with
     | Some f, Some time ->
@@ -237,6 +250,11 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
       { trial_index = !trial_index; config = cfg; result;
         best_so_far = !best_time }
       :: !history;
+    Journal.measure ~uid
+      ~status:(Measure_result.status_name result.Measure_result.status)
+      ~time_s:result.Measure_result.time_s
+      ~attempts:result.Measure_result.attempts;
+    if Obs_trace.enabled () then Obs_trace.flow ~id:uid Obs_trace.Flow_end "trial";
     Obs_metrics.incr "tuner.trials";
     Obs_metrics.incr
       ("tuner.status." ^ Measure_result.status_name result.Measure_result.status);
@@ -263,20 +281,47 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
               else Printf.sprintf "%.6f" (1e3 *. !best_time) );
           ]
   in
-  (* Measure a batch of configurations and return each one's result in
-     input order ([None] past the trial budget). Three stages: prepare
-     (lowering + feature extraction, fanned out over the domain pool),
-     measure (the batch callback overlaps jobs on free devices, or the
-     per-config callback runs them one by one), record (sequential
-     bookkeeping in input order). Results are independent of the
-     domain count: prepared values land in per-index slots and every
-     later stage walks them in input order. *)
-  let run_batch (cfgs : Cfg_space.config list) : Measure_result.t option list =
+  (* Measure a batch of configurations (each with its provenance) and
+     return each one's result in input order ([None] past the trial
+     budget). Three stages: prepare (lowering + feature extraction,
+     fanned out over the domain pool), measure (the batch callback
+     overlaps jobs on free devices, or the per-config callback runs
+     them one by one), record (sequential bookkeeping in input order).
+     Results are independent of the domain count: prepared values land
+     in per-index slots and every later stage walks them in input
+     order. The flight recorder writes happen only in the sequential
+     stages — uids, proposals and the feature-level cache verdict
+     before the parallel prepare, prepare/dispatch/measure records
+     after it — which is what keeps the journal byte-identical at any
+     [-j] and with the compile cache on or off. *)
+  let run_batch (cfgs : (Cfg_space.config * origin) list) :
+      Measure_result.t option list =
     let take = max 0 (min (List.length cfgs) (n_trials - !trial_index)) in
     let taken = List.filteri (fun i _ -> i < take) cfgs in
     List.iter
-      (fun cfg -> Hashtbl.replace visited (Cfg_space.canonical cfg) ())
+      (fun (cfg, _) -> Hashtbl.replace visited (Cfg_space.canonical cfg) ())
       taken;
+    let tagged = Array.of_list taken in
+    let uids = Array.map (fun _ -> Journal.fresh_uid ()) tagged in
+    (* The journal's cache verdict is feature-level (was the config
+       known before this batch?): the stmt-level hit kind differs
+       between cache on/off modes, the feature-level one does not. *)
+    let cache_state =
+      Array.map
+        (fun (cfg, _) ->
+          match Compile_cache.find ~record:false memo cfg with
+          | Some _ -> "hit"
+          | None -> "miss")
+        tagged
+    in
+    if Journal.enabled () || Obs_trace.enabled () then
+      Array.iteri
+        (fun i (cfg, og) ->
+          Journal.propose ~uid:uids.(i) ~origin:og.og_kind ~chain:og.og_chain
+            ~score:og.og_score ~config:(Cfg_space.to_string cfg);
+          if Obs_trace.enabled () then
+            Obs_trace.flow ~id:uids.(i) Obs_trace.Flow_start "trial")
+        tagged;
     let prepared =
       timed_phase "prepare" @@ fun () ->
       Tvm_par.Pool.parallel_map par
@@ -296,7 +341,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
               match (try Some (template.tpl_instantiate cfg) with _ -> None) with
               | Some s -> (cfg, Some s, Some (Feature.extract s))
               | None -> (cfg, None, None)))
-        (Array.of_list taken)
+        (Array.map fst tagged)
     in
     (* Merge fresh compilations into the shared memo, in input order
        (all cache writes happen here on the coordinator). *)
@@ -309,8 +354,14 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
         | None, _ -> Compile_cache.add memo cfg Compile_cache.Invalid
         | Some _, None -> ())
       prepared;
+    Array.iteri
+      (fun i (_, _, feats) ->
+        Journal.prepare ~uid:uids.(i) ~cache:cache_state.(i)
+          ~valid:(feats <> None))
+      prepared;
     let results =
       timed_phase "measure" @@ fun () ->
+      Fun.protect ~finally:Journal.clear_job_tags @@ fun () ->
       match measure_batch with
       | Some mb -> (
           let jobs =
@@ -320,6 +371,14 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                    Option.map (fun s -> (cfg, s)) stmt)
                  (Array.to_list prepared))
           in
+          (* Tag pool job [j] with its trial uid so the pool's dispatch
+             records attribute device attempts to the right trial. *)
+          Journal.set_job_tags
+            (Array.to_list prepared
+            |> List.mapi (fun i (_, stmt, _) -> (i, stmt))
+            |> List.filter_map (fun (i, stmt) ->
+                   Option.map (fun _ -> uids.(i)) stmt)
+            |> Array.of_list);
           let measured =
             if Array.length jobs = 0 then [||]
             else
@@ -344,11 +403,12 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                   r)
             prepared)
       | None ->
-          Array.map
-            (fun (cfg, stmt, _) ->
+          Array.mapi
+            (fun i (cfg, stmt, _) ->
               match stmt with
               | None -> Measure_result.invalid_config
               | Some s -> (
+                  Journal.set_job_tags [| uids.(i) |];
                   try measure cfg s
                   with e ->
                     (* Pool exhaustion and other infrastructure
@@ -360,14 +420,14 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
             prepared
     in
     Array.iteri
-      (fun i (cfg, _, feats) -> record_trial cfg feats results.(i))
+      (fun i (cfg, _, feats) -> record_trial uids.(i) cfg feats results.(i))
       prepared;
     List.mapi
       (fun i _ -> if i < take then Some results.(i) else None)
       cfgs
   in
   let measure_config cfg =
-    match run_batch [ cfg ] with [ r ] -> r | _ -> None
+    match run_batch [ (cfg, origin "seed") ] with [ r ] -> r | _ -> None
   in
   (* Seed the search with one known-valid configuration: heavily
      constrained spaces (odd shapes) can otherwise yield all-invalid
@@ -394,7 +454,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
     (match method_ with
     | Random_search ->
         let cfgs = Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now in
-        ignore (run_batch cfgs)
+        ignore (run_batch (List.map (fun c -> (c, origin "random")) cfgs))
     | Genetic_algorithm ->
         let cfgs =
           if !trial_index = 0 then
@@ -402,7 +462,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
           else Explorers.Genetic.next_generation template.tpl_space rng ga_state ~mutation_rate:0.3
         in
         let cfgs = List.filteri (fun i _ -> i < batch_now) cfgs in
-        let results = run_batch cfgs in
+        let results = run_batch (List.map (fun c -> (c, origin "ga")) cfgs) in
         let fitness =
           List.map
             (fun r ->
@@ -419,7 +479,10 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
           match !model with
           | None ->
               (* No training data yet: random candidates (§5.3). *)
-              Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
+              List.map
+                (fun c -> (c, origin "random"))
+                (Explorers.random_batch template.tpl_space rng ~visited
+                   ~batch:batch_now)
           | Some m ->
               (* Each SA chain gets its own overflow memo; the shared
                  one is read-only while the chains run. Afterwards the
@@ -455,14 +518,20 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                   sa_state ~predict_for_chain ~visited ~n_steps:sa_steps
                   ~temp:1.0
                   ~batch:(max 0 (batch_now - n_random))
+                |> List.map (fun (c, chain, score) ->
+                       (c, origin ~chain ~score "sa"))
               in
               Array.iter (fun l -> Compile_cache.merge ~into:memo l) locals;
               let filler =
                 Explorers.random_batch template.tpl_space rng ~visited
                   ~batch:(batch_now - List.length proposed)
+                |> List.map (fun c -> (c, origin "random"))
               in
               if proposed = [] && filler = [] then
-                Explorers.random_batch template.tpl_space rng ~visited ~batch:batch_now
+                List.map
+                  (fun c -> (c, origin "random"))
+                  (Explorers.random_batch template.tpl_space rng ~visited
+                     ~batch:batch_now)
               else proposed @ filler
         in
         ignore (run_batch cfgs);

@@ -201,17 +201,17 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
               Hashtbl.replace tuned_cache signature result;
               result
         in
-        let stmt, time_s =
+        let stmt, time_s, lowering_hit =
           Trace.with_span "phase.lowering" (fun () ->
               (* The tuner retained the winner's lowered program in the
                  scope cache, so this is normally a hit. *)
-              let stmt =
+              let stmt, hit =
                 match
                   Option.bind ccache (fun c ->
                       Option.bind (Compile_cache.find c best_cfg)
                         Compile_cache.stmt)
                 with
-                | Some s -> s
+                | Some s -> (s, true)
                 | None ->
                     let s = tpl.Tuner.tpl_instantiate best_cfg in
                     Option.iter
@@ -221,36 +221,55 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
                              { feats = Tvm_autotune.Feature.extract s;
                                stmt = Some s }))
                       ccache;
-                    s
+                    (s, false)
               in
-              (stmt, Target.time_s target stmt))
+              (stmt, Target.time_s target stmt, hit))
         in
-        (Trace.with_span "phase.validate" @@ fun () ->
-         let violations =
-           match
-             Option.bind ccache (fun c ->
-                 Compile_cache.find_validation c best_cfg)
-           with
-           | Some v -> v
-           | None ->
-               let v = Tvm_tir.Validate.check stmt in
-               Option.iter
-                 (fun c -> Compile_cache.add_validation c best_cfg v)
-                 ccache;
-               v
-         in
-         let errs = Tvm_tir.Validate.errors violations in
-         Metrics.incr "validate.errors" ~by:(Float.of_int (List.length errs));
-         Metrics.incr "validate.warnings"
-           ~by:(Float.of_int (List.length (Tvm_tir.Validate.warnings violations)));
-         if options.verbose then
-           List.iter
-             (fun v ->
-               Printf.printf "[tvm] validate %s: %s\n%!" signature
-                 (Tvm_tir.Validate.to_string v))
-             violations;
-         if options.validate && errs <> [] then
-           raise (Validation_failed (signature, errs)));
+        let validation_ok =
+          Trace.with_span "phase.validate" @@ fun () ->
+          let violations =
+            match
+              Option.bind ccache (fun c ->
+                  Compile_cache.find_validation c best_cfg)
+            with
+            | Some v -> v
+            | None ->
+                let v = Tvm_tir.Validate.check stmt in
+                Option.iter
+                  (fun c -> Compile_cache.add_validation c best_cfg v)
+                  ccache;
+                v
+          in
+          let errs = Tvm_tir.Validate.errors violations in
+          Metrics.incr "validate.errors" ~by:(Float.of_int (List.length errs));
+          Metrics.incr "validate.warnings"
+            ~by:(Float.of_int (List.length (Tvm_tir.Validate.warnings violations)));
+          if options.verbose then
+            List.iter
+              (fun v ->
+                Printf.printf "[tvm] validate %s: %s\n%!" signature
+                  (Tvm_tir.Validate.to_string v))
+              violations;
+          if options.validate && errs <> [] then
+            raise (Validation_failed (signature, errs));
+          errs = []
+        in
+        (* Journal the compile job itself: the winning configuration's
+           final lowering is a trial with origin [compiler] — cache says
+           whether the scope cache still held the winner's program,
+           time is the target model's estimate. *)
+        if Tvm_obs.Journal.enabled () then begin
+          let uid = Tvm_obs.Journal.fresh_uid () in
+          Tvm_obs.Journal.run ~name:("compile:" ^ signature) ~method_:"compiler"
+            ~trials:1;
+          Tvm_obs.Journal.propose ~uid ~origin:"compiler" ~chain:(-1)
+            ~score:Float.nan ~config:(Cfg_space.to_string best_cfg);
+          Tvm_obs.Journal.prepare ~uid
+            ~cache:(if lowering_hit then "hit" else "miss")
+            ~valid:validation_ok;
+          Tvm_obs.Journal.measure ~uid ~status:"ok" ~time_s:(Some time_s)
+            ~attempts:0
+        end;
         if options.verbose then
           Printf.printf "[tvm] %-60s %.3f ms\n%!" signature (1e3 *. time_s);
         {

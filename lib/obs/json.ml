@@ -45,6 +45,17 @@ let number_to_string v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.12g" v
 
+(** Safe number constructor: NaN/±inf become [Null] so they can never
+    reach a dump as the invalid literals [nan]/[inf]. Every producer
+    of numeric JSON should build values through this. *)
+let num v = if Float.is_finite v then Num v else Null
+
+(** Full-precision JSON number text ([%.17g] round-trips every finite
+    double); NaN/±inf render as ["null"]. For line-oriented writers
+    (the journal, tuning logs) that assemble records directly. *)
+let num_string v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
@@ -74,6 +85,12 @@ let rec write buf = function
 let to_string v =
   let buf = Buffer.create 1024 in
   write buf v;
+  Buffer.contents buf
+
+(** [s] as a quoted, escaped JSON string literal. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_to buf s;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -11,8 +11,11 @@
 
 (* Log-scale histogram: [buckets_per_decade] buckets per power of ten
    from [lo] upward. Bucket boundaries are exact powers of 10^(1/bpd);
-   percentile estimates return the geometric mean of the winning
-   bucket's bounds, clamped to the observed min/max. *)
+   percentile estimates interpolate linearly inside the winning bucket
+   between its bounds (clipped to the observed min/max), positioned by
+   the rank's fraction of the bucket's count — so a tight distribution
+   that lands entirely in one bucket still reports p50 < p90 < p99
+   instead of collapsing every percentile to the bucket midpoint. *)
 let lo = 1e-9
 let decades = 16
 let buckets_per_decade = 8
@@ -43,9 +46,8 @@ let bucket_index v =
     in
     if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
 
-let bucket_mid i =
-  (* geometric mean of the bucket's bounds *)
-  lo *. Float.pow 10. ((Float.of_int i +. 0.5) /. Float.of_int buckets_per_decade)
+let bucket_lo i = lo *. Float.pow 10. (Float.of_int i /. Float.of_int buckets_per_decade)
+let bucket_hi i = bucket_lo (i + 1)
 
 let hist_observe h v =
   if Float.is_finite v then begin
@@ -64,9 +66,19 @@ let hist_percentile h p =
     let acc = ref 0 and result = ref h.h_max in
     (try
        for i = 0 to n_buckets - 1 do
+         let before = !acc in
          acc := !acc + h.h_counts.(i);
          if Float.of_int !acc >= rank && h.h_counts.(i) > 0 then begin
-           result := bucket_mid i;
+           (* Interpolate within the winning bucket: position the rank
+              inside the bucket's own count and map that fraction onto
+              the bucket's bounds, clipped to the observed min/max. *)
+           let frac =
+             (rank -. Float.of_int before) /. Float.of_int h.h_counts.(i)
+           in
+           let frac = Float.max 0. (Float.min 1. frac) in
+           let vlo = Float.max (bucket_lo i) h.h_min in
+           let vhi = Float.max vlo (Float.min (bucket_hi i) h.h_max) in
+           result := vlo +. (frac *. (vhi -. vlo));
            raise Exit
          end
        done

@@ -1,0 +1,298 @@
+(** Journal analysis: turn a flight-recorder stream ({!Journal.entry}
+    list) into a fleet/trial report — per-device utilization and
+    straggler detection, fault/retry attribution, per-status,
+    per-origin and per-SA-chain breakdowns, and the top-K slowest
+    measured trials with their configurations. Pure over the entry
+    list, so it works equally on a live journal and on a loaded
+    [.jsonl] file ([tvmc report]). *)
+
+type device_stat = {
+  ds_dev : int;
+  ds_name : string;
+  ds_attempts : int;  (** dispatch records (failures included) *)
+  ds_ok : int;
+  ds_retries : int;  (** dispatches with attempt number > 0 *)
+  ds_timeouts : int;
+  ds_crashes : int;
+  ds_corrupt : int;
+  ds_deaths : int;
+  ds_cost_s : float;  (** total simulated seconds charged *)
+  ds_queue_s : float;  (** total simulated queue wait *)
+  ds_mean_cost_s : float;
+  ds_fail_rate : float;
+  ds_straggler : bool;
+}
+
+type trial_info = {
+  ti_uid : int;
+  ti_origin : string;
+  ti_chain : int;
+  ti_status : string;
+  ti_time_s : float;
+  ti_attempts : int;
+  ti_config : string;
+}
+
+type chain_stat = {
+  cs_chain : int;
+  cs_trials : int;
+  cs_best_s : float;  (** best measured time, [infinity] if none *)
+}
+
+type t = {
+  rp_runs : (string * string * int) list;  (** (name, method, trials) *)
+  rp_trials : int;  (** measure records *)
+  rp_dispatches : int;
+  rp_retries : int;
+  rp_devices : device_stat list;  (** by device id *)
+  rp_status : (string * int) list;  (** final status → trials *)
+  rp_origins : (string * int) list;  (** origin → trials proposed *)
+  rp_chains : chain_stat list;  (** SA chains only *)
+  rp_cache_hits : int;
+  rp_cache_misses : int;
+  rp_invalid : int;  (** prepare records with [valid = false] *)
+  rp_slowest : trial_info list;  (** top-K slowest ok trials, desc *)
+  rp_best : trial_info option;  (** fastest ok trial *)
+}
+
+let median = function
+  | [] -> Float.nan
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+
+(* A straggler is a device that did real work and is an outlier either
+   in mean attempt cost (vs the fleet median) or in failure rate (vs
+   the fleet aggregate): a flaky board burns its jobs' budgets on
+   timeouts/retries, so both signatures usually fire together. *)
+let min_attempts = 5
+let cost_outlier_factor = 1.5
+let fail_rate_factor = 2.5
+let fail_rate_floor = 0.15
+
+let analyze ?(top = 5) (entries : Journal.entry list) : t =
+  let runs = ref [] in
+  let proposed : (int, string * int * string) Hashtbl.t = Hashtbl.create 256 in
+  let status_tally : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let origin_tally : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let chain_tally : (int, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let dev_tbl : (int, device_stat ref) Hashtbl.t = Hashtbl.create 8 in
+  let trials = ref 0 and dispatches = ref 0 and retries = ref 0 in
+  let cache_hits = ref 0 and cache_misses = ref 0 and invalid = ref 0 in
+  let measured : trial_info list ref = ref [] in
+  let tally tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      match e with
+      | Journal.Run { r_name; r_method; r_trials } ->
+          runs := (r_name, r_method, r_trials) :: !runs
+      | Journal.Propose { p_uid; p_origin; p_chain; p_config; _ } ->
+          Hashtbl.replace proposed p_uid (p_origin, p_chain, p_config);
+          tally origin_tally p_origin
+      | Journal.Prepare { q_cache; q_valid; _ } ->
+          (if q_cache = "hit" then incr cache_hits else incr cache_misses);
+          if not q_valid then incr invalid
+      | Journal.Dispatch
+          { d_dev; d_device; d_attempt; d_outcome; d_cost_s; d_queue_s; _ } ->
+          incr dispatches;
+          if d_attempt > 0 then incr retries;
+          let ds =
+            match Hashtbl.find_opt dev_tbl d_dev with
+            | Some r -> r
+            | None ->
+                let r =
+                  ref
+                    { ds_dev = d_dev; ds_name = d_device; ds_attempts = 0;
+                      ds_ok = 0; ds_retries = 0; ds_timeouts = 0;
+                      ds_crashes = 0; ds_corrupt = 0; ds_deaths = 0;
+                      ds_cost_s = 0.; ds_queue_s = 0.; ds_mean_cost_s = 0.;
+                      ds_fail_rate = 0.; ds_straggler = false }
+                in
+                Hashtbl.replace dev_tbl d_dev r;
+                r
+          in
+          let d = !ds in
+          ds :=
+            { d with
+              ds_attempts = d.ds_attempts + 1;
+              ds_ok = (d.ds_ok + if d_outcome = "ok" then 1 else 0);
+              ds_retries = (d.ds_retries + if d_attempt > 0 then 1 else 0);
+              ds_timeouts = (d.ds_timeouts + if d_outcome = "timeout" then 1 else 0);
+              ds_crashes = (d.ds_crashes + if d_outcome = "crash" then 1 else 0);
+              ds_corrupt = (d.ds_corrupt + if d_outcome = "corrupt" then 1 else 0);
+              ds_deaths =
+                (d.ds_deaths + if d_outcome = "device_death" then 1 else 0);
+              ds_cost_s = d.ds_cost_s +. d_cost_s;
+              ds_queue_s = d.ds_queue_s +. d_queue_s }
+      | Journal.Measure { m_uid; m_status; m_time_s; m_attempts } ->
+          incr trials;
+          tally status_tally m_status;
+          let origin, chain, config =
+            Option.value ~default:("?", -1, "?")
+              (Hashtbl.find_opt proposed m_uid)
+          in
+          let time = Option.value ~default:Float.nan m_time_s in
+          if chain >= 0 then begin
+            let n, best =
+              Option.value ~default:(0, Float.infinity)
+                (Hashtbl.find_opt chain_tally chain)
+            in
+            let best =
+              match m_time_s with Some t -> Float.min best t | None -> best
+            in
+            Hashtbl.replace chain_tally chain (n + 1, best)
+          end;
+          if m_status = "ok" then
+            measured :=
+              { ti_uid = m_uid; ti_origin = origin; ti_chain = chain;
+                ti_status = m_status; ti_time_s = time;
+                ti_attempts = m_attempts; ti_config = config }
+              :: !measured)
+    entries;
+  let devices =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) dev_tbl []
+    |> List.map (fun d ->
+           { d with
+             ds_mean_cost_s =
+               (if d.ds_attempts = 0 then 0.
+                else d.ds_cost_s /. float_of_int d.ds_attempts);
+             ds_fail_rate =
+               (if d.ds_attempts = 0 then 0.
+                else
+                  float_of_int (d.ds_attempts - d.ds_ok)
+                  /. float_of_int d.ds_attempts) })
+    |> List.sort (fun a b -> compare a.ds_dev b.ds_dev)
+  in
+  let active = List.filter (fun d -> d.ds_attempts > 0) devices in
+  let median_cost = median (List.map (fun d -> d.ds_mean_cost_s) active) in
+  let fleet_attempts =
+    List.fold_left (fun acc d -> acc + d.ds_attempts) 0 active
+  in
+  let fleet_fails =
+    List.fold_left (fun acc d -> acc + (d.ds_attempts - d.ds_ok)) 0 active
+  in
+  let fleet_fail_rate =
+    if fleet_attempts = 0 then 0.
+    else float_of_int fleet_fails /. float_of_int fleet_attempts
+  in
+  let devices =
+    List.map
+      (fun d ->
+        let cost_outlier =
+          Float.is_finite median_cost && median_cost > 0.
+          && d.ds_mean_cost_s > cost_outlier_factor *. median_cost
+        in
+        let fail_outlier =
+          d.ds_fail_rate
+          > Float.max fail_rate_floor (fail_rate_factor *. fleet_fail_rate)
+        in
+        { d with
+          ds_straggler =
+            d.ds_attempts >= min_attempts && (cost_outlier || fail_outlier) })
+      devices
+  in
+  let measured =
+    List.stable_sort (fun a b -> compare b.ti_time_s a.ti_time_s) !measured
+  in
+  let slowest = List.filteri (fun i _ -> i < top) measured in
+  let best =
+    match List.rev measured with [] -> None | fastest :: _ -> Some fastest
+  in
+  let sorted_tally tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  {
+    rp_runs = List.rev !runs;
+    rp_trials = !trials;
+    rp_dispatches = !dispatches;
+    rp_retries = !retries;
+    rp_devices = devices;
+    rp_status = sorted_tally status_tally;
+    rp_origins = sorted_tally origin_tally;
+    rp_chains =
+      Hashtbl.fold
+        (fun c (n, b) acc -> { cs_chain = c; cs_trials = n; cs_best_s = b } :: acc)
+        chain_tally []
+      |> List.sort (fun a b -> compare a.cs_chain b.cs_chain);
+    rp_cache_hits = !cache_hits;
+    rp_cache_misses = !cache_misses;
+    rp_invalid = !invalid;
+    rp_slowest = slowest;
+    rp_best = best;
+  }
+
+let stragglers t = List.filter (fun d -> d.ds_straggler) t.rp_devices
+
+let render (t : t) : string =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "flight recorder report\n";
+  p "======================\n\n";
+  List.iter
+    (fun (name, method_, trials) ->
+      p "run: %s (%s, %d trials)\n" name method_ trials)
+    t.rp_runs;
+  p "\ntrials: %d measured, %d dispatches (%d retries)\n" t.rp_trials
+    t.rp_dispatches t.rp_retries;
+  p "prepare: %d cache hits, %d misses, %d invalid configs\n" t.rp_cache_hits
+    t.rp_cache_misses t.rp_invalid;
+  if t.rp_status <> [] then begin
+    p "\nby status:\n";
+    List.iter (fun (s, n) -> p "  %-16s %6d\n" s n) t.rp_status
+  end;
+  if t.rp_origins <> [] then begin
+    p "\nby origin:\n";
+    List.iter (fun (s, n) -> p "  %-16s %6d\n" s n) t.rp_origins
+  end;
+  if t.rp_chains <> [] then begin
+    p "\nby SA chain:\n";
+    List.iter
+      (fun c ->
+        p "  chain %-3d %5d trials  best %s\n" c.cs_chain c.cs_trials
+          (if Float.is_finite c.cs_best_s then
+             Printf.sprintf "%.6f ms" (1e3 *. c.cs_best_s)
+           else "-"))
+      t.rp_chains
+  end;
+  if t.rp_devices <> [] then begin
+    p "\ndevices:\n";
+    p "  %-4s %-12s %8s %6s %8s %9s %8s %8s %11s %10s %s\n" "dev" "kind"
+      "attempts" "ok" "retries" "timeouts" "crashes" "corrupt" "mean_cost_s"
+      "fail_rate" "";
+    List.iter
+      (fun d ->
+        p "  %-4d %-12s %8d %6d %8d %9d %8d %8d %11.4f %10.3f %s\n" d.ds_dev
+          d.ds_name d.ds_attempts d.ds_ok d.ds_retries d.ds_timeouts
+          d.ds_crashes d.ds_corrupt d.ds_mean_cost_s d.ds_fail_rate
+          (if d.ds_straggler then "<- STRAGGLER" else ""))
+      t.rp_devices;
+    match stragglers t with
+    | [] -> p "  no stragglers detected\n"
+    | ss ->
+        List.iter
+          (fun d ->
+            p
+              "  straggler dev %d (%s): mean attempt cost %.4f s, fail rate \
+               %.0f%%, %d timeouts / %d crashes / %d corrupt\n"
+              d.ds_dev d.ds_name d.ds_mean_cost_s (100. *. d.ds_fail_rate)
+              d.ds_timeouts d.ds_crashes d.ds_corrupt)
+          ss
+  end;
+  (match t.rp_best with
+  | Some b ->
+      p "\nbest trial: #%d %.6f ms (%s) %s\n" b.ti_uid (1e3 *. b.ti_time_s)
+        b.ti_origin b.ti_config
+  | None -> ());
+  if t.rp_slowest <> [] then begin
+    p "\nslowest measured trials:\n";
+    List.iter
+      (fun ti ->
+        p "  #%-5d %12.6f ms  %-8s chain %-3d attempts %d  %s\n" ti.ti_uid
+          (1e3 *. ti.ti_time_s) ti.ti_origin ti.ti_chain ti.ti_attempts
+          ti.ti_config)
+      t.rp_slowest
+  end;
+  Buffer.contents buf

@@ -68,7 +68,17 @@ let parallel_map t f (xs : 'a array) : 'b array =
         Domain.DLS.set in_task false
       in
       let workers =
-        Array.init (min t.n_domains n - 1) (fun _ -> Domain.spawn work)
+        Array.init
+          (min t.n_domains n - 1)
+          (fun w ->
+            (* Worker w+1 gets its own trace lane (the coordinator is
+               the host lane), so spans/events it records show up as a
+               separate named track in the Chrome export. *)
+            let lane = Tvm_obs.Trace.domain_lane (w + 1) in
+            Tvm_obs.Trace.name_thread ~lane (Printf.sprintf "worker %d" (w + 1));
+            Domain.spawn (fun () ->
+                Tvm_obs.Trace.set_lane lane;
+                work ()))
       in
       work ();
       let local_done = now_ns () in

@@ -54,13 +54,26 @@ type t = {
 
 let create ?(noise = 0.05) ?(repeats = 3) ?(overhead_s = 0.5)
     ?(fault_plan = Fault.none) ?(retry = Retry_policy.default) kinds =
+  let devices =
+    List.mapi
+      (fun i k ->
+        { dev_id = i; dev_kind = k; busy_until = 0.; jobs_run = 0;
+          attempts = 0; failures = 0; dead = false; quarantined = false })
+      kinds
+  in
+  (* Label each device's trace lane up front (labels survive trace
+     resets), so per-device job tracks come up named in Perfetto. *)
+  Tvm_obs.Trace.name_process
+    ~pid:(fst (Tvm_obs.Trace.device_lane 0))
+    "device fleet";
+  List.iter
+    (fun d ->
+      Tvm_obs.Trace.name_thread
+        ~lane:(Tvm_obs.Trace.device_lane d.dev_id)
+        (Printf.sprintf "dev %d (%s)" d.dev_id (kind_name d.dev_kind)))
+    devices;
   {
-    devices =
-      List.mapi
-        (fun i k ->
-          { dev_id = i; dev_kind = k; busy_until = 0.; jobs_run = 0;
-            attempts = 0; failures = 0; dead = false; quarantined = false })
-        kinds;
+    devices;
     clock = 0.;
     total_jobs = 0;
     noise;
@@ -161,10 +174,42 @@ let job_event dev status ~measured ~queue_wait =
     model time comes from [time_for dev] — either computed on the spot
     (per-config path) or looked up from a table {!measure_batch}
     precomputed in parallel. All clock/fault/retry/quarantine
-    bookkeeping lives here, on the calling domain. *)
-let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
-    Measure_result.t =
+    bookkeeping lives here, on the calling domain. [job] is the batch
+    job index, used to look this job's trial uid up from the flight
+    recorder's job tags (see {!Tvm_obs.Journal.set_job_tags}); every
+    attempt then lands in the journal as a dispatch record and on the
+    device's trace lane as a slice + flow step. *)
+let submit ?(key = 0) ?(job = 0) t ~kind_pred ~(time_for : device -> float) ()
+    : Measure_result.t =
   let retry = t.retry in
+  let uid = Tvm_obs.Journal.job_tag job in
+  (* One record per measurement attempt, however it ended. The journal
+     side is driven by the simulated clock only (deterministic); the
+     trace side places a slice on the device's lane covering the real
+     time spent in this attempt's bookkeeping, carrying the simulated
+     cost in its args, and a flow step tying it into the trial's
+     propose → dispatch → measure arrow. *)
+  let record_attempt dev ~attempt ~outcome ~cost ~queue_wait ~start_ns =
+    if uid >= 0 then
+      Tvm_obs.Journal.dispatch ~uid ~dev:dev.dev_id
+        ~device:(kind_name dev.dev_kind) ~attempt ~outcome ~cost_s:cost
+        ~queue_s:queue_wait;
+    if Tvm_obs.Trace.enabled () then begin
+      let lane = Tvm_obs.Trace.device_lane dev.dev_id in
+      if uid >= 0 then
+        Tvm_obs.Trace.flow ~lane ~id:uid Tvm_obs.Trace.Flow_step "trial";
+      Tvm_obs.Trace.slice ~lane ~start_ns
+        ~attrs:
+          [
+            ("outcome", outcome);
+            ("trial", if uid >= 0 then string_of_int uid else "-");
+            ("attempt", string_of_int attempt);
+            ("sim_cost_s", Printf.sprintf "%.6f" cost);
+            ("sim_queue_s", Printf.sprintf "%.3f" queue_wait);
+          ]
+        (if uid >= 0 then Printf.sprintf "job %d" uid else "job")
+    end
+  in
   let rec attempt_job n =
     match request t ~kind_pred with
     | exception No_healthy_device msg when n > 0 ->
@@ -174,6 +219,7 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
            exhausted pool still raises. *)
         Measure_result.fail ~attempts:n (Measure_result.Pool_error msg)
     | dev ->
+    let start_ns = Tvm_obs.Trace.now_ns () in
     dev.attempts <- dev.attempts + 1;
     t.total_jobs <- t.total_jobs + 1;
     Tvm_obs.Metrics.incr "pool.jobs";
@@ -184,12 +230,13 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
     (* Account the failed attempt's cost on the device, then either
        back off and retry on whichever device is free next, or give
        up with the failure's category. *)
-    let transient_failure status ~cost ~metric =
+    let transient_failure status ~outcome ~cost ~metric =
       dev.busy_until <- start +. cost;
       Tvm_obs.Metrics.incr metric;
       Tvm_obs.Metrics.observe "pool.job_cost_s" cost;
       record_failure t dev;
       job_event dev (Measure_result.status_name status) ~measured:None ~queue_wait;
+      record_attempt dev ~attempt:n ~outcome ~cost ~queue_wait ~start_ns;
       if n < retry.Retry_policy.max_retries then begin
         Tvm_obs.Metrics.incr "pool.retries";
         t.clock <- t.clock +. Retry_policy.backoff_s retry ~attempt:n;
@@ -205,6 +252,8 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
         record_failure t dev;
         Tvm_obs.Metrics.incr "pool.device_deaths";
         job_event dev "device_death" ~measured:None ~queue_wait;
+        record_attempt dev ~attempt:n ~outcome:"device_death" ~cost:0.
+          ~queue_wait ~start_ns;
         if n < retry.Retry_policy.max_retries then begin
           Tvm_obs.Metrics.incr "pool.retries";
           attempt_job (n + 1)
@@ -212,11 +261,11 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
         else Measure_result.fail ~attempts:(n + 1) Measure_result.Crash
     | Fault.Timeout ->
         (* The job hangs; the tracker kills it at the per-job budget. *)
-        transient_failure Measure_result.Timeout
+        transient_failure Measure_result.Timeout ~outcome:"timeout"
           ~cost:retry.Retry_policy.timeout_s ~metric:"pool.timeouts"
     | Fault.Crash ->
-        transient_failure Measure_result.Crash ~cost:t.overhead_s
-          ~metric:"pool.crashes"
+        transient_failure Measure_result.Crash ~outcome:"crash"
+          ~cost:t.overhead_s ~metric:"pool.crashes"
     | (Fault.No_fault | Fault.Corrupt _) as outcome -> (
         let base = time_for dev in
         if not (Float.is_finite base) then begin
@@ -226,6 +275,8 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
           dev.busy_until <- start +. 0.01;
           Tvm_obs.Metrics.incr "pool.invalid_configs";
           job_event dev "invalid_config" ~measured:None ~queue_wait;
+          record_attempt dev ~attempt:n ~outcome:"invalid_config" ~cost:0.01
+            ~queue_wait ~start_ns;
           Measure_result.fail ~attempts:(n + 1) Measure_result.Invalid_config
         end
         else
@@ -237,6 +288,7 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
                  measurement discarded as unstable. *)
               transient_failure
                 (Measure_result.Pool_error "unstable measurement")
+                ~outcome:"corrupt"
                 ~cost:(t.overhead_s +. (float_of_int t.repeats *. measured *. factor))
                 ~metric:"pool.corrupt"
           | _ ->
@@ -248,6 +300,8 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
                 Tvm_obs.Metrics.incr "pool.timeouts";
                 record_failure t dev;
                 job_event dev "timeout" ~measured:(Some measured) ~queue_wait;
+                record_attempt dev ~attempt:n ~outcome:"timeout"
+                  ~cost:retry.Retry_policy.timeout_s ~queue_wait ~start_ns;
                 Measure_result.fail ~attempts:(n + 1) Measure_result.Timeout
               end
               else begin
@@ -256,6 +310,8 @@ let submit ?(key = 0) t ~kind_pred ~(time_for : device -> float) () :
                 Tvm_obs.Metrics.observe "pool.job_cost_s" (t.overhead_s +. run_cost);
                 Tvm_obs.Metrics.set_gauge "pool.makespan_s" (makespan t);
                 job_event dev "ok" ~measured:(Some measured) ~queue_wait;
+                record_attempt dev ~attempt:n ~outcome:"ok"
+                  ~cost:(t.overhead_s +. run_cost) ~queue_wait ~start_ns;
                 Measure_result.ok ~attempts:(n + 1) measured
               end)
   in
@@ -320,7 +376,7 @@ let measure_batch ?(par = Tvm_par.Pool.sequential) t ~kind_pred
         | Ok v -> v
         | Error e -> raise e
       in
-      try submit ~key t ~kind_pred ~time_for ()
+      try submit ~key ~job:j t ~kind_pred ~time_for ()
       with e ->
         Measure_result.fail (Measure_result.Pool_error (Printexc.to_string e)))
     jobs

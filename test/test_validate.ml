@@ -399,7 +399,9 @@ let test_sa_rejects_nan_predictions () =
   in
   checkb "batch nonempty" (batch <> []);
   checkb "every returned config has a finite prediction"
-    (List.for_all (fun cfg -> Float.is_finite (predict cfg)) batch)
+    (List.for_all (fun (cfg, _, score) ->
+         Float.is_finite (predict cfg) && Float.is_finite score)
+       batch)
 
 let test_subst_map_expr_scales () =
   (* pre-fix, subst_map_expr rebuilt the binding list per node:
