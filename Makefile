@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
 .PHONY: all build test check check-fault check-validate check-par check-cache \
-  check-journal check-bench bench-json bench-baseline clean
+  check-journal check-serve check-bench bench-json bench-baseline clean
 
 all: build
 
@@ -95,6 +95,38 @@ check-journal: build
 	  | tee _build/check-journal/straggler.report
 	grep -q "straggler dev 2" _build/check-journal/straggler.report
 
+# tvmd service gate: a three-tenant jobs file through `tvmc serve`.
+# One uninterrupted cold run, then a kill/restart pair (--max-jobs 2
+# simulates the daemon dying after two jobs; the restart resumes from
+# the durable store), then a fully warm rerun — all three results
+# files must be byte-identical, and the warm rerun must execute
+# nothing live (everything answered from the store). Explicit -j 2 in
+# the specs keeps the jobs file machine-independent.
+check-serve: build
+	mkdir -p _build/check-serve
+	dune exec bin/tvmc.exe -- submit tune C1 --trials 24 --seed 5 -j 2 \
+	  --tenant alpha --weight 2 > _build/check-serve/jobs.txt
+	dune exec bin/tvmc.exe -- submit tune C1 --trials 24 --seed 5 -j 2 \
+	  --tenant alpha --weight 2 --at 0.5 >> _build/check-serve/jobs.txt
+	dune exec bin/tvmc.exe -- submit tune C2 --trials 24 --seed 5 -j 2 \
+	  --tenant beta >> _build/check-serve/jobs.txt
+	dune exec bin/tvmc.exe -- submit tune D1 --trials 24 --seed 5 -j 2 \
+	  --tenant gamma --priority 1 >> _build/check-serve/jobs.txt
+	rm -f _build/check-serve/s1 _build/check-serve/s2
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-serve/jobs.txt \
+	  --store _build/check-serve/s1 --results _build/check-serve/r_full
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-serve/jobs.txt \
+	  --store _build/check-serve/s2 --max-jobs 2 \
+	  --results _build/check-serve/r_partial
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-serve/jobs.txt \
+	  --store _build/check-serve/s2 --results _build/check-serve/r_resumed
+	cmp _build/check-serve/r_full _build/check-serve/r_resumed
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-serve/jobs.txt \
+	  --store _build/check-serve/s1 --results _build/check-serve/r_warm \
+	  2> _build/check-serve/warm.stderr
+	cmp _build/check-serve/r_full _build/check-serve/r_warm
+	grep -q "4 restored from store" _build/check-serve/warm.stderr
+
 # Benchmark regression gate: rerun the gated scopes and compare the
 # metrics dump against the committed BENCH_obs.json baseline under
 # Bench_gate.default_rules (exits nonzero on regression). When a
@@ -104,10 +136,10 @@ check-bench: build
 	mkdir -p _build/check-bench
 	dune exec bench/main.exe -- --quick -j 4 \
 	  --json _build/check-bench/obs.json --baseline BENCH_obs.json \
-	  partune lower cache
+	  partune lower cache serve
 
 check: build test check-fault check-validate check-par check-cache \
-  check-journal check-bench
+  check-journal check-serve check-bench
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the
@@ -119,7 +151,7 @@ bench-json:
 # the gate itself, so the comparison is apples to apples).
 bench-baseline:
 	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json \
-	  partune lower cache
+	  partune lower cache serve
 
 clean:
 	dune clean

@@ -147,6 +147,88 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* tvmd service                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Sv = Tvm_serve.Tvmd
+module Sch = Tvm_serve.Scheduler
+module Js = Tvm_spec.Job_spec
+
+(* A mixed trace from three tenants (weights 2:1:1) through tvmd:
+   tuning, compiles and a profile. Records the service SLOs
+   ([tvmd.queue_wait_s] / [tvmd.completion_s] histograms — p50/p90/p99
+   land in the JSON dump), the warm-restart repeat-compile speedup and
+   a schedule-determinism check across -j. All latencies are
+   virtual-clock, so every number here is deterministic. *)
+let bench_serve () =
+  let req op tenant weight workload submit =
+    Sv.request ~tenant ~weight ~submit_s:submit
+      (Js.make ~op ~workload ~trials:(if op = Js.Profile then 0 else 12)
+         ~method_name:"random" ~jobs:!bench_jobs ())
+  in
+  let trace =
+    [
+      req Js.Tune "alpha" 2. "C1" 0.;
+      req Js.Compile "alpha" 2. "dqn" 0.;
+      req Js.Tune "beta" 1. "C2" 0.;
+      req Js.Profile "beta" 1. "dqn" 0.5;
+      req Js.Tune "gamma" 1. "C3" 0.2;
+      req Js.Compile "gamma" 1. "dqn" 0.6;
+    ]
+  in
+  let store = Filename.temp_file "tvmd_bench" ".store" in
+  Sys.remove store;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists store then Sys.remove store)
+  @@ fun () ->
+  let service_of (o : Sv.outcome) id =
+    List.find_map
+      (fun (c : Sv.request Sch.completion) ->
+        if c.Sch.cp_job.Sch.jb_id = id then Some c.Sch.cp_service_s else None)
+      o.Sv.oc_completions
+    |> Option.get
+  in
+  (* Cold: empty store, cleared tuned cache — compiles pay for tuning. *)
+  Tvm.Compiler.clear_cache ();
+  let cold = Sv.serve ~slots:2 ~store trace in
+  (* Warm restart (fresh process state, warm store) plus one new
+     submission of the already-tuned compile: the repeat-compile probe. *)
+  Tvm.Compiler.clear_cache ();
+  let warm = Sv.serve ~slots:2 ~store (trace @ [ req Js.Compile "alpha" 2. "dqn" 9. ]) in
+  let cold_compile = Float.max (service_of cold 1) (service_of cold 5) in
+  let warm_compile = service_of warm (List.length trace) in
+  let speedup = cold_compile /. warm_compile in
+  Tvm_obs.Metrics.set_gauge "bench.serve.warm_speedup" speedup;
+  (* Determinism across -j: the same trace at -j1 must schedule, charge
+     and summarize identically, line for line. *)
+  Tvm.Compiler.clear_cache ();
+  let j1 =
+    Sv.serve ~slots:2
+      (List.map
+         (fun r -> { r with Sv.rq_spec = { r.Sv.rq_spec with Js.jobs = 1 } })
+         trace)
+  in
+  let identical = j1.Sv.oc_lines = cold.Sv.oc_lines in
+  Tvm_obs.Metrics.set_gauge "bench.serve.identical_schedule"
+    (if identical then 1. else 0.);
+  let pct name p =
+    match Tvm_obs.Metrics.percentile name p with Some v -> v | None -> nan
+  in
+  Printf.printf
+    "tvmd: %d jobs over 3 tenants (2:1:1), %d restored on warm restart\n"
+    (List.length trace) warm.Sv.oc_restored;
+  Printf.printf "  queue wait  p50 %.3fs  p90 %.3fs  p99 %.3fs\n"
+    (pct "tvmd.queue_wait_s" 50.) (pct "tvmd.queue_wait_s" 90.)
+    (pct "tvmd.queue_wait_s" 99.);
+  Printf.printf "  completion  p50 %.3fs  p90 %.3fs  p99 %.3fs\n"
+    (pct "tvmd.completion_s" 50.) (pct "tvmd.completion_s" 90.)
+    (pct "tvmd.completion_s" 99.);
+  Printf.printf "  repeat compile: cold %.3fs -> warm %.3fs (%.1fx)\n"
+    cold_compile warm_compile speedup;
+  Printf.printf "  schedule identical at -j1 vs -j%d: %b\n" !bench_jobs
+    identical
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -179,6 +261,7 @@ let experiments : (string * (unit -> unit)) list =
     ("partune", fun () -> ignore (Fm.partune ~jobs:!bench_jobs ()));
     ("lower", fun () -> ignore (Fm.bench_lower ()));
     ("cache", fun () -> ignore (Fm.bench_cache ()));
+    ("serve", bench_serve);
     ("micro", micro);
   ]
 

@@ -110,6 +110,25 @@ let target_of_name = function
   | "llvm" -> Tvm.Target.llvm ()
   | s -> invalid_arg ("unknown target " ^ s ^ " (cuda|arm|mali|llvm)")
 
+(** Full trial history as JSON lines — byte-identical for a fixed seed
+    at any -j (and to a warm replay resume on a clean fleet). *)
+let write_tune_log path history =
+  let oc = open_out path in
+  List.iter
+    (fun (t : Tvm_autotune.Tuner.trial) ->
+      Printf.fprintf oc
+        "{\"trial\":%d,\"config\":%S,\"status\":%S,\"time_s\":%s,\"best_s\":%s}\n"
+        t.Tvm_autotune.Tuner.trial_index
+        (Tvm_autotune.Cfg_space.to_string t.Tvm_autotune.Tuner.config)
+        (Tvm_autotune.Measure_result.status_name
+           t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.status)
+        (match t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.time_s with
+        | Some v -> Printf.sprintf "%.17g" v
+        | None -> "null")
+        (Printf.sprintf "%.17g" t.Tvm_autotune.Tuner.best_so_far))
+    history;
+  close_out oc
+
 (* ---- compile ---- *)
 
 let validate_arg =
@@ -142,14 +161,14 @@ let compile_cmd =
     with_obs ~journal_out ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
-    let options =
-      { Tvm.Compiler.default_options with
-        Tvm.Compiler.tune_trials = trials; validate; jobs;
-        compile_cache = not no_cache }
+    let spec =
+      Tvm_spec.Job_spec.make ~op:Tvm_spec.Job_spec.Compile ~workload:network
+        ~target ~trials ~validate ~jobs ~use_compile_cache:(not no_cache)
+        ?trace_out ?metrics_out ?journal_out ()
     in
     let t0 = Unix.gettimeofday () in
     let result, exec =
-      try Tvm.Compiler.build_executor ~options graph tgt
+      try Tvm.Compiler.build_executor ~spec graph tgt
       with Tvm.Compiler.Validation_failed (name, errs) ->
         print_violations name errs;
         exit 1
@@ -240,77 +259,35 @@ let tune_cmd =
       jobs devices straggler tune_log validate no_cache trace_out metrics_out
       journal_out =
     with_obs ~journal_out ~trace_out ~metrics_out @@ fun () ->
+    let spec =
+      Tvm_spec.Job_spec.make ~op:Tvm_spec.Job_spec.Tune ~workload ~trials
+        ~method_name ~seed ~jobs ~devices ~validate ~fault_rate ?straggler
+        ~max_retries ~timeout_s:(timeout_ms /. 1e3)
+        ~use_compile_cache:(not no_cache) ?tune_log ?trace_out ?metrics_out
+        ?journal_out ()
+    in
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
     let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
-    let fault_plan =
-      if fault_rate > 0. then Tvm_rpc.Fault.transient ~rate:fault_rate ()
-      else Tvm_rpc.Fault.none
-    in
-    let fault_plan =
-      match straggler with
-      | Some n ->
-          Tvm_rpc.Fault.with_device fault_plan n
-            {
-              Tvm_rpc.Fault.timeout_rate = 0.35;
-              crash_rate = 0.15;
-              corrupt_rate = 0.1;
-              death_rate = 0.;
-            }
-      | None -> fault_plan
-    in
-    let retry =
-      { Tvm_rpc.Retry_policy.default with
-        Tvm_rpc.Retry_policy.max_retries; timeout_s = timeout_ms /. 1e3 }
-    in
-    let pool =
-      Tvm_rpc.Device_pool.create ~fault_plan ~retry
-        (List.init (max 1 devices) (fun _ ->
-             Tvm_rpc.Device_pool.Gpu_dev Machine.titan_x))
-    in
+    let pool = Tvm_rpc.Device_pool.of_spec spec in
     let par = Tvm_par.Pool.create ~domains:jobs () in
     let measure = Tvm_rpc.Device_pool.measure_fn pool ~kind_pred:(fun _ -> true) in
     let measure_batch =
       Tvm_rpc.Device_pool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true)
     in
-    let method_ =
-      match method_name with
-      | "random" -> Tvm_autotune.Tuner.Random_search
-      | "genetic" -> Tvm_autotune.Tuner.Genetic_algorithm
-      | _ -> Tvm_autotune.Tuner.Ml_model
-    in
+    let method_ = Tvm_autotune.Tuner.method_of_name method_name in
     Printf.printf "tuning %s (%s) on %d x titan-x, %d trials, space %d, -j %d...\n%!"
       (Workloads.to_string w) method_name (max 1 devices) trials
       (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space)
       jobs;
     let db = Tvm_autotune.Tuner.Db.create () in
     let res =
-      Tvm_autotune.Tuner.tune
-        ~options:
-          { Tvm_autotune.Tuner.Options.default with
-            Tvm_autotune.Tuner.Options.seed; jobs; db = Some db;
-            use_compile_cache = not no_cache }
-        ~measure_batch ~method_ ~measure ~n_trials:trials tpl
+      Tvm_autotune.Tuner.tune ~spec ~db ~measure_batch ~method_ ~measure
+        ~n_trials:trials tpl
     in
     (match tune_log with
     | Some path ->
-        let oc = open_out path in
-        List.iter
-          (fun (t : Tvm_autotune.Tuner.trial) ->
-            Printf.fprintf oc
-              "{\"trial\":%d,\"config\":%S,\"status\":%S,\"time_s\":%s,\"best_s\":%s}\n"
-              t.Tvm_autotune.Tuner.trial_index
-              (Tvm_autotune.Cfg_space.to_string t.Tvm_autotune.Tuner.config)
-              (Tvm_autotune.Measure_result.status_name
-                 t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.status)
-              (match
-                 t.Tvm_autotune.Tuner.result.Tvm_autotune.Measure_result.time_s
-               with
-              | Some v -> Printf.sprintf "%.17g" v
-              | None -> "null")
-              (Printf.sprintf "%.17g" t.Tvm_autotune.Tuner.best_so_far))
-          res.Tvm_autotune.Tuner.history;
-        close_out oc;
+        write_tune_log path res.Tvm_autotune.Tuner.history;
         Printf.eprintf "[obs] tuning log written to %s (%d trials)\n%!" path
           (List.length res.Tvm_autotune.Tuner.history)
     | None -> ());
@@ -373,9 +350,12 @@ let profile_cmd =
     with_obs ~trace_out ~metrics_out @@ fun () ->
     let graph = network_of_name network in
     let tgt = target_of_name target in
-    let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials } in
+    let spec =
+      Tvm_spec.Job_spec.make ~op:Tvm_spec.Job_spec.Profile ~workload:network
+        ~target ~trials ()
+    in
     let t0 = Unix.gettimeofday () in
-    let _result, exec = Tvm.Compiler.build_executor ~options graph tgt in
+    let _result, exec = Tvm.Compiler.build_executor ~spec graph tgt in
     Printf.printf "compiled %s for %s in %.1fs\n" network (Tvm.Target.name tgt)
       (Unix.gettimeofday () -. t0);
     let module Exec = Tvm_runtime.Graph_executor in
@@ -451,10 +431,159 @@ let devices_cmd =
   in
   Cmd.v (Cmd.info "devices" ~doc:"List simulated machines") Term.(const run $ const ())
 
+(* ---- submit ---- *)
+
+let submit_cmd =
+  let op =
+    Arg.(
+      value & pos 0 string "tune"
+      & info [] ~docv:"OP" ~doc:"compile | tune | profile")
+  in
+  let workload =
+    Arg.(
+      value & pos 1 string "C7"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Table-2 workload for tune, network name for compile/profile")
+  in
+  let target =
+    Arg.(value & opt string "cuda" & info [ "target" ] ~doc:"cuda | arm | mali | llvm")
+  in
+  let trials = Arg.(value & opt int 64 & info [ "trials" ] ~doc:"Measurement budget") in
+  let method_ =
+    Arg.(value & opt string "ml" & info [ "method" ] ~doc:"ml | random | genetic")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Tuning seed") in
+  let tenant =
+    Arg.(value & opt string "default" & info [ "tenant" ] ~doc:"Tenant name")
+  in
+  let weight =
+    Arg.(
+      value & opt float 1.
+      & info [ "weight" ]
+          ~doc:"Fair-share weight (first submission per tenant wins)")
+  in
+  let quota =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quota" ] ~doc:"Max in-flight jobs for this tenant")
+  in
+  let priority =
+    Arg.(value & opt int 0 & info [ "priority" ] ~doc:"Higher runs first within the tenant")
+  in
+  let submit_s =
+    Arg.(
+      value & opt float 0.
+      & info [ "at" ] ~doc:"Arrival time on the virtual clock (seconds)")
+  in
+  let run op workload target trials method_name seed jobs tenant weight quota
+      priority submit_s =
+    let op =
+      try Tvm_spec.Job_spec.op_of_name op
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 2
+    in
+    let spec =
+      Tvm_spec.Job_spec.make ~op ~workload ~target ~trials ~method_name ~seed
+        ~jobs ()
+    in
+    print_endline
+      (Tvm_serve.Tvmd.to_string
+         (Tvm_serve.Tvmd.request ~tenant ~weight ?quota ~priority
+            ~submit_s spec))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Print a tvmd request envelope (single-line JSON) for OP on \
+          WORKLOAD. Collect envelopes into a jobs file and feed it to `tvmc \
+          serve`.")
+    Term.(
+      const run $ op $ workload $ target $ trials $ method_ $ seed $ jobs_arg
+      $ tenant $ weight $ quota $ priority $ submit_s)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let jobs_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "jobs-file" ] ~docv:"FILE"
+          ~doc:"Request envelopes, one JSON line per job (see `tvmc submit`)")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Durable state: trial logs, tuned configurations, compile-cache \
+             features and done jobs. Loaded on startup, flushed after every \
+             job — restarting on the same store resumes where the last run \
+             stopped and reproduces its results byte for byte.")
+  in
+  let slots =
+    Arg.(value & opt int 2 & info [ "slots" ] ~doc:"Executor lanes (concurrent jobs)")
+  in
+  let max_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-jobs" ]
+          ~doc:
+            "Stop after this many live (not store-restored) jobs — a \
+             deterministic stand-in for killing the daemon mid-trace.")
+  in
+  let results =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "results" ] ~docv:"FILE"
+          ~doc:"Write per-job result lines here instead of stdout")
+  in
+  let run jobs_file store slots max_jobs results trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    let requests =
+      In_channel.with_open_text jobs_file In_channel.input_lines
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map Tvm_serve.Tvmd.of_string
+    in
+    let outcome =
+      Tvm_serve.Tvmd.serve ~slots ?store ?max_jobs requests
+    in
+    (match results with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun l -> Out_channel.output_string oc (l ^ "\n"))
+              outcome.Tvm_serve.Tvmd.oc_lines)
+    | None -> List.iter print_endline outcome.Tvm_serve.Tvmd.oc_lines);
+    Printf.eprintf "[tvmd] %d jobs: %d executed, %d restored from store, %d failed\n%!"
+      (List.length outcome.Tvm_serve.Tvmd.oc_lines)
+      outcome.Tvm_serve.Tvmd.oc_executed outcome.Tvm_serve.Tvmd.oc_restored
+      outcome.Tvm_serve.Tvmd.oc_failed;
+    if outcome.Tvm_serve.Tvmd.oc_failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tvmd multi-tenant service over a jobs file: weighted \
+          fair-share scheduling across tenants, job-level retries, durable \
+          warm-restartable state. Deterministic: a fixed jobs file gives a \
+          byte-identical results file at any -j, cold or warm.")
+    Term.(
+      const run $ jobs_file $ store $ slots $ max_jobs $ results
+      $ trace_out_arg $ metrics_out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
-    [ compile_cmd; tune_cmd; profile_cmd; report_cmd; devices_cmd ]
+    [
+      compile_cmd; tune_cmd; profile_cmd; report_cmd; devices_cmd; submit_cmd;
+      serve_cmd;
+    ]
 
 let () =
   Tvm_graph.Std_ops.register_all ();

@@ -66,8 +66,7 @@ let () =
   in
   let db = Tuner.Db.create () in
   let res =
-    Tuner.tune
-      ~options:{ Tuner.Options.default with Tuner.Options.db = Some db }
+    Tuner.tune ~db
       ~method_:Tuner.Ml_model
       ~measure:(Pool.measure_fn flaky ~kind_pred:Pool.is_gpu)
       ~n_trials:budget tpl

@@ -43,10 +43,8 @@ let () =
   (* 2. Compile: graph-level rewriting + per-operator tuning. This is
         the paper's [t.compiler.build(graph, target, params)]. *)
   let target = Tvm.Target.cuda () in
-  let options =
-    { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = 32 }
-  in
-  let result, exec = Tvm.Compiler.build_executor ~options graph target in
+  let spec = Tvm_spec.Job_spec.make ~trials:32 () in
+  let result, exec = Tvm.Compiler.build_executor ~spec graph target in
   Printf.printf "compiled %d fused kernels for %s\n"
     (List.length (Tvm_runtime.Rt_module.kernels result.Tvm.Compiler.module_))
     (Tvm.Target.name target);

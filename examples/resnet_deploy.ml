@@ -21,10 +21,8 @@ let () =
     (Tvm_graph.Graph_ir.op_count graph);
 
   (* Compile for the GPU target with a short tuning run per kernel. *)
-  let options =
-    { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = 32 }
-  in
-  let _result, exec = Tvm.Compiler.build_executor ~options graph (Tvm.Target.cuda ()) in
+  let spec = Tvm_spec.Job_spec.make ~trials:32 () in
+  let _result, exec = Tvm.Compiler.build_executor ~spec graph (Tvm.Target.cuda ()) in
 
   (* Functional run: reference kernels vs the compiled loop programs. *)
   Exec.set_params exec (Models.random_params graph);
@@ -52,7 +50,7 @@ let () =
 
   (* Same model compiled for the embedded CPU. *)
   let _result2, exec2 =
-    Tvm.Compiler.build_executor ~options graph (Tvm.Target.arm_cpu ())
+    Tvm.Compiler.build_executor ~spec graph (Tvm.Target.arm_cpu ())
   in
   Printf.printf "\nestimated latency (ARM A53): TVM %.3f ms vs TFLite %.3f ms\n"
     (1e3 *. Exec.estimated_time_s exec2)

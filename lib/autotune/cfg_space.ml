@@ -85,6 +85,23 @@ let to_string (config : config) =
   String.concat ","
     (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) config)
 
+(** Inverse of {!to_string} — the persistent store's wire format for
+    configurations. Raises [Invalid_argument] on malformed input. *)
+let of_string (s : string) : config =
+  if s = "" then []
+  else
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i -> (
+            let name = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match int_of_string_opt v with
+            | Some n when name <> "" -> (name, n)
+            | _ -> invalid_arg ("Cfg_space.of_string: bad binding " ^ kv))
+        | None -> invalid_arg ("Cfg_space.of_string: bad binding " ^ kv))
+      (String.split_on_char ',' s)
+
 (** Canonical representative of a configuration: knobs sorted by name.
     Configs are assoc lists whose order is arbitrary; canonicalizing
     gives one structural value per configuration, so tables keyed by it

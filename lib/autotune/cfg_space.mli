@@ -44,6 +44,11 @@ val crossover : Random.State.t -> config -> config -> config
 
 val to_string : config -> string
 
+(** Inverse of {!to_string} ("name=val,name=val"; empty string → empty
+    config) — the persistent store's wire format. Raises
+    [Invalid_argument] on malformed input. *)
+val of_string : string -> config
+
 (** Canonical representative (knobs sorted by name): the structural key
     for every table over configurations — exact equality, no collision
     class. *)

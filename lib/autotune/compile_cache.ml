@@ -118,6 +118,10 @@ let find_or_compile t cfg ~compile =
          stmt the cache would not reproduce. *)
       Hashtbl.find t.table k
 
+(** Entries in insertion order — the persistence walk. *)
+let iter_entries t f =
+  Queue.iter (fun k -> f k (Hashtbl.find t.table k)) t.order
+
 let find_validation t cfg =
   Hashtbl.find_opt t.validated (Cfg_space.canonical cfg)
 

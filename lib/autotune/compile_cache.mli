@@ -87,6 +87,10 @@ val add_validation :
     [src]'s insertion order. *)
 val merge : into:t -> t -> unit
 
+(** Every entry in insertion order — the persistent store's walk
+    (programs are not serialized; features and verdicts are). *)
+val iter_entries : t -> (key -> entry -> unit) -> unit
+
 val size : t -> int
 val stmts_held : t -> int
 

@@ -37,6 +37,16 @@ let status_name = function
   | Invalid_config -> "invalid_config"
   | Pool_error _ -> "pool_error"
 
+(** Inverse of {!status_name}; [msg] fills the [Pool_error] payload.
+    Raises [Invalid_argument] on an unknown name. *)
+let status_of_name ?(msg = "") = function
+  | "ok" -> Ok
+  | "timeout" -> Timeout
+  | "crash" -> Crash
+  | "invalid_config" -> Invalid_config
+  | "pool_error" -> Pool_error msg
+  | s -> invalid_arg ("Measure_result.status_of_name: " ^ s)
+
 let to_string r =
   match r.status with
   | Ok ->

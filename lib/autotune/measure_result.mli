@@ -36,4 +36,8 @@ val time : t -> float option
     "invalid_config", "pool_error") — used as metric and Db keys. *)
 val status_name : status -> string
 
+(** Inverse of {!status_name}; [msg] fills the [Pool_error] payload.
+    Raises [Invalid_argument] on an unknown name. *)
+val status_of_name : ?msg:string -> string -> status
+
 val to_string : t -> string

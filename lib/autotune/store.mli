@@ -1,0 +1,89 @@
+(** Durable on-disk store for tuning state — what makes [tvmd]'s warm
+    restarts real. Three kinds of state round-trip through one
+    append-only block format:
+
+    - [db] blocks: {!Tuner.Db} trial records, so an interrupted tuning
+      run resumes from its measurement log ([spec.replay]);
+    - [tuned] blocks: the compiler's tuned-configuration cache
+      ({!Compiler.tuned_entries}), so repeat compiles skip tuning
+      wholesale;
+    - [cache] blocks: {!Compile_cache} feature entries (programs are
+      never serialized — they re-lower on demand; features are the
+      expensive part of prediction).
+
+    {2 Format}
+
+    A store file is a sequence of self-describing blocks:
+
+    {v
+    #tvmstore v1 kind=<kind> records=<n> checksum=<16-hex FNV-1a 64>
+    <record line 1>
+    ...
+    <record line n>
+    v}
+
+    The checksum covers the record lines joined by ['\n']. Floats are
+    serialized as ["%h"] hex literals, so every round trip is
+    bit-exact and the determinism contracts (byte-identical journals
+    at any [-j]) survive a restart.
+
+    {2 Corruption policy}
+
+    Loads never raise on bad data: a block with an unknown version, a
+    short record count, a checksum mismatch, or an unparseable record
+    is skipped whole, with a [stderr] warning and a
+    [cache.load_rejected] metric increment. A truncated tail (the
+    process died mid-flush) therefore costs exactly the unflushed
+    block. Missing files load as empty. *)
+
+type block = { b_kind : string; b_records : string list }
+
+(** FNV-1a 64-bit hash of a string, as the 16-hex-digit checksum the
+    block headers carry. *)
+val checksum : string -> string
+
+(** Append one block ([kind] must have no spaces; records no
+    newlines). Creates the file if needed; flushes before returning. *)
+val append_block : string -> kind:string -> string list -> unit
+
+(** Every valid block in file order; invalid blocks are skipped with a
+    warning and a [cache.load_rejected] metric bump. Missing file →
+    []. *)
+val load_blocks : string -> block list
+
+(** {2 Trial logs (kind ["db"])} *)
+
+(** Append [Db] records with index >= [from] (a previous flush's
+    return) as one block; returns the new high-water mark. No block is
+    written when nothing is new. *)
+val flush_db : string -> from:int -> Tuner.Db.t -> int
+
+(** Replay every valid [db] block into [into]; returns the number of
+    records loaded. *)
+val load_db : string -> into:Tuner.Db.t -> int
+
+(** {2 Tuned-configuration cache (kind ["tuned"])} *)
+
+(** Append tuned-cache entries (see {!Compiler.tuned_entries}) as one
+    block. Tuned entries sort by signature, not arrival, so the caller
+    tracks which signatures are already on disk and passes only the
+    delta; duplicate entries are harmless (first-wins on load). No
+    block is written for an empty delta. *)
+val append_tuned : string -> (string * Cfg_space.config * float) list -> unit
+
+(** All tuned entries from every valid [tuned] block, file order. *)
+val load_tuned : string -> (string * Cfg_space.config * float) list
+
+(** {2 Compile caches (kind ["cache"])} *)
+
+(** Serialize a cache's entries (features and invalid verdicts;
+    programs are dropped) as one block tagged with [scope], skipping
+    the first [from] entries (a previous save's return — entries are
+    insertion-ordered, so this is the incremental-flush protocol).
+    Returns the cache's current entry count. No block is written when
+    nothing is new. *)
+val save_cache : string -> scope:string -> ?from:int -> Compile_cache.t -> int
+
+(** Merge every valid [cache] block whose tag is [scope] into [into];
+    returns entries added. *)
+val load_cache : string -> scope:string -> into:Compile_cache.t -> int

@@ -48,6 +48,12 @@ let method_to_string = function
   | Random_search -> "random"
   | Genetic_algorithm -> "genetic"
 
+let method_of_name = function
+  | "ml" | "ml-based" -> Ml_model
+  | "random" -> Random_search
+  | "genetic" | "ga" -> Genetic_algorithm
+  | s -> invalid_arg ("tuner: unknown method " ^ s ^ " (ml|random|genetic)")
+
 type trial = {
   trial_index : int;
   config : Cfg_space.config;
@@ -91,6 +97,9 @@ module Db = struct
   type t = {
     mutable records : record list;  (** complete log, newest first *)
     best_by_key : (string, record) Hashtbl.t;
+    by_cfg : (string * Cfg_space.config, Measure_result.t) Hashtbl.t;
+        (** (key, canonical config) → first recorded result — the
+            replay index *)
     mutable n_records : int;
     status_tally : (string, int) Hashtbl.t;  (** status name → count *)
     lock : Mutex.t;
@@ -100,6 +109,7 @@ module Db = struct
     {
       records = [];
       best_by_key = Hashtbl.create 64;
+      by_cfg = Hashtbl.create 256;
       n_records = 0;
       status_tally = Hashtbl.create 8;
       lock = Mutex.create ();
@@ -114,6 +124,10 @@ module Db = struct
     let r = { db_key = key; db_config = config; db_result = result } in
     t.records <- r :: t.records;
     t.n_records <- t.n_records + 1;
+    let ck = (key, Cfg_space.canonical config) in
+    (* First record wins: a deterministic re-run measures the same
+       configuration to the same result, so replay wants the original. *)
+    if not (Hashtbl.mem t.by_cfg ck) then Hashtbl.add t.by_cfg ck result;
     let sname = Measure_result.status_name result.Measure_result.status in
     Hashtbl.replace t.status_tally sname
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.status_tally sname));
@@ -129,7 +143,15 @@ module Db = struct
   (** Best successful record for [key], O(1). *)
   let best t key = locked t @@ fun () -> Hashtbl.find_opt t.best_by_key key
 
+  (** First result recorded for (key, config), O(1) — replay resume. *)
+  let find t key cfg =
+    locked t @@ fun () ->
+    Hashtbl.find_opt t.by_cfg (key, Cfg_space.canonical cfg)
+
   let size t = locked t @@ fun () -> t.n_records
+
+  (** Complete log, oldest first — the persistence order. *)
+  let records t = locked t @@ fun () -> List.rev t.records
 
   (** Count of records with the given status name (see
       [Measure_result.status_name]). *)
@@ -144,36 +166,6 @@ module Db = struct
     |> List.sort compare
 end
 
-(** Knobs of the tuning loop, consolidated so adding one stops
-    rippling through every call site. Override what you need:
-    [{ Options.default with seed = 7 }]. *)
-module Options = struct
-  type t = {
-    seed : int;
-    batch : int;  (** configurations measured per model update *)
-    sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
-    n_chains : int;  (** parallel annealing chains *)
-    jobs : int;
-        (** host domains for exploration, feature extraction, model
-            training and batch measurement; never changes results *)
-    db : Db.t option;  (** shared measurement log, if any *)
-    cache : Compile_cache.t option;
-        (** shared compile cache (e.g. the compiler's per-workload
-            scope), so repeated searches over one workload skip
-            lowering/featurization; [None] = a private cache per [tune]
-            call. Never changes results. *)
-    use_compile_cache : bool;
-        (** [false] restricts the (private) cache to features only —
-            every measured program is re-lowered, the pre-cache
-            behavior. Results are bit-identical either way. *)
-  }
-
-  let default =
-    { seed = 42; batch = 16; sa_steps = 60; n_chains = 16;
-      jobs = Domain.recommended_domain_count (); db = None; cache = None;
-      use_compile_cache = true }
-end
-
 let now_s () = Int64.to_float (Obs_trace.now_ns ()) /. 1e9
 
 (** Accumulate wall-clock spent in a tuning phase into a
@@ -185,8 +177,9 @@ let timed_phase name f =
     ~finally:(fun () -> Obs_metrics.incr ~by:(now_s () -. t0) ("tune.phase." ^ name ^ "_s"))
     f
 
-let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
-    ~(measure : measure_fn) ~(n_trials : int) (template : template) : result =
+let tune ?(spec = Tvm_spec.Job_spec.default) ?db ?cache ?measure_batch
+    ~(method_ : method_) ~(measure : measure_fn) ~(n_trials : int)
+    (template : template) : result =
   Obs_trace.with_span "tune"
     ~attrs:
       [
@@ -195,15 +188,26 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
         ("trials", string_of_int n_trials);
       ]
   @@ fun () ->
-  let { Options.seed; batch; sa_steps; n_chains; jobs; db; cache;
-        use_compile_cache } =
-    options
+  let { Tvm_spec.Job_spec.seed; batch; sa_steps; n_chains; jobs;
+        use_compile_cache; replay; _ } =
+    spec
   in
   Journal.run ~name:template.tpl_name ~method_:(method_to_string method_)
     ~trials:n_trials;
   let par = Tvm_par.Pool.create ~domains:jobs () in
   let rng = Random.State.make [| seed; Hashtbl.hash template.tpl_name |] in
   let visited : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Configurations this run has compiled (or deliberately touched) so
+     far, by canonical key. The journal's prepare verdict is membership
+     here — run-local by construction, so a cache preloaded from the
+     persistent store (or shared with an earlier search) cannot flip a
+     cold run's "miss" into "hit" and break warm/cold journal
+     byte-identity. Mirrors exactly the points where the memo gains
+     entries during this run: the seek phase, the post-prepare merge,
+     and the SA chains (each chain notes every configuration it
+     queried, merged back in chain order). *)
+  let known : (Cfg_space.config, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_known cfg = Hashtbl.replace known (Cfg_space.canonical cfg) () in
   let xs = ref [] and ys = ref [] in
   let history = ref [] in
   let best_time = ref Float.max_float in
@@ -229,7 +233,7 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
   (* Record one measured configuration: training set, incumbent, db,
      history, metrics. Sequential bookkeeping — always called on the
      coordinator, in batch order. *)
-  let record_trial uid cfg (feats : float array option)
+  let record_trial ~replayed uid cfg (feats : float array option)
       (result : Measure_result.t) =
     (match (feats, result.Measure_result.time_s) with
     | Some f, Some time ->
@@ -244,8 +248,9 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
     | _ -> ());
     incr trial_index;
     (match db with
-    | Some db -> Db.add db template.tpl_name cfg result
-    | None -> ());
+    | Some db when not replayed -> Db.add db template.tpl_name cfg result
+    | _ -> ());
+    if replayed then Obs_metrics.incr "tuner.replayed";
     history :=
       { trial_index = !trial_index; config = cfg; result;
         best_so_far = !best_time }
@@ -303,15 +308,35 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
       taken;
     let tagged = Array.of_list taken in
     let uids = Array.map (fun _ -> Journal.fresh_uid ()) tagged in
-    (* The journal's cache verdict is feature-level (was the config
-       known before this batch?): the stmt-level hit kind differs
-       between cache on/off modes, the feature-level one does not. *)
+    (* The journal's cache verdict is feature-level and run-local (had
+       THIS run compiled the config before this batch?): the stmt-level
+       hit kind differs between cache on/off modes and a preloaded
+       cache would differ from a cold one, the run-local feature-level
+       verdict does not. *)
     let cache_state =
       Array.map
         (fun (cfg, _) ->
-          match Compile_cache.find ~record:false memo cfg with
-          | Some _ -> "hit"
-          | None -> "miss")
+          if Hashtbl.mem known (Cfg_space.canonical cfg) then "hit" else "miss")
+        tagged
+    in
+    (* Replay resume: a configuration already measured in a persisted
+       [db] (with its features preloaded in the cache) skips both
+       instantiation and the pool dispatch, reusing the recorded
+       result. Feats must come from the cache so the cost model trains
+       on the same trajectory; without them we fall through to a live
+       measurement. *)
+    let replay_hit =
+      Array.map
+        (fun (cfg, _) ->
+          if not replay then None
+          else
+            Option.bind db (fun db ->
+                match Db.find db template.tpl_name cfg with
+                | None -> None
+                | Some r -> (
+                    match Compile_cache.find ~record:false memo cfg with
+                    | Some (Compile_cache.Valid { feats; _ }) -> Some (r, feats)
+                    | Some Compile_cache.Invalid | None -> None)))
         tagged
     in
     if Journal.enabled () || Obs_trace.enabled () then
@@ -325,40 +350,53 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
     let prepared =
       timed_phase "prepare" @@ fun () ->
       Tvm_par.Pool.parallel_map par
-        (fun cfg ->
-          match Compile_cache.find memo cfg with
-          | Some Compile_cache.Invalid -> (cfg, None, None)  (* skip *)
-          | Some (Compile_cache.Valid { feats; stmt = Some s }) ->
-              (* full hit: the propose phase (or an earlier search over
-                 this workload) already lowered this program *)
-              (cfg, Some s, Some feats)
-          | Some (Compile_cache.Valid { feats; stmt = None }) ->
-              (* features cached, program evicted or never retained;
-                 measurement still needs the program *)
-              let stmt = try Some (template.tpl_instantiate cfg) with _ -> None in
-              (cfg, stmt, Some feats)
+        (fun i ->
+          let cfg = fst tagged.(i) in
+          match replay_hit.(i) with
+          | Some (_, feats) -> (cfg, None, Some feats)
           | None -> (
-              match (try Some (template.tpl_instantiate cfg) with _ -> None) with
-              | Some s -> (cfg, Some s, Some (Feature.extract s))
-              | None -> (cfg, None, None)))
-        (Array.map fst tagged)
+              match Compile_cache.find memo cfg with
+              | Some Compile_cache.Invalid -> (cfg, None, None)  (* skip *)
+              | Some (Compile_cache.Valid { feats; stmt = Some s }) ->
+                  (* full hit: the propose phase (or an earlier search
+                     over this workload) already lowered this program *)
+                  (cfg, Some s, Some feats)
+              | Some (Compile_cache.Valid { feats; stmt = None }) ->
+                  (* features cached, program evicted or never retained;
+                     measurement still needs the program *)
+                  let stmt =
+                    try Some (template.tpl_instantiate cfg) with _ -> None
+                  in
+                  (cfg, stmt, Some feats)
+              | None -> (
+                  match
+                    (try Some (template.tpl_instantiate cfg) with _ -> None)
+                  with
+                  | Some s -> (cfg, Some s, Some (Feature.extract s))
+                  | None -> (cfg, None, None))))
+        (Array.init (Array.length tagged) Fun.id)
     in
     (* Merge fresh compilations into the shared memo, in input order
-       (all cache writes happen here on the coordinator). *)
-    Array.iter
-      (fun (cfg, stmt, feats) ->
-        match (stmt, feats) with
-        | Some s, Some f ->
-            Compile_cache.add memo cfg
-              (Compile_cache.Valid { feats = f; stmt = Some s })
-        | None, _ -> Compile_cache.add memo cfg Compile_cache.Invalid
-        | Some _, None -> ())
+       (all cache writes happen here on the coordinator). Replay hits
+       are already present in the preloaded memo. *)
+    Array.iteri
+      (fun i (cfg, stmt, feats) ->
+        if replay_hit.(i) = None then
+          match (stmt, feats) with
+          | Some s, Some f ->
+              Compile_cache.add memo cfg
+                (Compile_cache.Valid { feats = f; stmt = Some s })
+          | None, _ -> Compile_cache.add memo cfg Compile_cache.Invalid
+          | Some _, None -> ())
       prepared;
+    Array.iter (fun (cfg, _, _) -> note_known cfg) prepared;
     Array.iteri
       (fun i (_, _, feats) ->
         Journal.prepare ~uid:uids.(i) ~cache:cache_state.(i)
           ~valid:(feats <> None))
       prepared;
+    (* A job is dispatched to the pool iff it has a program: invalid
+       configurations and replay hits never leave the coordinator. *)
     let results =
       timed_phase "measure" @@ fun () ->
       Fun.protect ~finally:Journal.clear_job_tags @@ fun () ->
@@ -393,34 +431,42 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                   jobs
           in
           let next = ref 0 in
-          Array.map
-            (fun (_, stmt, _) ->
-              match stmt with
-              | None -> Measure_result.invalid_config
-              | Some _ ->
-                  let r = measured.(!next) in
-                  incr next;
-                  r)
+          Array.mapi
+            (fun i (_, stmt, _) ->
+              match replay_hit.(i) with
+              | Some (r, _) -> r
+              | None -> (
+                  match stmt with
+                  | None -> Measure_result.invalid_config
+                  | Some _ ->
+                      let r = measured.(!next) in
+                      incr next;
+                      r))
             prepared)
       | None ->
           Array.mapi
             (fun i (cfg, stmt, _) ->
-              match stmt with
-              | None -> Measure_result.invalid_config
-              | Some s -> (
-                  Journal.set_job_tags [| uids.(i) |];
-                  try measure cfg s
-                  with e ->
-                    (* Pool exhaustion and other infrastructure
-                       failures become trials with a pool_error
-                       category; the loop keeps going on whatever
-                       budget remains. *)
-                    Measure_result.fail
-                      (Measure_result.Pool_error (Printexc.to_string e))))
+              match replay_hit.(i) with
+              | Some (r, _) -> r
+              | None -> (
+                  match stmt with
+                  | None -> Measure_result.invalid_config
+                  | Some s -> (
+                      Journal.set_job_tags [| uids.(i) |];
+                      try measure cfg s
+                      with e ->
+                        (* Pool exhaustion and other infrastructure
+                           failures become trials with a pool_error
+                           category; the loop keeps going on whatever
+                           budget remains. *)
+                        Measure_result.fail
+                          (Measure_result.Pool_error (Printexc.to_string e)))))
             prepared
     in
     Array.iteri
-      (fun i (cfg, _, feats) -> record_trial uids.(i) cfg feats results.(i))
+      (fun i (cfg, _, feats) ->
+        record_trial ~replayed:(replay_hit.(i) <> None) uids.(i) cfg feats
+          results.(i))
       prepared;
     List.mapi
       (fun i _ -> if i < take then Some results.(i) else None)
@@ -436,7 +482,9 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
    let rec seek i =
      if i < seed_attempts && !trial_index = 0 then begin
        let cfg = Cfg_space.random_config template.tpl_space rng in
-       (match Compile_cache.find_or_compile memo cfg ~compile with
+       let entry = Compile_cache.find_or_compile memo cfg ~compile in
+       note_known cfg;
+       (match entry with
        | Compile_cache.Valid _ -> ignore (measure_config cfg)
        | Compile_cache.Invalid -> ());
        seek (i + 1)
@@ -491,9 +539,20 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
               let locals =
                 Array.init n_chains (fun _ -> Compile_cache.create_local memo)
               in
+              (* Every configuration a chain queries, canonical-keyed.
+                 Merged into [known] after the walk so the journal's
+                 run-local verdict does not depend on whether a query
+                 hit the (possibly preloaded) shared tier or compiled
+                 into the chain-local cache. One table per chain, only
+                 ever written by that chain's domain. *)
+              let touched =
+                Array.init n_chains (fun _ -> Hashtbl.create 64)
+              in
               let predict_for_chain ci =
                 let local = locals.(ci) in
+                let seen = touched.(ci) in
                 fun cfg ->
+                  Hashtbl.replace seen (Cfg_space.canonical cfg) ();
                   (* Two-tier lookup: the shared memo first (read-only
                      here, [record:false] so each logical query counts
                      once), then the chain-local cache, compiling on a
@@ -522,6 +581,9 @@ let tune ?(options = Options.default) ?measure_batch ~(method_ : method_)
                        (c, origin ~chain ~score "sa"))
               in
               Array.iter (fun l -> Compile_cache.merge ~into:memo l) locals;
+              Array.iter
+                (fun seen -> Hashtbl.iter (fun k () -> Hashtbl.replace known k ()) seen)
+                touched;
               let filler =
                 Explorers.random_batch template.tpl_space rng ~visited
                   ~batch:(batch_now - List.length proposed)

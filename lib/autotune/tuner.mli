@@ -18,6 +18,11 @@ type method_ = Ml_model | Random_search | Genetic_algorithm
 
 val method_to_string : method_ -> string
 
+(** [Job_spec.method_name] → method: accepts ["ml"]/["ml-based"],
+    ["random"], ["genetic"]/["ga"]; raises [Invalid_argument]
+    otherwise. *)
+val method_of_name : string -> method_
+
 type trial = {
   trial_index : int;  (** 1-based position in measurement order *)
   config : Cfg_space.config;
@@ -44,9 +49,10 @@ type batch_measure_fn =
 (** A database of measurement records (§5.4's log), shared across
     tuning jobs so related workloads benefit from history. Keeps the
     complete record log, an O(1) best-per-key index over successful
-    trials, and a per-status tally of failure categories. Domain-safe:
-    every operation takes the database's mutex, so concurrent [add]s
-    from different domains stay consistent. *)
+    trials, an O(1) first-measurement-per-configuration index (the
+    replay resume path), and a per-status tally of failure categories.
+    Domain-safe: every operation takes the database's mutex, so
+    concurrent [add]s from different domains stay consistent. *)
 module Db : sig
   type record = {
     db_key : string;
@@ -62,7 +68,16 @@ module Db : sig
   (** Best successful record for a key, O(1). *)
   val best : t -> string -> record option
 
+  (** First result ever recorded for (key, configuration) — the record
+      a replaying tune run reuses instead of re-dispatching the
+      measurement. Keyed on {!Cfg_space.canonical}, O(1). *)
+  val find : t -> string -> Cfg_space.config -> Measure_result.t option
+
   val size : t -> int
+
+  (** The complete log in chronological (oldest-first) order — what the
+      persistent store serializes. *)
+  val records : t -> record list
 
   (** Count of records with the given status name (see
       [Measure_result.status_name]). *)
@@ -72,45 +87,34 @@ module Db : sig
   val status_counts : t -> (string * int) list
 end
 
-(** Knobs of the tuning loop, consolidated so adding one stops
-    rippling through every call site. Override what you need:
-    [{ Options.default with seed = 7 }]. *)
-module Options : sig
-  type t = {
-    seed : int;
-    batch : int;  (** configurations measured per model update *)
-    sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
-    n_chains : int;  (** parallel annealing chains *)
-    jobs : int;
-        (** host domains used for candidate lowering + feature
-            extraction, the SA chains, GBT training and batch
-            measurement. Defaults to
-            [Domain.recommended_domain_count ()]. Never changes
-            results: every parallel section merges in a fixed input
-            order, so the tuning log is bit-identical at any value. *)
-    db : Db.t option;  (** shared measurement log, if any *)
-    cache : Compile_cache.t option;
-        (** shared compile cache (e.g. the compiler's per-workload
-            scope), so repeated searches over one workload skip
-            lowering/featurization; [None] = a private cache per [tune]
-            call. Never changes results. *)
-    use_compile_cache : bool;
-        (** [false] restricts the (private) cache to features only —
-            every measured program is re-lowered, the pre-cache
-            behavior. Results are bit-identical either way. *)
-  }
-
-  val default : t
-end
-
 (** Run the optimization loop for [n_trials] measurements (failed
     trials consume budget too). When [measure_batch] is given it is
     preferred over [measure]: each batch of valid candidates is handed
     to it whole, so the device pool can overlap jobs on free devices.
+
+    [spec] supplies the loop knobs — [seed], [batch], [sa_steps],
+    [n_chains], [jobs], [use_compile_cache], [replay]; [method_] and
+    [n_trials] stay explicit because callers split budgets and sweep
+    methods independently of one spec ([Job_spec.trials] and
+    [Job_spec.method_name] are for those callers to interpret).
+
+    [db] is the shared measurement log; [cache] a shared compile cache
+    (e.g. the compiler's per-workload scope) — [None] = a private cache
+    per [tune] call; neither changes results.
+
+    With [spec.replay] set, configurations whose measurement is already
+    recorded in [db] (for this template, with cached features) reuse
+    the recorded result instead of dispatching to the device pool — the
+    warm-restart resume path. On a clean fleet the trial history is
+    byte-identical to an uninterrupted run; replayed trials skip the
+    duplicate [Db.add] and count the [tuner.replayed] metric.
+
     Raises [Invalid_argument] if no configuration ever measured
     successfully. *)
 val tune :
-  ?options:Options.t ->
+  ?spec:Tvm_spec.Job_spec.t ->
+  ?db:Db.t ->
+  ?cache:Compile_cache.t ->
   ?measure_batch:batch_measure_fn ->
   method_:method_ ->
   measure:measure_fn ->

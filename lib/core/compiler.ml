@@ -21,38 +21,12 @@ module Pool = Tvm_rpc.Device_pool
 module Rt_module = Tvm_runtime.Rt_module
 module Trace = Tvm_obs.Trace
 module Metrics = Tvm_obs.Metrics
+module Job_spec = Tvm_spec.Job_spec
 
 let () = Tvm_graph.Std_ops.register_all ()
 
-type options = {
-  enable_fusion : bool;
-  tune_trials : int;  (** 0 = pick a default configuration heuristically *)
-  tuner_method : Tuner.method_;
-  seed : int;
-  verbose : bool;
-  validate : bool;
-      (** fail the build if {!Tvm_tir.Validate} proves a lowered kernel
-          wrong (the check always runs and feeds metrics; this flag
-          controls whether errors are fatal) *)
-  jobs : int;
-      (** host domains for the tuner's exploration/training/measurement
-          phases; never changes which configurations are chosen *)
-  compile_cache : bool;
-      (** share a {!Tvm_autotune.Compile_cache} per workload scope
-          (signature + fusion mode) across the tuner's half-budget runs,
-          final lowering and validation, so re-proposed and repeated
-          configurations skip lowering/featurization. Never changes
-          results — [false] restores the re-lower-everything behavior
-          for A/B comparison. *)
-}
-
-let default_options =
-  { enable_fusion = true; tune_trials = 64; tuner_method = Tuner.Ml_model;
-    seed = 42; verbose = false; validate = false;
-    jobs = Domain.recommended_domain_count (); compile_cache = true }
-
 exception Validation_failed of string * Tvm_tir.Validate.violation list
-(** Raised by {!build} when [options.validate] is set and the named
+(** Raised by {!build} when [spec.validate] is set and the named
     kernel's lowered program has provable defects. *)
 
 (** Tuning cache: workload signature → (best config, best noise-free time). *)
@@ -61,6 +35,21 @@ let tuned_cache : (string, Cfg_space.config * float) Hashtbl.t = Hashtbl.create 
 let clear_cache () =
   Hashtbl.reset tuned_cache;
   Compile_cache.clear_scopes ()
+
+(** Tuned-cache contents, sorted by signature — what the persistent
+    store serializes so a warm restart skips repeat tuning. *)
+let tuned_entries () =
+  Hashtbl.fold (fun sig_ (cfg, t) acc -> (sig_, cfg, t) :: acc) tuned_cache []
+  |> List.sort compare
+
+(** Preload the tuned cache (a store load on daemon startup). Existing
+    in-process entries win: they were tuned live by this process. *)
+let restore_tuned entries =
+  List.iter
+    (fun (sig_, cfg, t) ->
+      if not (Hashtbl.mem tuned_cache sig_) then
+        Hashtbl.add tuned_cache sig_ (cfg, t))
+    entries
 
 let workload_signature (graph : G.t) (g : Fusion.group) target =
   let anchor = G.node graph g.Fusion.g_anchor in
@@ -117,18 +106,21 @@ type build_result = {
 }
 
 (** Compile [graph] for [target]: the paper's
-    [graph, lib, params = t.compiler.build (graph, target, params)]. *)
-let build ?(options = default_options) (graph : G.t) (target : Target.t) :
+    [graph, lib, params = t.compiler.build (graph, target, params)].
+    [spec] supplies every knob ({!Job_spec.t}); [db] is a shared
+    measurement log the tuning runs record into (and, with
+    [spec.replay], resume from). *)
+let build ?(spec = Job_spec.default) ?db (graph : G.t) (target : Target.t) :
     build_result =
   Trace.with_span "compile" ~attrs:[ ("target", Target.name target) ] @@ fun () ->
   let groups =
     Trace.with_span "phase.fusion" (fun () ->
-        if options.enable_fusion then Fusion.fuse graph else Fusion.no_fusion graph)
+        if spec.Job_spec.fusion then Fusion.fuse graph else Fusion.no_fusion graph)
   in
   Metrics.set_gauge "fusion.groups" (Float.of_int (List.length groups));
   Metrics.incr "compiler.builds";
-  let pool = Pool.create [ Target.device_kind target ] in
-  let par = Tvm_par.Pool.create ~domains:options.jobs () in
+  let pool = Pool.of_spec ~kind:(Target.device_kind target) spec in
+  let par = Tvm_par.Pool.create ~domains:spec.Job_spec.jobs () in
   let kind_pred (_ : Pool.device_kind) = true in
   let trials_run = ref 0 in
   let kernels =
@@ -151,11 +143,11 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
            all share the cache (repeated signatures already skip tuning
            wholesale via [tuned_cache]). *)
         let ccache =
-          if options.compile_cache then
+          if spec.Job_spec.use_compile_cache then
             Some
               (Compile_cache.for_scope
                  (Printf.sprintf "%s|fusion=%b#%d" signature
-                    options.enable_fusion
+                    spec.Job_spec.fusion
                     (Tensor.buffer out_tensor).Tvm_tir.Expr.bid))
           else None
         in
@@ -167,32 +159,29 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
           | None ->
               Trace.with_span "phase.tuning" @@ fun () ->
               let result =
-                if options.tune_trials > 0 then begin
+                if spec.Job_spec.trials > 0 then begin
                   let measure = Pool.measure_fn pool ~kind_pred in
                   let measure_batch =
                     Pool.batch_measure_fn ~par pool ~kind_pred
                   in
                   (* Two independent half-budget searches, keep the
                      better: guards against a seed-stranded run. *)
-                  let half = max 8 (options.tune_trials / 2) in
+                  let half = max 8 (spec.Job_spec.trials / 2) in
                   let run seed =
                     Tuner.tune
-                      ~options:
-                        { Tuner.Options.default with
-                          Tuner.Options.seed; jobs = options.jobs;
-                          cache = ccache;
-                          use_compile_cache = options.compile_cache }
-                      ~measure_batch ~method_:options.tuner_method ~measure
-                      ~n_trials:half tpl
+                      ~spec:{ spec with Job_spec.seed }
+                      ?db ?cache:ccache ~measure_batch
+                      ~method_:(Tuner.method_of_name spec.Job_spec.method_name)
+                      ~measure ~n_trials:half tpl
                   in
-                  let r1 = run options.seed in
-                  let r2 = run (options.seed + 1000) in
+                  let r1 = run spec.Job_spec.seed in
+                  let r2 = run (spec.Job_spec.seed + 1000) in
                   trials_run := !trials_run + (2 * half);
                   let best = if r1.Tuner.best_time <= r2.Tuner.best_time then r1 else r2 in
                   (best.Tuner.best_config, best.Tuner.best_time)
                 end
                 else
-                  match default_config ~seed:options.seed target tpl with
+                  match default_config ~seed:spec.Job_spec.seed target tpl with
                   | Some (cfg, _, t) -> (cfg, t)
                   | None ->
                       invalid_arg
@@ -244,13 +233,13 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
           Metrics.incr "validate.errors" ~by:(Float.of_int (List.length errs));
           Metrics.incr "validate.warnings"
             ~by:(Float.of_int (List.length (Tvm_tir.Validate.warnings violations)));
-          if options.verbose then
+          if spec.Job_spec.verbose then
             List.iter
               (fun v ->
                 Printf.printf "[tvm] validate %s: %s\n%!" signature
                   (Tvm_tir.Validate.to_string v))
               violations;
-          if options.validate && errs <> [] then
+          if spec.Job_spec.validate && errs <> [] then
             raise (Validation_failed (signature, errs));
           errs = []
         in
@@ -270,7 +259,7 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
           Tvm_obs.Journal.measure ~uid ~status:"ok" ~time_s:(Some time_s)
             ~attempts:0
         end;
-        if options.verbose then
+        if spec.Job_spec.verbose then
           Printf.printf "[tvm] %-60s %.3f ms\n%!" signature (1e3 *. time_s);
         {
           Rt_module.k_name = signature;
@@ -293,8 +282,8 @@ let build ?(options = default_options) (graph : G.t) (target : Target.t) :
   }
 
 (** Build + wrap in a graph executor ([runtime.create] of §2). *)
-let build_executor ?options graph target =
-  let result = build ?options graph target in
+let build_executor ?spec ?db graph target =
+  let result = build ?spec ?db graph target in
   let exec =
     Tvm_runtime.Graph_executor.create ~graph:result.graph ~groups:result.groups
       ~module_:result.module_ ()

@@ -96,16 +96,14 @@ let ablation_explorer ?(n_trials = 240) () =
   let measure = Pool.measure_fn pool ~kind_pred:(fun _ -> true) in
   let sa =
     Tuner.tune
-      ~options:{ Tuner.Options.default with Tuner.Options.seed = 5 }
+      ~spec:(Tvm_spec.Job_spec.make ~seed:5 ())
       ~method_:Tuner.Ml_model ~measure ~n_trials tpl
   in
   (* Greedy: rank a large random pool with the model, measure top-k.
      Approximated here by SA with zero walk steps. *)
   let greedy =
     Tuner.tune
-      ~options:
-        { Tuner.Options.default with Tuner.Options.seed = 5; sa_steps = 1;
-          n_chains = 64 }
+      ~spec:(Tvm_spec.Job_spec.make ~seed:5 ~sa_steps:1 ~n_chains:64 ())
       ~method_:Tuner.Ml_model ~measure ~n_trials tpl
   in
   Printf.printf "SA explorer best:      %.3f ms\n" (ms sa.Tuner.best_time);

@@ -36,11 +36,8 @@ let networks () =
   ]
 
 let tvm_time ?(fusion = true) ~target ~trials:n graph =
-  let options =
-    { Tvm.Compiler.default_options with
-      Tvm.Compiler.tune_trials = n; enable_fusion = fusion }
-  in
-  let _, exec = Tvm.Compiler.build_executor ~options graph target in
+  let spec = Tvm_spec.Job_spec.make ~trials:n ~fusion () in
+  let _, exec = Tvm.Compiler.build_executor ~spec graph target in
   Exec.estimated_time_s exec
 
 (* ------------------------------------------------------------------ *)
@@ -123,7 +120,7 @@ let winograd_template (w : Workloads.conv) =
 let robust_tune ?(method_ = Tuner.Ml_model) ~measure ~trials tpl =
   let run seed =
     Tuner.tune
-      ~options:{ Tuner.Options.default with Tuner.Options.seed }
+      ~spec:(Tvm_spec.Job_spec.make ~seed ())
       ~method_ ~measure ~n_trials:trials tpl
   in
   let r1 = run 42 in
@@ -315,10 +312,8 @@ let fig18_tensorize_ablation () =
 
 let tvm_time_mali ~dtype ~trials:n graph =
   let target = Tvm.Target.mali () in
-  let options =
-    { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = n }
-  in
-  let result = Tvm.Compiler.build ~options graph target in
+  let spec = Tvm_spec.Job_spec.make ~trials:n () in
+  let result = Tvm.Compiler.build ~spec graph target in
   List.fold_left
     (fun acc (k : Rt.kernel) ->
       acc +. Gpu_model.time_s ~force_dtype:dtype mali k.Rt.k_stmt +. 10e-6)
@@ -356,14 +351,11 @@ let fig21 () =
   banner "Figure 21: ResNet-18 on PYNQ — ARM (Cortex A9) vs ARM + VDLA FPGA";
   let graph = Models.resnet18 () in
   let target = Tvm.Target.Llvm Machine.arm_a9 in
-  let options =
-    { Tvm.Compiler.default_options with
-      Tvm.Compiler.tune_trials = trials 32;
-      (* the accelerator cannot absorb bn/relu/add epilogues, so the
-         heterogeneous comparison compiles them as separate CPU kernels *)
-      enable_fusion = false }
-  in
-  let result = Tvm.Compiler.build ~options graph target in
+  (* fusion off: the accelerator cannot absorb bn/relu/add epilogues,
+     so the heterogeneous comparison compiles them as separate CPU
+     kernels *)
+  let spec = Tvm_spec.Job_spec.make ~trials:(trials 32) ~fusion:false () in
+  let result = Tvm.Compiler.build ~spec graph target in
   let kernels = Rt.kernels result.Tvm.Compiler.module_ in
   let is_conv (k : Rt.kernel) =
     String.length k.Rt.k_name >= 6 && String.sub k.Rt.k_name 0 6 = "conv2d"

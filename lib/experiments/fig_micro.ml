@@ -31,7 +31,7 @@ let tune_gpu ?(method_ = Tuner.Ml_model) ?(seed = 42) ~trials tpl =
   let pool = Pool.create [ Pool.Gpu_dev titan ] in
   let measure = Pool.measure_fn pool ~kind_pred:Pool.is_gpu in
   Tuner.tune
-    ~options:{ Tuner.Options.default with Tuner.Options.seed }
+    ~spec:(Tvm_spec.Job_spec.make ~seed ())
     ~method_ ~measure ~n_trials:trials tpl
 
 (* ------------------------------------------------------------------ *)
@@ -97,16 +97,14 @@ let fig4 () =
     List.map
       (fun (name, graph) ->
         Tvm.Compiler.clear_cache ();
-        let options =
-          { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = trials 48 }
-        in
+        let spec = Tvm_spec.Job_spec.make ~trials:(trials 48) () in
         let fused, ef =
-          Tvm.Compiler.build_executor ~options graph target
+          Tvm.Compiler.build_executor ~spec graph target
         in
         ignore fused;
         let unfused, eu =
           Tvm.Compiler.build_executor
-            ~options:{ options with Tvm.Compiler.enable_fusion = false }
+            ~spec:{ spec with Tvm_spec.Job_spec.fusion = false }
             graph target
         in
         ignore unfused;
@@ -314,9 +312,7 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
     let t0 = Unix.gettimeofday () in
     let res =
       Tuner.tune
-        ~options:
-          { Tuner.Options.default with
-            Tuner.Options.seed; jobs = j; use_compile_cache = use_cache }
+        ~spec:(Tvm_spec.Job_spec.make ~seed ~jobs:j ~use_compile_cache:use_cache ())
         ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials tpl
     in
     let wall = Unix.gettimeofday () -. t0 in

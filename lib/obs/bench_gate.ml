@@ -125,4 +125,14 @@ let default_rules =
     rule "histograms" "pool.job_cost_s" ~field:"p90" ~dir:Lower_better ~tol:0.5;
     rule "histograms" "pool.queue_wait_s" ~field:"p90" ~dir:Lower_better
       ~tol:0.75;
+    (* tvmd service SLOs: latencies are virtual-time (deterministic),
+       so the tolerances only absorb histogram bucket granularity. *)
+    rule "gauges" "bench.serve.warm_speedup" ~dir:Higher_better ~tol:0.5;
+    rule "gauges" "bench.serve.identical_schedule" ~dir:Exact ~tol:0.;
+    rule "histograms" "tvmd.queue_wait_s" ~field:"p90" ~dir:Lower_better
+      ~tol:0.5;
+    rule "histograms" "tvmd.completion_s" ~field:"p50" ~dir:Lower_better
+      ~tol:0.5;
+    rule "histograms" "tvmd.completion_s" ~field:"p99" ~dir:Lower_better
+      ~tol:0.5;
   ]

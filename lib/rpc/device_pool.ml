@@ -83,6 +83,51 @@ let create ?(noise = 0.05) ?(repeats = 3) ?(overhead_s = 0.5)
     retry;
   }
 
+(** Heavy transient rates for a deliberately-overloaded device
+    (timeouts dominate, so its jobs burn the per-job budget) — the
+    [--straggler] profile shared by [tvmc] and [tvmd]. *)
+let straggler_rates =
+  { Fault.timeout_rate = 0.35; crash_rate = 0.15; corrupt_rate = 0.1;
+    death_rate = 0. }
+
+(** Default device kind for a {!Tvm_spec.Job_spec.target} name. *)
+let kind_of_target = function
+  | "cuda" -> Gpu_dev Machine.titan_x
+  | "mali" -> Gpu_dev Machine.mali_t860
+  | "arm" -> Cpu_dev Machine.arm_a53
+  | _ -> Cpu_dev Machine.xeon_host
+
+(** Fault plan described by a spec's [fault_rate]/[straggler] knobs. *)
+let fault_plan_of_spec (spec : Tvm_spec.Job_spec.t) =
+  let plan =
+    if spec.Tvm_spec.Job_spec.fault_rate > 0. then
+      Fault.transient ~rate:spec.Tvm_spec.Job_spec.fault_rate ()
+    else Fault.none
+  in
+  match spec.Tvm_spec.Job_spec.straggler with
+  | Some n -> Fault.with_device plan n straggler_rates
+  | None -> plan
+
+(** Build the fleet a {!Tvm_spec.Job_spec.t} asks for: [spec.devices]
+    replicas of [kind] (defaulting from [spec.target]), the fault plan
+    from [fault_rate]/[straggler], and the retry policy from
+    [max_retries]/[timeout_s]. *)
+let of_spec ?kind (spec : Tvm_spec.Job_spec.t) =
+  let kind =
+    match kind with
+    | Some k -> k
+    | None -> kind_of_target spec.Tvm_spec.Job_spec.target
+  in
+  let retry =
+    { Retry_policy.default with
+      Retry_policy.max_retries = spec.Tvm_spec.Job_spec.max_retries;
+      timeout_s = spec.Tvm_spec.Job_spec.timeout_s }
+  in
+  create
+    ~fault_plan:(fault_plan_of_spec spec)
+    ~retry
+    (List.init (max 1 spec.Tvm_spec.Job_spec.devices) (fun _ -> kind))
+
 (** Deterministic noise in [-1,1] from a key (config hash). *)
 let noise_of_key key =
   let h = ref (key land 0x3FFFFFFF) in

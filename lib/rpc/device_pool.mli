@@ -57,6 +57,23 @@ val create :
   device_kind list ->
   t
 
+(** Heavy transient rates for a deliberately-overloaded device — the
+    [--straggler] profile shared by [tvmc] and [tvmd]. *)
+val straggler_rates : Fault.rates
+
+(** Default device kind for a {!Tvm_spec.Job_spec.target} name
+    ([cuda] → Titan X, [mali] → Mali T860, [arm] → A53, else Xeon). *)
+val kind_of_target : string -> device_kind
+
+(** Fault plan described by a spec's [fault_rate]/[straggler] knobs. *)
+val fault_plan_of_spec : Tvm_spec.Job_spec.t -> Fault.plan
+
+(** Build the fleet a {!Tvm_spec.Job_spec.t} asks for: [spec.devices]
+    replicas of [kind] (defaulting from [spec.target]), the fault plan
+    from [fault_rate]/[straggler], the retry policy from
+    [max_retries]/[timeout_s]. *)
+val of_spec : ?kind:device_kind -> Tvm_spec.Job_spec.t -> t
+
 (** Deterministic noise in [-1, 1] from a key (config hash). *)
 val noise_of_key : int -> float
 

@@ -1,0 +1,50 @@
+(** Minimal graph executor over a compiled module (§2's
+    [runtime.create]): topological execution of the fused groups,
+    memory planned by {!Tvm_graph.Mem_plan}, per-kernel profiling for
+    the debug-executor view.
+
+    Sealed surface: clients (the compiler's [build_executor], [tvmc],
+    [tvmd]) see an abstract handle plus the run/profile/query
+    operations below — the value table, memory plan and per-group
+    dispatch stay private. *)
+
+type t
+
+(** Wire a compiled module to its graph and fusion groups.
+    [launch_overhead_s] is the per-kernel launch cost charged by
+    {!estimated_time_s}. *)
+val create :
+  ?launch_overhead_s:float ->
+  graph:Tvm_graph.Graph_ir.t ->
+  groups:Tvm_graph.Fusion.group list ->
+  module_:Rt_module.t ->
+  unit ->
+  t
+
+(** Bind a named graph input; raises [Invalid_argument] on an unknown
+    name or a shape mismatch. *)
+val set_input : t -> string -> Tvm_nd.Ndarray.t -> unit
+
+(** Bind constant parameters by node id (see
+    [Models.random_params]). *)
+val set_params : t -> (int * Tvm_nd.Ndarray.t) list -> unit
+
+(** Execute the whole graph. [`Reference] runs the unscheduled
+    reference computation; [`Compiled] interprets each group's lowered
+    kernel. *)
+val run : ?mode:[ `Reference | `Compiled ] -> t -> unit
+
+(** {!run} with per-group timing: the debug executor's per-kernel
+    latency breakdown. *)
+val profile_run :
+  ?mode:[ `Reference | `Compiled ] -> t -> Tvm_obs.Profile.report
+
+(** [i]-th graph output of the last {!run}; raises if the graph has
+    not run yet. *)
+val get_output : t -> int -> Tvm_nd.Ndarray.t
+
+(** Modelled end-to-end latency: kernel estimates + launch overhead. *)
+val estimated_time_s : t -> float
+
+(** (pooled bytes, naive bytes) of the activation memory plan. *)
+val memory_stats : t -> float * float

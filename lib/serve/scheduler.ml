@@ -1,0 +1,194 @@
+(* See scheduler.mli. *)
+
+module Retry_policy = Tvm_rpc.Retry_policy
+
+type tenant = {
+  tn_name : string;
+  tn_weight : float;
+  tn_quota : int option;
+}
+
+let tenant ?(weight = 1.) ?quota name =
+  { tn_name = name; tn_weight = weight; tn_quota = quota }
+
+type 'a job = {
+  jb_id : int;
+  jb_tenant : string;
+  jb_priority : int;
+  jb_submit_s : float;
+  jb_payload : 'a;
+}
+
+type 'a completion = {
+  cp_job : 'a job;
+  cp_slot : int;
+  cp_attempts : int;
+  cp_start_s : float;
+  cp_service_s : float;
+  cp_finish_s : float;
+  cp_queue_wait_s : float;
+  cp_error : string option;
+}
+
+(* Per-tenant accounting while a trace runs. *)
+type tenant_state = {
+  ts_cfg : tenant;
+  mutable ts_vwork : float;  (** accumulated service / weight *)
+  mutable ts_running : float list;  (** finish times of in-flight jobs *)
+}
+
+(* One job's attempt loop: service and backoff both charge the virtual
+   clock, mirroring what the device pool does for measurements. An
+   attempt whose service exceeds the per-job budget is a timeout (its
+   charge is capped at the budget — the job would have been cut off). *)
+(* Virtual-clock cost of an attempt that died before reporting one (a
+   crash has no intrinsic duration; a timeout charges the budget). *)
+let crash_cost_s = 1.0
+
+let attempt_loop ~(retry : Retry_policy.t) ~execute job =
+  let budget = retry.Retry_policy.timeout_s in
+  let rec go attempt charged =
+    let outcome =
+      try execute job ~attempt with e -> Error (Printexc.to_string e)
+    in
+    let outcome, cost =
+      match outcome with
+      | Ok s when s > budget ->
+          ( Error (Printf.sprintf "timeout after %gs (budget %gs)" s budget),
+            budget )
+      | Ok s -> (Ok s, s)
+      | Error e -> (Error e, Float.min budget crash_cost_s)
+    in
+    let charged = charged +. cost in
+    match outcome with
+    | Ok _ -> (attempt + 1, charged, None)
+    | Error e ->
+        if attempt < retry.Retry_policy.max_retries then
+          go (attempt + 1) (charged +. Retry_policy.backoff_s retry ~attempt)
+        else (attempt + 1, charged, Some e)
+  in
+  go 0 0.
+
+let run ?(slots = 1) ?(retry = Retry_policy.default) ?(stop = fun () -> false)
+    ~(tenants : tenant list) ~execute (jobs : 'a job list) :
+    'a completion list =
+  let slots = max 1 slots in
+  let states : (string, tenant_state) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun tn ->
+      if tn.tn_weight <= 0. then
+        invalid_arg ("scheduler: non-positive weight for tenant " ^ tn.tn_name);
+      Hashtbl.replace states tn.tn_name
+        { ts_cfg = tn; ts_vwork = 0.; ts_running = [] })
+    tenants;
+  let state_of j =
+    match Hashtbl.find_opt states j.jb_tenant with
+    | Some s -> s
+    | None -> invalid_arg ("scheduler: unknown tenant " ^ j.jb_tenant)
+  in
+  List.iter (fun j -> ignore (state_of j)) jobs;
+  let remaining = ref (List.sort (fun a b -> compare a.jb_id b.jb_id) jobs) in
+  let slot_free = Array.make slots 0. in
+  let completions = ref [] in
+  let under_quota ts ~at =
+    match ts.ts_cfg.tn_quota with
+    | None -> true
+    | Some q ->
+        List.length (List.filter (fun f -> f > at) ts.ts_running) < q
+  in
+  (* The next virtual instant at which the picture can change: a
+     pending submission arrives or a running job finishes (releasing
+     its tenant's quota). *)
+  let next_event ~after =
+    let cands =
+      List.filter_map
+        (fun j -> if j.jb_submit_s > after then Some j.jb_submit_s else None)
+        !remaining
+      @ Hashtbl.fold
+          (fun _ ts acc ->
+            List.filter (fun f -> f > after) ts.ts_running @ acc)
+          states []
+    in
+    List.fold_left Float.min Float.infinity cands
+  in
+  let continue = ref true in
+  while !remaining <> [] && !continue do
+    if stop () then continue := false
+    else begin
+      (* Earliest free slot (lowest index on ties — deterministic). *)
+      let slot = ref 0 in
+      Array.iteri (fun i f -> if f < slot_free.(!slot) then slot := i) slot_free;
+      let now = slot_free.(!slot) in
+      let eligible =
+        List.filter
+          (fun j ->
+            j.jb_submit_s <= now && under_quota (state_of j) ~at:now)
+          !remaining
+      in
+      match eligible with
+      | [] ->
+          (* Nothing runnable yet: park this slot at the next event. *)
+          let t = next_event ~after:now in
+          if t = Float.infinity then
+            (* Only possible if every pending job is quota-blocked with
+               nothing running — a configuration error (quota 0). *)
+            invalid_arg "scheduler: stalled (tenant quota 0?)"
+          else slot_free.(!slot) <- t
+      | _ ->
+          (* Weighted fair share: the eligible tenant with the least
+             accumulated virtual work per unit weight goes next. *)
+          let ts =
+            List.fold_left
+              (fun best j ->
+                let s = state_of j in
+                match best with
+                | None -> Some s
+                | Some b ->
+                    let kb = b.ts_vwork /. b.ts_cfg.tn_weight
+                    and ks = s.ts_vwork /. s.ts_cfg.tn_weight in
+                    if
+                      ks < kb
+                      || (ks = kb && s.ts_cfg.tn_name < b.ts_cfg.tn_name)
+                    then Some s
+                    else best)
+              None eligible
+            |> Option.get
+          in
+          (* Within the tenant: priority, then FIFO by id. *)
+          let job =
+            List.fold_left
+              (fun best j ->
+                if j.jb_tenant <> ts.ts_cfg.tn_name then best
+                else
+                  match best with
+                  | None -> Some j
+                  | Some b ->
+                      if
+                        j.jb_priority > b.jb_priority
+                        || (j.jb_priority = b.jb_priority && j.jb_id < b.jb_id)
+                      then Some j
+                      else best)
+              None eligible
+            |> Option.get
+          in
+          remaining := List.filter (fun j -> j.jb_id <> job.jb_id) !remaining;
+          let attempts, service, error = attempt_loop ~retry ~execute job in
+          let finish = now +. service in
+          slot_free.(!slot) <- finish;
+          ts.ts_vwork <- ts.ts_vwork +. (service /. ts.ts_cfg.tn_weight);
+          ts.ts_running <- finish :: ts.ts_running;
+          completions :=
+            {
+              cp_job = job;
+              cp_slot = !slot;
+              cp_attempts = attempts;
+              cp_start_s = now;
+              cp_service_s = service;
+              cp_finish_s = finish;
+              cp_queue_wait_s = now -. job.jb_submit_s;
+              cp_error = error;
+            }
+            :: !completions
+    end
+  done;
+  List.rev !completions

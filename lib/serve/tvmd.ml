@@ -1,0 +1,391 @@
+(* See tvmd.mli. *)
+
+module Spec = Tvm_spec.Job_spec
+module Sched = Scheduler
+module Json = Tvm_obs.Json
+module Metrics = Tvm_obs.Metrics
+module Store = Tvm_autotune.Store
+module Tuner = Tvm_autotune.Tuner
+module Compile_cache = Tvm_autotune.Compile_cache
+module Templates = Tvm_autotune.Templates
+module Cfg_space = Tvm_autotune.Cfg_space
+module Device_pool = Tvm_rpc.Device_pool
+module Workloads = Tvm_models.Workloads
+module Models = Tvm_models.Models
+module Compiler = Tvm.Compiler
+module Exec = Tvm_runtime.Graph_executor
+module Par = Tvm_par.Pool
+module Fig_e2e = Tvm_experiments.Fig_e2e
+
+type request = {
+  rq_tenant : string;
+  rq_weight : float;
+  rq_quota : int option;
+  rq_priority : int;
+  rq_submit_s : float;
+  rq_spec : Spec.t;
+}
+
+let request ?(tenant = "default") ?(weight = 1.) ?quota ?(priority = 0)
+    ?(submit_s = 0.) spec =
+  {
+    rq_tenant = tenant;
+    rq_weight = weight;
+    rq_quota = quota;
+    rq_priority = priority;
+    rq_submit_s = submit_s;
+    rq_spec = spec;
+  }
+
+let to_string r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("tenant", Json.Str r.rq_tenant);
+         ("weight", Json.num r.rq_weight);
+         ( "quota",
+           match r.rq_quota with
+           | Some q -> Json.num (float_of_int q)
+           | None -> Json.Null );
+         ("priority", Json.num (float_of_int r.rq_priority));
+         ("submit_s", Json.num r.rq_submit_s);
+         ("spec", Spec.to_json r.rq_spec);
+       ])
+
+let of_string s =
+  let j = Json.parse s in
+  let num key d =
+    match Option.bind (Json.member key j) Json.to_num_opt with
+    | Some v -> v
+    | None -> d
+  in
+  {
+    rq_tenant =
+      (match Json.member "tenant" j with
+      | Some (Json.Str t) -> t
+      | _ -> "default");
+    rq_weight = num "weight" 1.;
+    rq_quota =
+      Option.map int_of_float
+        (Option.bind (Json.member "quota" j) Json.to_num_opt);
+    rq_priority = int_of_float (num "priority" 0.);
+    rq_submit_s = num "submit_s" 0.;
+    rq_spec =
+      (match Json.member "spec" j with
+      | Some sj -> Spec.of_json sj
+      | None -> Spec.default);
+  }
+
+type outcome = {
+  oc_lines : string list;
+  oc_completions : request Sched.completion list;
+  oc_executed : int;
+  oc_restored : int;
+  oc_failed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Job identity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A job's fingerprint is its envelope rendered canonically (the spec
+   JSON has a fixed field order, floats print bit-exactly) plus an
+   occurrence index, so two byte-identical submissions are distinct
+   jobs and each matches its own [done] record across a restart. *)
+let fingerprints requests =
+  let occ = Hashtbl.create 16 in
+  Array.of_list
+    (List.map
+       (fun r ->
+         let base =
+           Printf.sprintf "%s|%d|%h|%s" r.rq_tenant r.rq_priority r.rq_submit_s
+             (Spec.to_string r.rq_spec)
+         in
+         let n = Option.value ~default:0 (Hashtbl.find_opt occ base) in
+         Hashtbl.replace occ base (n + 1);
+         Printf.sprintf "%s#%d" base n)
+       requests)
+
+(* [done] store records: fingerprint, charged service, attempts,
+   result summary. Only first-attempt successes within the retry
+   budget are recorded — anything else re-executes deterministically
+   after a restart. *)
+let done_kind = "done"
+
+let done_out fp service attempts summary =
+  Printf.sprintf "%s\t%h\t%d\t%s" (String.escaped fp) service attempts
+    (String.escaped summary)
+
+let done_in line =
+  match String.split_on_char '\t' line with
+  | [ fp; service; attempts; summary ] -> (
+      match float_of_string_opt service with
+      | Some s ->
+          ( Scanf.unescaped fp,
+            (s, int_of_string attempts, Scanf.unescaped summary) )
+      | None -> failwith ("bad done record: " ^ line))
+  | _ -> failwith ("bad done record: " ^ line)
+
+(* ------------------------------------------------------------------ *)
+(* The ops                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let network_of_name = function
+  | "resnet18" -> Models.resnet18 ()
+  | "mobilenet" -> Models.mobilenet ()
+  | "lstm" -> Models.lstm_lm ()
+  | "dqn" -> Models.dqn ()
+  | "dcgan" -> Models.dcgan ()
+  | s -> invalid_arg ("tvmd: unknown network " ^ s)
+
+let target_of_name = function
+  | "cuda" -> Tvm.Target.cuda ()
+  | "arm" -> Tvm.Target.arm_cpu ()
+  | "mali" -> Tvm.Target.mali ()
+  | "llvm" -> Tvm.Target.llvm ()
+  | s -> invalid_arg ("tvmd: unknown target " ^ s)
+
+(* ------------------------------------------------------------------ *)
+(* The daemon loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve ?(slots = 2) ?store ?max_jobs ?(retry = Tvm_rpc.Retry_policy.default)
+    requests =
+  let db = Tuner.Db.create () in
+  let db_hw = ref 0 in
+  let done_map : (string, float * int * string) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let caches : (string, Compile_cache.t * int ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* Warm start: replay the store into the trial log, the tuned cache
+     and the done-list. Bad blocks are skipped inside [Store]. *)
+  (match store with
+  | None -> ()
+  | Some path ->
+      db_hw := Store.load_db path ~into:db;
+      Compiler.restore_tuned (Store.load_tuned path);
+      List.iter
+        (fun b ->
+          if b.Store.b_kind = done_kind then
+            List.iter
+              (fun line ->
+                match done_in line with
+                | fp, v -> Hashtbl.replace done_map fp v
+                | exception e ->
+                    Printf.eprintf "[tvm] store %s: skipping block: %s\n%!"
+                      path (Printexc.to_string e);
+                    Metrics.incr "cache.load_rejected")
+              b.Store.b_records)
+        (Store.load_blocks path));
+  (* Tuned entries already present (restored above, or tuned earlier
+     in this process) never need re-flushing. *)
+  let flushed_sigs = Hashtbl.create 64 in
+  List.iter
+    (fun (s, _, _) -> Hashtbl.replace flushed_sigs s ())
+    (Compiler.tuned_entries ());
+  let get_cache scope =
+    match Hashtbl.find_opt caches scope with
+    | Some (c, _) -> c
+    | None ->
+        let c = Compile_cache.create () in
+        let n =
+          match store with
+          | Some path -> Store.load_cache path ~scope ~into:c
+          | None -> 0
+        in
+        Hashtbl.add caches scope (c, ref n);
+        c
+  in
+  let flush_state () =
+    match store with
+    | None -> ()
+    | Some path ->
+        db_hw := Store.flush_db path ~from:!db_hw db;
+        let delta =
+          List.filter
+            (fun (s, _, _) -> not (Hashtbl.mem flushed_sigs s))
+            (Compiler.tuned_entries ())
+        in
+        Store.append_tuned path delta;
+        List.iter (fun (s, _, _) -> Hashtbl.replace flushed_sigs s ()) delta;
+        List.iter
+          (fun scope ->
+            let c, saved = Hashtbl.find caches scope in
+            saved := Store.save_cache path ~scope ~from:!saved c)
+          (List.sort compare
+             (Hashtbl.fold (fun k _ acc -> k :: acc) caches []))
+  in
+  (* Host domains are shared across every tuning job: one pool sized
+     for the widest request. -j never changes results, only speed. *)
+  let par =
+    lazy
+      (Par.create
+         ~domains:
+           (List.fold_left
+              (fun acc r -> max acc r.rq_spec.Spec.jobs)
+              1 requests)
+         ())
+  in
+  let run_tune (spec : Spec.t) =
+    let w = Workloads.find spec.Spec.workload in
+    let out = Fig_e2e.conv_tensor w in
+    let name = "tvmd:" ^ spec.Spec.workload ^ "@" ^ spec.Spec.target in
+    let tpl = Templates.gpu_flat ~name out in
+    let dpool = Device_pool.of_spec spec in
+    let measure = Device_pool.measure_fn dpool ~kind_pred:(fun _ -> true) in
+    let measure_batch =
+      Device_pool.batch_measure_fn ~par:(Lazy.force par) dpool
+        ~kind_pred:(fun _ -> true)
+    in
+    let res =
+      Tuner.tune
+        ~spec:{ spec with Spec.replay = true }
+        ~db ~cache:(get_cache name) ~measure_batch
+        ~method_:(Tuner.method_of_name spec.Spec.method_name)
+        ~measure ~n_trials:spec.Spec.trials tpl
+    in
+    ( Device_pool.makespan dpool,
+      Printf.sprintf "best %h s with %s" res.Tuner.best_time
+        (Cfg_space.to_string res.Tuner.best_config) )
+  in
+  let run_compile (spec : Spec.t) =
+    let graph = network_of_name spec.Spec.workload in
+    let tgt = target_of_name spec.Spec.target in
+    let r = Compiler.build ~spec ~db graph tgt in
+    let groups = List.length r.Compiler.groups in
+    ( (0.02 *. float_of_int groups)
+      +. (0.1 *. float_of_int r.Compiler.tuning_trials_run),
+      Printf.sprintf "%d groups, %d trials" groups r.Compiler.tuning_trials_run
+    )
+  in
+  let run_profile (spec : Spec.t) =
+    let graph = network_of_name spec.Spec.workload in
+    let tgt = target_of_name spec.Spec.target in
+    let _r, exec = Compiler.build_executor ~spec ~db graph tgt in
+    Exec.set_params exec (Models.random_params graph);
+    List.iter (fun (n, v) -> Exec.set_input exec n v) (Models.random_inputs graph);
+    ignore (Exec.profile_run ~mode:`Reference exec);
+    let t = Exec.estimated_time_s exec in
+    (0.05 +. t, Printf.sprintf "estimated %h s/run" t)
+  in
+  let fps = fingerprints requests in
+  let summaries : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let executed = ref 0 and restored = ref 0 and live_done = ref 0 in
+  let execute (job : request Sched.job) ~attempt =
+    let fp = fps.(job.Sched.jb_id) in
+    match Hashtbl.find_opt done_map fp with
+    | Some (service, _attempts, summary) ->
+        (* Answered from the store: inject the recorded service time so
+           the schedule matches an uninterrupted run byte for byte. *)
+        Hashtbl.replace summaries job.Sched.jb_id summary;
+        if attempt = 0 then incr restored;
+        Ok service
+    | None ->
+        if attempt = 0 then incr executed;
+        let spec = job.Sched.jb_payload.rq_spec in
+        let service, summary =
+          match spec.Spec.op with
+          | Spec.Tune -> run_tune spec
+          | Spec.Compile -> run_compile spec
+          | Spec.Profile -> run_profile spec
+        in
+        Hashtbl.replace summaries job.Sched.jb_id summary;
+        if attempt = 0 && service <= retry.Tvm_rpc.Retry_policy.timeout_s
+        then begin
+          flush_state ();
+          (match store with
+          | Some path ->
+              Store.append_block path ~kind:done_kind
+                [ done_out fp service 1 summary ]
+          | None -> ());
+          incr live_done
+        end;
+        Ok service
+  in
+  let tenants =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun r ->
+        if Hashtbl.mem seen r.rq_tenant then None
+        else begin
+          Hashtbl.add seen r.rq_tenant ();
+          Some
+            {
+              Sched.tn_name = r.rq_tenant;
+              tn_weight = r.rq_weight;
+              tn_quota = r.rq_quota;
+            }
+        end)
+      requests
+  in
+  let jobs =
+    List.mapi
+      (fun i r ->
+        {
+          Sched.jb_id = i;
+          jb_tenant = r.rq_tenant;
+          jb_priority = r.rq_priority;
+          jb_submit_s = r.rq_submit_s;
+          jb_payload = r;
+        })
+      requests
+  in
+  let stop () =
+    match max_jobs with Some n -> !live_done >= n | None -> false
+  in
+  let completions = Sched.run ~slots ~retry ~stop ~tenants ~execute jobs in
+  (* Service accounting: queue-wait and completion latency histograms
+     (p50/p90/p99 in the metrics dump) plus per-tenant usage. *)
+  let failed = ref 0 in
+  List.iter
+    (fun (c : request Sched.completion) ->
+      let j = c.Sched.cp_job in
+      Metrics.observe "tvmd.queue_wait_s" c.Sched.cp_queue_wait_s;
+      Metrics.observe "tvmd.completion_s"
+        (c.Sched.cp_finish_s -. j.Sched.jb_submit_s);
+      Metrics.incr ("tvmd.tenant." ^ j.Sched.jb_tenant ^ ".jobs");
+      Metrics.incr
+        ~by:c.Sched.cp_service_s
+        ("tvmd.tenant." ^ j.Sched.jb_tenant ^ ".service_s");
+      match c.Sched.cp_error with
+      | None -> Metrics.incr "tvmd.jobs.done"
+      | Some _ ->
+          incr failed;
+          Metrics.incr "tvmd.jobs.failed")
+    completions;
+  Metrics.incr ~by:(float_of_int !restored) "tvmd.jobs.restored";
+  let lines =
+    List.map
+      (fun (c : request Sched.completion) ->
+        let j = c.Sched.cp_job in
+        let spec = j.Sched.jb_payload.rq_spec in
+        let status =
+          match c.Sched.cp_error with None -> "ok" | Some _ -> "failed"
+        in
+        let summary =
+          match (Hashtbl.find_opt summaries j.Sched.jb_id, c.Sched.cp_error) with
+          | Some s, None -> s
+          | _, Some e -> e
+          | None, None -> ""
+        in
+        Printf.sprintf "%d\t%s\t%s\t%s\t%s\t%d\t%h\t%h\t%h\t%h\t%h\t%d\t%s\t%s"
+          j.Sched.jb_id j.Sched.jb_tenant
+          (Spec.op_name spec.Spec.op)
+          spec.Spec.workload spec.Spec.target j.Sched.jb_priority
+          j.Sched.jb_submit_s c.Sched.cp_start_s c.Sched.cp_queue_wait_s
+          c.Sched.cp_service_s c.Sched.cp_finish_s c.Sched.cp_attempts status
+          (String.escaped summary))
+      (List.sort
+         (fun (a : request Sched.completion) b ->
+           compare a.Sched.cp_job.Sched.jb_id b.Sched.cp_job.Sched.jb_id)
+         completions)
+  in
+  {
+    oc_lines = lines;
+    oc_completions = completions;
+    oc_executed = !executed;
+    oc_restored = !restored;
+    oc_failed = !failed;
+  }

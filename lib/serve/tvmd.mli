@@ -1,0 +1,97 @@
+(** [tvmd] — the long-running multi-tenant compilation service.
+
+    Clients submit {!request} envelopes (a tenant identity plus one
+    {!Tvm_spec.Job_spec.t}); the daemon multiplexes the host domain
+    pool and the simulated RPC device fleet across tenants with the
+    weighted fair-share {!Scheduler}, executes each job (compile, tune
+    or profile), and accounts per-tenant usage through labeled
+    {!Tvm_obs.Metrics}.
+
+    {2 Durability}
+
+    With [~store] set, every piece of expensive state is flushed to
+    the versioned on-disk {!Tvm_autotune.Store} incrementally, after
+    each completed job:
+
+    - the shared {!Tvm_autotune.Tuner.Db} trial log (so an interrupted
+      tuning job resumes via [spec.replay] instead of re-measuring);
+    - the compiler's tuned-configuration cache (so a repeat compile of
+      an already-tuned workload runs zero trials);
+    - per-template {!Tvm_autotune.Compile_cache} feature entries;
+    - a [done] record per completed job: its fingerprint, charged
+      service time and result summary.
+
+    On startup the store is loaded back; a job whose fingerprint has a
+    [done] record is not re-executed — its recorded service time is
+    injected into the scheduler, so the restarted run's schedule (and
+    every other job's latency) is byte-identical to an uninterrupted
+    run. Corrupt or version-mismatched store blocks are skipped with a
+    warning, never a crash.
+
+    {2 Determinism}
+
+    Everything is driven by the virtual clock: service times come from
+    the simulated fleet's makespan, the compiler's trial counts and
+    the executor's cost model — never the wall clock. A fixed request
+    trace produces a byte-identical results file at any [-j], with or
+    without a warm store. *)
+
+type request = {
+  rq_tenant : string;
+  rq_weight : float;  (** fair-share weight (first request wins per tenant) *)
+  rq_quota : int option;  (** max in-flight jobs for this tenant *)
+  rq_priority : int;
+  rq_submit_s : float;  (** arrival on the virtual clock *)
+  rq_spec : Tvm_spec.Job_spec.t;
+}
+
+val request :
+  ?tenant:string ->
+  ?weight:float ->
+  ?quota:int ->
+  ?priority:int ->
+  ?submit_s:float ->
+  Tvm_spec.Job_spec.t ->
+  request
+
+(** Single-line JSON envelope:
+    [{"tenant":…,"weight":…,"quota":…,"priority":…,"submit_s":…,"spec":{…}}].
+    Floats print with full precision, so [of_string (to_string r)]
+    round-trips and fingerprints are stable across processes. *)
+val to_string : request -> string
+
+(** Inverse of {!to_string}; missing fields take defaults (tenant
+    ["default"], weight 1, no quota, priority 0, submit 0). Raises
+    [Failure] on malformed JSON. *)
+val of_string : string -> request
+
+type outcome = {
+  oc_lines : string list;
+      (** one tab-separated line per job, sorted by job id — the
+          deterministic results artifact ([cmp]-stable across
+          restarts) *)
+  oc_completions : request Scheduler.completion list;  (** dispatch order *)
+  oc_executed : int;  (** jobs run live this process *)
+  oc_restored : int;  (** jobs answered from the store's [done] records *)
+  oc_failed : int;  (** jobs that exhausted their retry budget *)
+}
+
+(** Run a request trace to completion (or until [max_jobs] live jobs
+    have finished — the kill switch the restart test uses).
+
+    [slots] is the number of executor lanes (default 2). [store] names
+    the durable store file: loaded on entry, flushed after every
+    completed job. [retry] is the job-level reliability policy
+    (default {!Tvm_rpc.Retry_policy.default}).
+
+    Also records service metrics: [tvmd.queue_wait_s] and
+    [tvmd.completion_s] histograms (p50/p90/p99 in the metrics dump),
+    per-tenant [tvmd.tenant.<name>.jobs] / [.service_s] counters, and
+    [tvmd.jobs.done] / [.failed] / [.restored]. *)
+val serve :
+  ?slots:int ->
+  ?store:string ->
+  ?max_jobs:int ->
+  ?retry:Tvm_rpc.Retry_policy.t ->
+  request list ->
+  outcome

@@ -1,0 +1,119 @@
+(** The one description of "a job" that every layer consumes.
+
+    Before [tvmd], the same knobs were smeared across three surfaces:
+    [Compiler.options], [Tuner.Options.t] and a pile of [tvmc] flags —
+    adding one knob meant touching all three and keeping their defaults
+    in sync by hand. A [Job_spec.t] is the single declarative record
+    describing a compile/tune/profile job: what to build ([op],
+    [workload], [target], [fusion]), how hard to search ([trials],
+    [method_name], [seed], [batch], [sa_steps], [n_chains]), what
+    resources to use ([jobs] host domains, [devices] simulated
+    devices), the cache policy ([use_compile_cache], [replay]), the
+    fault/retry policy ([fault_rate], [straggler], [max_retries],
+    [timeout_s]) and the observability sinks ([journal_out],
+    [trace_out], [metrics_out], [tune_log]).
+
+    [Compiler.build], [Tuner.tune], [tvmc] and the [tvmd] daemon all
+    take this record; runtime handles that cannot be part of a
+    declarative spec (a shared {e Tuner.Db}, a shared compile cache)
+    stay explicit optional arguments at the call sites that own them.
+
+    Specs serialize to single-line JSON ({!to_json}/{!of_json}), which
+    is how [tvmc submit] hands jobs to [tvmd]'s trace queue. *)
+
+type op =
+  | Compile  (** build a whole network end to end *)
+  | Tune  (** optimize one Table-2 operator workload *)
+  | Profile  (** compile, run once, report the per-kernel breakdown *)
+
+val op_name : op -> string
+(** ["compile"] / ["tune"] / ["profile"]. *)
+
+val op_of_name : string -> op
+(** Inverse of {!op_name}; raises [Invalid_argument] on unknown. *)
+
+type t = {
+  op : op;
+  workload : string;
+      (** network name ([resnet18], [mobilenet], ...) for
+          compile/profile jobs; Table-2 workload ([C1]..[C12],
+          [D1]..[D9]) for tune jobs *)
+  target : string;  (** [cuda] | [arm] | [mali] | [llvm] *)
+  fusion : bool;  (** operator fusion on (§3) *)
+  trials : int;
+      (** tuning budget: measurements per tune job, or per kernel for a
+          compile job (0 = heuristic default schedules) *)
+  method_name : string;  (** [ml] | [random] | [genetic] *)
+  seed : int;  (** fixed seed = fixed results at any [jobs] count *)
+  batch : int;  (** configurations measured per model update *)
+  sa_steps : int;  (** simulated-annealing walk length (§5.3) *)
+  n_chains : int;  (** parallel annealing chains *)
+  jobs : int;
+      (** host domains for the parallel tuning phases; never changes
+          which configurations are chosen *)
+  devices : int;
+      (** simulated devices in the measurement pool. Unlike [jobs]
+          this CAN change outcomes (fault draws are per-device). *)
+  validate : bool;  (** fail on provable TIR defects *)
+  verbose : bool;
+  use_compile_cache : bool;
+      (** share lowering/featurization across trials; never changes
+          results *)
+  replay : bool;
+      (** reuse measurements recorded in a persisted [Tuner.Db] instead
+          of re-dispatching them to the device pool — the warm-restart
+          resume path. On a clean (fault-free) fleet the trial history
+          is byte-identical to a live re-run. *)
+  fault_rate : float;  (** per-attempt transient fault rate, 0 = off *)
+  straggler : int option;  (** device to overload with faults, if any *)
+  max_retries : int;  (** extra measurement attempts after a fault *)
+  timeout_s : float;  (** per-job budget on the simulated clock *)
+  journal_out : string option;  (** flight-recorder JSONL sink *)
+  trace_out : string option;  (** Chrome trace-event sink *)
+  metrics_out : string option;  (** metrics-registry JSON sink *)
+  tune_log : string option;  (** trial-history JSONL sink *)
+}
+
+val default : t
+(** [Tune] of [C7] on [cuda]: 64 trials, ML-guided, seed 42, batch 16,
+    [jobs = Domain.recommended_domain_count ()], one device, caches on,
+    no faults, no sinks. *)
+
+val make :
+  ?op:op ->
+  ?workload:string ->
+  ?target:string ->
+  ?fusion:bool ->
+  ?trials:int ->
+  ?method_name:string ->
+  ?seed:int ->
+  ?batch:int ->
+  ?sa_steps:int ->
+  ?n_chains:int ->
+  ?jobs:int ->
+  ?devices:int ->
+  ?validate:bool ->
+  ?verbose:bool ->
+  ?use_compile_cache:bool ->
+  ?replay:bool ->
+  ?fault_rate:float ->
+  ?straggler:int ->
+  ?max_retries:int ->
+  ?timeout_s:float ->
+  ?journal_out:string ->
+  ?trace_out:string ->
+  ?metrics_out:string ->
+  ?tune_log:string ->
+  unit ->
+  t
+(** The one constructor: every field defaults to {!default}'s value. *)
+
+val to_json : t -> Tvm_obs.Json.t
+val of_json : Tvm_obs.Json.t -> t
+(** Missing fields take {!default}'s value, so specs stay readable by
+    newer code; raises [Invalid_argument] on non-object JSON. *)
+
+val to_string : t -> string
+(** Single-line JSON (the [tvmc submit] wire format). *)
+
+val of_string : string -> t

@@ -139,7 +139,7 @@ let test_tuner_improves () =
   let measure = measure_fn_for Machine.titan_x in
   let res =
     Tuner.tune
-      ~options:{ Tuner.Options.default with Tuner.Options.seed = 3 }
+      ~spec:(Tvm_spec.Job_spec.make ~seed:3 ())
       ~method_:Tuner.Ml_model ~measure ~n_trials:48 tpl
   in
   checkb "found a config" (res.Tuner.best_time > 0.);
@@ -156,7 +156,7 @@ let test_ml_beats_random_on_budget () =
   let tpl = conv_template () in
   let run m =
     (Tuner.tune
-       ~options:{ Tuner.Options.default with Tuner.Options.seed = 9 }
+       ~spec:(Tvm_spec.Job_spec.make ~seed:9 ())
        ~method_:m ~measure:(measure_fn_for Machine.titan_x) ~n_trials:40 tpl)
       .Tuner.best_time
   in

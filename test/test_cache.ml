@@ -281,9 +281,7 @@ let run_tune ~jobs ~use_cache ~fault_rate tpl =
   let measure = Pool.measure_fn pool ~kind_pred:(fun _ -> true) in
   let measure_batch = Pool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true) in
   Tuner.tune
-    ~options:
-      { Tuner.Options.default with
-        Tuner.Options.seed = 5; jobs; use_compile_cache = use_cache }
+    ~spec:(Tvm_spec.Job_spec.make ~seed:5 ~jobs ~use_compile_cache:use_cache ())
     ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials:32 tpl
 
 let test_tune_log_invariant_to_cache_and_jobs () =

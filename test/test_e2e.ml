@@ -11,10 +11,10 @@ module Framework = Tvm_baselines.Framework
 module Machine = Tvm_sim.Machine
 open Test_helpers
 
-let options = { Tvm.Compiler.default_options with Tvm.Compiler.tune_trials = 12 }
+let spec = Tvm_spec.Job_spec.make ~trials:12 ()
 
 let compile_and_check ?(tol = 2e-3) name graph target =
-  let _, exec = Tvm.Compiler.build_executor ~options graph target in
+  let _, exec = Tvm.Compiler.build_executor ~spec graph target in
   Exec.set_params exec (Models.random_params graph);
   List.iter (fun (n, v) -> Exec.set_input exec n v) (Models.random_inputs graph);
   Exec.run ~mode:`Reference exec;
@@ -58,10 +58,10 @@ let test_dcgan () =
 
 let test_fusion_reduces_kernels () =
   let graph = Models.resnet18 ~input_hw:32 ~width:0.125 ~num_classes:10 () in
-  let fused = Tvm.Compiler.build ~options graph (Tvm.Target.cuda ()) in
+  let fused = Tvm.Compiler.build ~spec graph (Tvm.Target.cuda ()) in
   let unfused =
     Tvm.Compiler.build
-      ~options:{ options with Tvm.Compiler.enable_fusion = false }
+      ~spec:{ spec with Tvm_spec.Job_spec.fusion = false }
       graph (Tvm.Target.cuda ())
   in
   checkb "fewer kernels with fusion"
@@ -71,13 +71,13 @@ let test_fusion_reduces_kernels () =
 let test_fusion_faster () =
   let graph = Models.mobilenet ~input_hw:32 ~width:0.25 ~num_classes:10 () in
   let t_fused =
-    let _, e = Tvm.Compiler.build_executor ~options graph (Tvm.Target.cuda ()) in
+    let _, e = Tvm.Compiler.build_executor ~spec graph (Tvm.Target.cuda ()) in
     Exec.estimated_time_s e
   in
   let t_unfused =
     let _, e =
       Tvm.Compiler.build_executor
-        ~options:{ options with Tvm.Compiler.enable_fusion = false }
+        ~spec:{ spec with Tvm_spec.Job_spec.fusion = false }
         graph (Tvm.Target.cuda ())
     in
     Exec.estimated_time_s e
@@ -122,7 +122,7 @@ let test_baseline_sanity () =
 
 let test_profile_run () =
   let graph = Models.dqn ~input_hw:40 () in
-  let _, exec = Tvm.Compiler.build_executor ~options graph (Tvm.Target.cuda ()) in
+  let _, exec = Tvm.Compiler.build_executor ~spec graph (Tvm.Target.cuda ()) in
   Exec.set_params exec (Models.random_params graph);
   List.iter (fun (n, v) -> Exec.set_input exec n v) (Models.random_inputs graph);
   let report = Exec.profile_run ~mode:`Reference exec in
@@ -159,7 +159,7 @@ let test_profile_run () =
 
 let test_module_source () =
   let graph = Models.dqn ~input_hw:40 () in
-  let result = Tvm.Compiler.build ~options graph (Tvm.Target.cuda ()) in
+  let result = Tvm.Compiler.build ~spec graph (Tvm.Target.cuda ()) in
   let src = Tvm_runtime.Rt_module.source result.Tvm.Compiler.module_ in
   checkb "source contains kernels" (String.length src > 200)
 

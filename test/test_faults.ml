@@ -185,8 +185,8 @@ let test_tuning_survives_device_death () =
 let test_faulty_tuning_converges () =
   let budget = 64 in
   let tune ~pool ~db =
-    Tuner.tune
-      ~options:{ Tuner.Options.default with Tuner.Options.seed = 13; db }
+    Tuner.tune ?db
+      ~spec:(Tvm_spec.Job_spec.make ~seed:13 ())
       ~method_:Tuner.Ml_model
       ~measure:(Pool.measure_fn pool ~kind_pred:Pool.is_gpu)
       ~n_trials:budget (conv_template ())

@@ -20,4 +20,5 @@ let () =
       ("sim", Test_sim.suite);
       ("e2e", Test_e2e.suite);
       ("experiments", Test_experiments.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -433,9 +433,7 @@ let run_tune_journaled ~jobs ~fault_rate ~use_cache () =
   let measure_batch = DPool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true) in
   let result =
     Tuner.tune
-      ~options:
-        { Tuner.Options.default with
-          Tuner.Options.seed = 5; jobs; use_compile_cache = use_cache }
+      ~spec:(Tvm_spec.Job_spec.make ~seed:5 ~jobs ~use_compile_cache:use_cache ())
       ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials:32 tpl
   in
   let journal = Journal.to_jsonl () in

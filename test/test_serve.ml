@@ -1,0 +1,494 @@
+(* The tvmd service layer: the persistent store's versioned on-disk
+   format (round trips bit-exact, corruption is skipped never fatal),
+   Job_spec as the one job description shared by every entry point,
+   warm-restart semantics (resumed tuning replays the measurement log;
+   a preloaded cache never changes the journal), and the scheduler's
+   deterministic weighted fair-share. *)
+
+module Cfg = Tvm_autotune.Cfg_space
+module Cache = Tvm_autotune.Compile_cache
+module Tuner = Tvm_autotune.Tuner
+module Store = Tvm_autotune.Store
+module R = Tvm_autotune.Measure_result
+module Job_spec = Tvm_spec.Job_spec
+
+let temp_store () =
+  let path = Filename.temp_file "tvmstore" ".log" in
+  Sys.remove path;
+  path
+
+let with_store f =
+  let path = temp_store () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Job_spec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_job_spec_roundtrip () =
+  let specs =
+    [
+      Job_spec.default;
+      Job_spec.make ~op:Job_spec.Compile ~workload:"resnet18" ~target:"arm"
+        ~fusion:false ~trials:7 ~method_name:"random" ~seed:9 ~batch:4
+        ~sa_steps:3 ~n_chains:2 ~jobs:3 ~devices:4 ~validate:true
+        ~verbose:true ~use_compile_cache:false ~replay:true ~fault_rate:0.25
+        ~straggler:1 ~max_retries:5 ~timeout_s:0.5 ~journal_out:"j.txt"
+        ~trace_out:"t.json" ~metrics_out:"m.txt" ~tune_log:"l.jsonl" ();
+      Job_spec.make ~op:Job_spec.Profile ~trials:0 ();
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let s = Job_spec.to_string spec in
+      Alcotest.(check bool)
+        "single line" false
+        (String.contains s '\n');
+      let spec' = Job_spec.of_string s in
+      Alcotest.(check bool) "round trip" true (spec = spec'))
+    specs;
+  (* Missing fields take defaults: the empty object is the default spec. *)
+  Alcotest.(check bool)
+    "defaults fill in" true
+    (Job_spec.of_string "{}" = Job_spec.default)
+
+(* ------------------------------------------------------------------ *)
+(* Store: block format                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_blocks () =
+  with_store @@ fun path ->
+  Store.append_block path ~kind:"a" [ "one"; "two" ];
+  Store.append_block path ~kind:"b" [];
+  Store.append_block path ~kind:"a" [ "three" ];
+  let blocks = Store.load_blocks path in
+  Alcotest.(check (list (pair string (list string))))
+    "blocks round trip"
+    [ ("a", [ "one"; "two" ]); ("b", []); ("a", [ "three" ]) ]
+    (List.map (fun b -> (b.Store.b_kind, b.Store.b_records)) blocks)
+
+let test_store_missing_file () =
+  Alcotest.(check int)
+    "missing file loads empty" 0
+    (List.length (Store.load_blocks "/nonexistent/tvmstore.log"))
+
+let corrupt_byte path pos =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string s in
+  let pos = min pos (Bytes.length b - 1) in
+  Bytes.set b pos (if Bytes.get b pos = 'Z' then 'Q' else 'Z');
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b)
+
+let test_store_corruption_skipped () =
+  with_store @@ fun path ->
+  Tvm_obs.Metrics.reset ();
+  Store.append_block path ~kind:"a" [ "good-1" ];
+  let mid = (Unix.stat path).Unix.st_size in
+  Store.append_block path ~kind:"a" [ "will-be-corrupted" ];
+  Store.append_block path ~kind:"a" [ "good-2" ];
+  (* Flip a byte inside the second block's record: its checksum fails,
+     the neighbours survive, nothing raises. *)
+  corrupt_byte path (mid + 60);
+  let blocks = Store.load_blocks path in
+  Alcotest.(check (list string))
+    "corrupt block skipped, neighbours kept"
+    [ "good-1"; "good-2" ]
+    (List.concat_map (fun b -> b.Store.b_records) blocks);
+  Alcotest.(check bool)
+    "rejection counted" true
+    (Option.value ~default:0. (Tvm_obs.Metrics.get "cache.load_rejected") >= 1.);
+  (* A truncated tail (death mid-flush) is also just skipped. *)
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub s 0 (String.length s - 4)));
+  let blocks = Store.load_blocks path in
+  (* good-1 survives; the corrupted middle and the truncated tail don't. *)
+  Alcotest.(check int) "truncated tail dropped" 1 (List.length blocks)
+
+let test_store_version_gate () =
+  with_store @@ fun path ->
+  let oc = open_out path in
+  output_string oc "#tvmstore v99 kind=a records=1 checksum=0\nfuture\n";
+  close_out oc;
+  Store.append_block path ~kind:"a" [ "present" ];
+  let blocks = Store.load_blocks path in
+  Alcotest.(check (list string))
+    "unknown version skipped" [ "present" ]
+    (List.concat_map (fun b -> b.Store.b_records) blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Store: typed round trips                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_db_roundtrip () =
+  with_store @@ fun path ->
+  let db = Tuner.Db.create () in
+  Tuner.Db.add db "conv(1x3x8x8)@cuda"
+    [ ("tile_x", 2); ("tile_y", 3) ]
+    (R.ok ~attempts:2 1.5e-3);
+  Tuner.Db.add db "k2" [ ("a", 1) ] (R.fail (R.Pool_error "no\tdevice left"));
+  let hw = Store.flush_db path ~from:0 db in
+  Alcotest.(check int) "high-water after first flush" 2 hw;
+  (* Incremental: a second flush writes only the new records. *)
+  Tuner.Db.add db "k2" [ ("a", 2) ] (R.fail ~attempts:3 R.Timeout);
+  let hw = Store.flush_db path ~from:hw db in
+  Alcotest.(check int) "high-water advances" 3 hw;
+  Alcotest.(check int) "no-op flush writes nothing" 3
+    (Store.flush_db path ~from:hw db);
+  let db' = Tuner.Db.create () in
+  let n = Store.load_db path ~into:db' in
+  Alcotest.(check int) "all records load" 3 n;
+  (* Records replay in order with bit-exact times and full status. *)
+  Alcotest.(check bool)
+    "records identical" true
+    (Tuner.Db.records db = Tuner.Db.records db');
+  (match Tuner.Db.find db' "k2" [ ("a", 1) ] with
+  | Some { R.status = R.Pool_error m; _ } ->
+      Alcotest.(check string) "pool_error message survives tabs" "no\tdevice left" m
+  | _ -> Alcotest.fail "pool_error record lost")
+
+let test_store_tuned_roundtrip () =
+  with_store @@ fun path ->
+  let entries =
+    [
+      ("conv2d(1x3x8x8,16x3x3x3)->1x16x8x8@cuda", [ ("t", 8); ("u", 1) ], 1e-4);
+      ("dense(64x64)->64x64@llvm", [ ("t", 4) ], 0x1.5p-10);
+    ]
+  in
+  Store.append_tuned path entries;
+  Alcotest.(check bool)
+    "tuned entries round trip" true
+    (Store.load_tuned path = entries)
+
+let test_store_cache_roundtrip () =
+  with_store @@ fun path ->
+  let c = Cache.create () in
+  Cache.add c [ ("x", 1) ]
+    (Cache.Valid { feats = [| 1.5; 0.1; Float.pi; 0. |]; stmt = None });
+  Cache.add c [ ("x", 2) ] Cache.Invalid;
+  ignore (Store.save_cache path ~scope:"conv@cuda|fusion=true" c);
+  let c' = Cache.create () in
+  let n = Store.load_cache path ~scope:"conv@cuda|fusion=true" ~into:c' in
+  Alcotest.(check int) "entries load" 2 n;
+  Alcotest.(check int) "other scope loads nothing" 0
+    (Store.load_cache path ~scope:"other" ~into:(Cache.create ()));
+  (match Cache.find ~record:false c' [ ("x", 1) ] with
+  | Some (Cache.Valid { feats; stmt }) ->
+      Alcotest.(check bool)
+        "features bit-exact" true
+        (feats = [| 1.5; 0.1; Float.pi; 0. |]);
+      Alcotest.(check bool) "programs are not serialized" true (stmt = None)
+  | _ -> Alcotest.fail "valid entry lost");
+  Alcotest.(check bool)
+    "invalid verdict survives" true
+    (Cache.find ~record:false c' [ ("x", 2) ] = Some Cache.Invalid)
+
+(* ------------------------------------------------------------------ *)
+(* Warm restart                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Templates = Tvm_autotune.Templates
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+module DPool = Tvm_rpc.Device_pool
+module Machine = Tvm_sim.Machine
+module Par = Tvm_par.Pool
+module Journal = Tvm_obs.Journal
+module Metrics = Tvm_obs.Metrics
+
+let serve_template =
+  lazy
+    (let d = Tensor.placeholder "srv_d" (List.map Tvm_tir.Expr.int [ 1; 16; 8; 8 ]) in
+     let w = Tensor.placeholder "srv_w" (List.map Tvm_tir.Expr.int [ 16; 16; 3; 3 ]) in
+     let c = Op.conv2d ~name:"srv_conv" ~stride:1 d w in
+     Templates.gpu_flat ~name:"srv_tpl" c)
+
+let tune_once ?db ?cache ?(replay = false) ~pool () =
+  let par = Par.create ~domains:2 () in
+  let measure = DPool.measure_fn pool ~kind_pred:(fun _ -> true) in
+  let measure_batch = DPool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true) in
+  Tuner.tune
+    ~spec:(Job_spec.make ~seed:11 ~jobs:2 ~replay ())
+    ?db ?cache ~measure_batch ~method_:Tuner.Ml_model ~measure ~n_trials:24
+    (Lazy.force serve_template)
+
+let fresh_pool () =
+  DPool.create (List.init 2 (fun _ -> DPool.Gpu_dev Machine.titan_x))
+
+(* A compile cache preloaded from the store must not change a run's
+   journal by a single byte: prepare verdicts are run-local, so a warm
+   process reports the same miss/hit sequence a cold one does. *)
+let test_warm_cache_journal_identity () =
+  with_store @@ fun path ->
+  let journaled_tune ~cache () =
+    Journal.set_enabled false;
+    Journal.set_enabled true;
+    Metrics.reset ();
+    let r = tune_once ~cache ~pool:(fresh_pool ()) () in
+    let j = Journal.to_jsonl () in
+    let hits = Option.value ~default:0. (Metrics.get "cache.miss") in
+    Journal.set_enabled false;
+    (r, j, hits)
+  in
+  let c1 = Cache.create () in
+  let r_cold, j_cold, miss_cold = journaled_tune ~cache:c1 () in
+  ignore (Store.save_cache path ~scope:"srv" c1);
+  let c2 = Cache.create () in
+  ignore (Store.load_cache path ~scope:"srv" ~into:c2);
+  let r_warm, j_warm, miss_warm = journaled_tune ~cache:c2 () in
+
+  Alcotest.(check string) "journal byte-identical warm vs cold" j_cold j_warm;
+  Alcotest.(check bool)
+    "same best" true
+    (r_cold.Tuner.best_time = r_warm.Tuner.best_time
+    && Cfg.canonical r_cold.Tuner.best_config
+       = Cfg.canonical r_warm.Tuner.best_config);
+  (* The preloaded cache was actually consulted: a warm process
+     re-lowers (and so misses) strictly less than a cold one. *)
+  Alcotest.(check bool)
+    "preloaded cache cuts misses" true (miss_warm < miss_cold)
+
+(* Resuming from a persisted measurement log replays recorded results
+   instead of re-dispatching: identical trial history and winner, no
+   duplicate records, (almost) no device-pool work. *)
+let test_replay_resume () =
+  with_store @@ fun path ->
+  Metrics.reset ();
+  let db = Tuner.Db.create () in
+  let cache = Cache.create () in
+  let pool1 = fresh_pool () in
+  let r1 = tune_once ~db ~cache ~pool:pool1 () in
+  let hw = Store.flush_db path ~from:0 db in
+  ignore (Store.save_cache path ~scope:"srv" cache);
+  (* Simulated restart: fresh Db, cache and fleet, state loaded from
+     disk only. *)
+  let db2 = Tuner.Db.create () in
+  let cache2 = Cache.create () in
+  Alcotest.(check int) "all records reload" hw (Store.load_db path ~into:db2);
+  ignore (Store.load_cache path ~scope:"srv" ~into:cache2);
+  let ok_before = Tuner.Db.status_count db2 "ok" in
+  Metrics.reset ();
+  let pool2 = fresh_pool () in
+  let r2 = tune_once ~db:db2 ~cache:cache2 ~replay:true ~pool:pool2 () in
+  Alcotest.(check bool)
+    "trial history identical to the uninterrupted run" true
+    (r1.Tuner.history = r2.Tuner.history);
+  Alcotest.(check bool)
+    "same winner" true
+    (r1.Tuner.best_time = r2.Tuner.best_time);
+  Alcotest.(check bool)
+    "replayed trials counted" true
+    (Option.value ~default:0. (Metrics.get "tuner.replayed") > 0.);
+  Alcotest.(check bool)
+    "replay dispatches less pool work" true
+    (pool2.DPool.total_jobs < pool1.DPool.total_jobs);
+  Alcotest.(check int)
+    "no duplicate successful records" ok_before
+    (Tuner.Db.status_count db2 "ok")
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sched = Tvm_serve.Scheduler
+module Tvmd = Tvm_serve.Tvmd
+
+let mk_job ?(tenant = "t") ?(priority = 0) ?(submit = 0.) id =
+  {
+    Sched.jb_id = id;
+    jb_tenant = tenant;
+    jb_priority = priority;
+    jb_submit_s = submit;
+    jb_payload = ();
+  }
+
+(* Weighted fair share: with both tenants backlogged, a 2:1 weight
+   split yields a 2:1 device-time split over the busy interval — and
+   the whole schedule is a pure function of the trace. *)
+let test_scheduler_fairness () =
+  let jobs =
+    List.init 60 (fun i ->
+        mk_job ~tenant:(if i mod 2 = 0 then "alpha" else "beta") i)
+  in
+  let tenants =
+    [ Sched.tenant ~weight:2. "alpha"; Sched.tenant ~weight:1. "beta" ]
+  in
+  let execute _job ~attempt:_ = Ok 1.0 in
+  let run () = Sched.run ~slots:3 ~tenants ~execute jobs in
+  let cs = run () in
+  Alcotest.(check int) "all jobs complete" 60 (List.length cs);
+  (* Busy interval: alpha's 30 jobs at rate 2/s last until t=15, and
+     beta stays backlogged throughout. *)
+  let horizon = 15. in
+  let service tenant =
+    List.fold_left
+      (fun acc (c : unit Sched.completion) ->
+        if
+          c.Sched.cp_finish_s <= horizon
+          && c.Sched.cp_job.Sched.jb_tenant = tenant
+        then acc +. c.Sched.cp_service_s
+        else acc)
+      0. cs
+  in
+  let ratio = service "alpha" /. service "beta" in
+  Alcotest.(check bool)
+    (Printf.sprintf "device time split ~2:1 (got %.2f)" ratio)
+    true
+    (ratio > 1.7 && ratio < 2.4);
+  Alcotest.(check bool) "schedule deterministic" true (cs = run ())
+
+let test_scheduler_policies () =
+  let ok1 _job ~attempt:_ = Ok 1.0 in
+  (* Priorities dominate FIFO within a tenant. *)
+  (match
+     Sched.run ~slots:1
+       ~tenants:[ Sched.tenant "t" ]
+       ~execute:ok1
+       [ mk_job 0; mk_job ~priority:5 1 ]
+   with
+  | [ c1; c2 ] ->
+      Alcotest.(check int) "high priority first" 1 c1.Sched.cp_job.Sched.jb_id;
+      Alcotest.(check int) "then FIFO" 0 c2.Sched.cp_job.Sched.jb_id
+  | _ -> Alcotest.fail "expected 2 completions");
+  (* A quota of 1 serializes a tenant even on an idle fleet. *)
+  let cs =
+    Sched.run ~slots:4
+      ~tenants:[ Sched.tenant ~quota:1 "t" ]
+      ~execute:ok1
+      (List.init 4 (fun i -> mk_job i))
+  in
+  List.iteri
+    (fun i (c : unit Sched.completion) ->
+      Alcotest.(check (float 1e-9))
+        "quota serializes" (float_of_int i) c.Sched.cp_start_s)
+    (List.sort
+       (fun (a : unit Sched.completion) b ->
+         compare a.Sched.cp_start_s b.Sched.cp_start_s)
+       cs);
+  (* Retries: a crashed attempt charges its cost plus backoff, then
+     the job still succeeds. *)
+  let retry = Tvm_rpc.Retry_policy.default in
+  let execute _job ~attempt = if attempt = 0 then Error "boom" else Ok 0.5 in
+  (match
+     Sched.run ~slots:1 ~retry ~tenants:[ Sched.tenant "t" ] ~execute
+       [ mk_job 0 ]
+   with
+  | [ c ] ->
+      Alcotest.(check int) "two attempts" 2 c.Sched.cp_attempts;
+      Alcotest.(check bool) "recovered" true (c.Sched.cp_error = None);
+      let expect =
+        1.0 +. Tvm_rpc.Retry_policy.backoff_s retry ~attempt:0 +. 0.5
+      in
+      Alcotest.(check (float 1e-9))
+        "service charges crash + backoff + rerun" expect c.Sched.cp_service_s
+  | _ -> Alcotest.fail "expected 1 completion");
+  (* Exhausted retries surface as cp_error — the scheduler never
+     raises on a failing job. *)
+  match
+    Sched.run ~slots:1 ~retry
+      ~tenants:[ Sched.tenant "t" ]
+      ~execute:(fun _ ~attempt:_ -> Error "dead")
+      [ mk_job 0 ]
+  with
+  | [ c ] ->
+      Alcotest.(check bool) "failed after retries" true (c.Sched.cp_error <> None);
+      Alcotest.(check int)
+        "attempts exhausted"
+        (retry.Tvm_rpc.Retry_policy.max_retries + 1)
+        c.Sched.cp_attempts
+  | _ -> Alcotest.fail "expected 1 completion"
+
+(* ------------------------------------------------------------------ *)
+(* tvmd                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  let r =
+    Tvmd.request ~tenant:"alpha" ~weight:2. ~quota:3 ~priority:1
+      ~submit_s:0.25
+      (Job_spec.make ~op:Job_spec.Tune ~workload:"C1" ~trials:8
+         ~method_name:"random" ~jobs:2 ())
+  in
+  let s = Tvmd.to_string r in
+  Alcotest.(check bool) "single line" false (String.contains s '\n');
+  Alcotest.(check bool) "envelope round trips" true (Tvmd.of_string s = r);
+  let d = Tvmd.of_string "{}" in
+  Alcotest.(check bool)
+    "defaults fill in" true
+    (d.Tvmd.rq_tenant = "default" && d.Tvmd.rq_weight = 1.
+    && d.Tvmd.rq_quota = None
+    && d.Tvmd.rq_spec = Job_spec.default)
+
+(* The restart contract: kill tvmd mid-trace, restart on the same
+   store, and the final results file is byte-identical to an
+   uninterrupted run — done jobs are answered from their recorded
+   service times, pending ones resume from the persisted trial log. *)
+let test_tvmd_restart () =
+  let tune_spec ?(seed = 42) workload =
+    Job_spec.make ~op:Job_spec.Tune ~workload ~trials:8 ~method_name:"random"
+      ~seed ~jobs:2 ()
+  in
+  let trace =
+    [
+      Tvmd.request ~tenant:"alpha" ~weight:2. ~submit_s:0. (tune_spec "C1");
+      Tvmd.request ~tenant:"beta" ~submit_s:0. (tune_spec "C2");
+      Tvmd.request ~tenant:"alpha" ~weight:2. ~submit_s:0.1 (tune_spec "C1");
+      Tvmd.request ~tenant:"gamma" ~submit_s:0.2 (tune_spec ~seed:7 "C1");
+    ]
+  in
+  with_store @@ fun s1 ->
+  with_store @@ fun s2 ->
+  Metrics.reset ();
+  let full = Tvmd.serve ~slots:2 ~store:s1 trace in
+  Alcotest.(check int) "cold run executes everything" 4 full.Tvmd.oc_executed;
+  Alcotest.(check int) "no failures" 0 full.Tvmd.oc_failed;
+  Alcotest.(check int) "one line per job" 4 (List.length full.Tvmd.oc_lines);
+  Alcotest.(check bool)
+    "queue-wait histogram populated" true
+    (Metrics.get "tvmd.queue_wait_s" <> None);
+  (* Kill after two live completions, restart on the same store. *)
+  let partial = Tvmd.serve ~slots:2 ~store:s2 ~max_jobs:2 trace in
+  Alcotest.(check int) "kill switch stops at 2" 2 partial.Tvmd.oc_executed;
+  let resumed = Tvmd.serve ~slots:2 ~store:s2 trace in
+  Alcotest.(check int) "restart restores done jobs" 2 resumed.Tvmd.oc_restored;
+  Alcotest.(check int) "restart finishes the rest" 2 resumed.Tvmd.oc_executed;
+  Alcotest.(check (list string))
+    "results byte-identical across kill/restart" full.Tvmd.oc_lines
+    resumed.Tvmd.oc_lines;
+  (* A warm rerun of the identical trace touches no device at all. *)
+  let warm = Tvmd.serve ~slots:2 ~store:s1 trace in
+  Alcotest.(check int) "warm rerun executes nothing" 0 warm.Tvmd.oc_executed;
+  Alcotest.(check int) "warm rerun all restored" 4 warm.Tvmd.oc_restored;
+  Alcotest.(check (list string))
+    "warm results identical" full.Tvmd.oc_lines warm.Tvmd.oc_lines
+
+let suite =
+  [
+    Alcotest.test_case "Job_spec JSON round trip" `Quick test_job_spec_roundtrip;
+    Alcotest.test_case "store blocks round trip" `Quick test_store_blocks;
+    Alcotest.test_case "store missing file loads empty" `Quick
+      test_store_missing_file;
+    Alcotest.test_case "store corruption skipped, never fatal" `Quick
+      test_store_corruption_skipped;
+    Alcotest.test_case "store unknown version skipped" `Quick
+      test_store_version_gate;
+    Alcotest.test_case "Db flush/load round trip (incremental)" `Quick
+      test_store_db_roundtrip;
+    Alcotest.test_case "tuned-cache entries round trip" `Quick
+      test_store_tuned_roundtrip;
+    Alcotest.test_case "compile-cache entries round trip" `Quick
+      test_store_cache_roundtrip;
+    Alcotest.test_case "warm cache: journal byte-identical" `Slow
+      test_warm_cache_journal_identity;
+    Alcotest.test_case "replay resume: history identical, no re-dispatch" `Slow
+      test_replay_resume;
+    Alcotest.test_case "scheduler: weighted fair share 2:1" `Quick
+      test_scheduler_fairness;
+    Alcotest.test_case "scheduler: priorities, quotas, retries" `Quick
+      test_scheduler_policies;
+    Alcotest.test_case "tvmd request envelope round trip" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "tvmd kill/restart: byte-identical results" `Slow
+      test_tvmd_restart;
+  ]

@@ -259,9 +259,8 @@ let test_compiler_validates_workloads () =
   (* every Table-2 workload through the full compiler, both fusion
      modes, with validation fatal: Validation_failed would fail the test *)
   Tvm.Compiler.clear_cache ();
-  let options fusion =
-    { Tvm.Compiler.default_options with
-      Tvm.Compiler.tune_trials = 0; enable_fusion = fusion; validate = true }
+  let spec fusion =
+    Tvm_spec.Job_spec.make ~trials:0 ~fusion ~validate:true ()
   in
   List.iter
     (fun (w : Workloads.conv) ->
@@ -270,7 +269,7 @@ let test_compiler_validates_workloads () =
         (fun fusion ->
           Tvm.Compiler.clear_cache ();
           let result =
-            Tvm.Compiler.build ~options:(options fusion) graph (Tvm.Target.cuda ())
+            Tvm.Compiler.build ~spec:(spec fusion) graph (Tvm.Target.cuda ())
           in
           checkb "kernels produced"
             (Tvm_runtime.Rt_module.kernels result.Tvm.Compiler.module_ <> []))
@@ -279,9 +278,8 @@ let test_compiler_validates_workloads () =
 
 let test_compiler_validates_networks () =
   Tvm.Compiler.clear_cache ();
-  let options fusion =
-    { Tvm.Compiler.default_options with
-      Tvm.Compiler.tune_trials = 0; enable_fusion = fusion; validate = true }
+  let spec fusion =
+    Tvm_spec.Job_spec.make ~trials:0 ~fusion ~validate:true ()
   in
   List.iter
     (fun fusion ->
@@ -289,7 +287,7 @@ let test_compiler_validates_networks () =
         (fun target ->
           Tvm.Compiler.clear_cache ();
           ignore
-            (Tvm.Compiler.build ~options:(options fusion) (Tvm_models.Models.dqn ())
+            (Tvm.Compiler.build ~spec:(spec fusion) (Tvm_models.Models.dqn ())
                target))
         [ Tvm.Target.cuda (); Tvm.Target.llvm () ])
     [ true; false ]
