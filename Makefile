@@ -1,7 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
 .PHONY: all build test check check-fault check-validate check-par check-cache \
-  check-journal check-serve check-bench bench-json bench-baseline clean
+  check-journal check-serve check-spool check-compact check-bench bench-json \
+  bench-baseline clean
 
 all: build
 
@@ -127,6 +128,66 @@ check-serve: build
 	cmp _build/check-serve/r_full _build/check-serve/r_warm
 	grep -q "4 restored from store" _build/check-serve/warm.stderr
 
+# Streaming-spool gate: the same envelopes served from a spool
+# directory (stop file pre-armed, so the daemon drains one batch and
+# exits) and from a one-shot jobs file must produce byte-identical
+# results, and consumed envelopes must land in the archive.
+check-spool: build
+	rm -rf _build/check-spool
+	mkdir -p _build/check-spool/spool
+	dune exec bin/tvmc.exe -- submit tune C1 --trials 8 -j 2 \
+	  --tenant alpha --weight 2 > _build/check-spool/spool/00-alpha.req
+	dune exec bin/tvmc.exe -- submit tune C2 --trials 8 -j 2 \
+	  --tenant beta --at 0.1 > _build/check-spool/spool/01-beta.req
+	cat _build/check-spool/spool/*.req > _build/check-spool/jobs.txt
+	touch _build/check-spool/spool/stop
+	dune exec bin/tvmc.exe -- serve --spool _build/check-spool/spool \
+	  --results _build/check-spool/r_spool
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-spool/jobs.txt \
+	  --results _build/check-spool/r_file
+	cmp _build/check-spool/r_spool _build/check-spool/r_file
+	test -f _build/check-spool/spool/archive/00-alpha.req
+	test -f _build/check-spool/spool/archive/01-beta.req
+
+# Compaction gate: a restart-churned store (cold run + three warm
+# restarts, each refreshing every done record) must shrink by at least
+# 40% under `tvmc store compact`, and a warm run over the compacted
+# store must reproduce the cold results byte for byte.
+check-compact: build
+	rm -rf _build/check-compact
+	mkdir -p _build/check-compact
+	dune exec bin/tvmc.exe -- submit compile dqn --trials 2 -j 2 \
+	  --tenant alpha > _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile dqn --trials 0 -j 2 \
+	  --tenant alpha --at 0.1 >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile dcgan --trials 0 -j 2 \
+	  --tenant beta >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile lstm --trials 0 -j 2 \
+	  --tenant gamma --at 0.2 >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile dqn --trials 0 -j 2 \
+	  --tenant alpha --at 0.3 >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile dcgan --trials 0 -j 2 \
+	  --tenant beta --at 0.4 >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- submit profile lstm --trials 0 -j 2 \
+	  --tenant gamma --at 0.5 >> _build/check-compact/jobs.txt
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-compact/jobs.txt \
+	  --store _build/check-compact/st --results _build/check-compact/r_cold
+	for i in 1 2 3; do \
+	  dune exec bin/tvmc.exe -- serve \
+	    --jobs-file _build/check-compact/jobs.txt \
+	    --store _build/check-compact/st \
+	    --results _build/check-compact/r_warm || exit 1; \
+	done
+	before=$$(wc -c < _build/check-compact/st); \
+	dune exec bin/tvmc.exe -- store compact _build/check-compact/st; \
+	after=$$(wc -c < _build/check-compact/st); \
+	echo "store: $$before -> $$after bytes"; \
+	test $$((after * 10)) -le $$((before * 6))
+	dune exec bin/tvmc.exe -- serve --jobs-file _build/check-compact/jobs.txt \
+	  --store _build/check-compact/st \
+	  --results _build/check-compact/r_compacted
+	cmp _build/check-compact/r_cold _build/check-compact/r_compacted
+
 # Benchmark regression gate: rerun the gated scopes and compare the
 # metrics dump against the committed BENCH_obs.json baseline under
 # Bench_gate.default_rules (exits nonzero on regression). When a
@@ -139,7 +200,7 @@ check-bench: build
 	  partune lower cache serve
 
 check: build test check-fault check-validate check-par check-cache \
-  check-journal check-serve check-bench
+  check-journal check-serve check-spool check-compact check-bench
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the

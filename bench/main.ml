@@ -209,8 +209,106 @@ let bench_serve () =
          trace)
   in
   let identical = j1.Sv.oc_lines = cold.Sv.oc_lines in
+  (* Concurrent lanes: a tune-heavy four-tenant trace. At --slots 4 the
+     fair-share schedule overlaps the tenants' jobs, so the virtual
+     makespan shrinks vs the same trace serialized at --slots 1. All
+     latencies are virtual-clock — the gauge is deterministic and
+     independent of the host's core count. *)
+  let makespan (o : Sv.outcome) =
+    List.fold_left
+      (fun acc (c : Sv.request Sch.completion) ->
+        Float.max acc c.Sch.cp_finish_s)
+      0. o.Sv.oc_completions
+  in
+  let scale_trace =
+    List.concat_map
+      (fun (tenant, wl) ->
+        [ req Js.Tune tenant 1. wl 0.; req Js.Compile tenant 1. wl 0.1 ])
+      [ ("alpha", "C1"); ("beta", "C2"); ("gamma", "C3"); ("delta", "C7") ]
+  in
+  Tvm.Compiler.clear_cache ();
+  let s1 = Sv.serve ~slots:1 scale_trace in
+  Tvm.Compiler.clear_cache ();
+  let s4 = Sv.serve ~slots:4 scale_trace in
+  let concurrent_speedup = makespan s1 /. makespan s4 in
+  Tvm_obs.Metrics.set_gauge "tvmd.concurrent_speedup" concurrent_speedup;
+  (* Determinism must also hold at 4 lanes: -j1 vs -j!bench_jobs, line
+     for line. *)
+  Tvm.Compiler.clear_cache ();
+  let s4_j1 =
+    Sv.serve ~slots:4
+      (List.map
+         (fun r -> { r with Sv.rq_spec = { r.Sv.rq_spec with Js.jobs = 1 } })
+         scale_trace)
+  in
+  let identical4 = s4_j1.Sv.oc_lines = s4.Sv.oc_lines in
   Tvm_obs.Metrics.set_gauge "bench.serve.identical_schedule"
-    (if identical then 1. else 0.);
+    (if identical && identical4 then 1. else 0.);
+  (* Store compaction: run a compile/profile-heavy trace cold, then
+     three warm restarts — each restart refreshes every done record, so
+     the store accretes superseded copies. Compaction must reclaim the
+     dead weight while keeping every live record. *)
+  let cstore = Filename.temp_file "tvmd_compact" ".store" in
+  Sys.remove cstore;
+  let compact_ratio =
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists cstore then Sys.remove cstore)
+    @@ fun () ->
+    let creq op tenant workload submit trials =
+      Sv.request ~tenant ~submit_s:submit
+        (Js.make ~op ~workload ~trials ~method_name:"random" ~jobs:!bench_jobs
+           ())
+    in
+    let ctrace =
+      [
+        creq Js.Compile "alpha" "dqn" 0. 2;
+        creq Js.Profile "alpha" "dqn" 0.1 0;
+        creq Js.Profile "alpha" "dcgan" 0.2 0;
+        creq Js.Profile "beta" "dqn" 0. 0;
+        creq Js.Profile "beta" "dcgan" 0.2 0;
+        creq Js.Profile "beta" "lstm" 0.4 0;
+        creq Js.Profile "gamma" "dcgan" 0. 0;
+        creq Js.Profile "gamma" "dqn" 0.3 0;
+        creq Js.Profile "gamma" "lstm" 0.5 0;
+      ]
+    in
+    for _ = 0 to 3 do
+      Tvm.Compiler.clear_cache ();
+      ignore (Sv.serve ~slots:2 ~store:cstore ctrace)
+    done;
+    match Tvm_autotune.Store.compact ~rules:Sv.store_rules cstore with
+    | Some (before, after) ->
+        1. -. (float_of_int after /. float_of_int (max 1 before))
+    | None -> 0.
+  in
+  Tvm_obs.Metrics.set_gauge "store.compact_ratio" compact_ratio;
+  (* Dispatch scalability: a 1000-job backlog across 8 tenants with
+     unit services — exercises the per-tenant ready index and the
+     in-flight pruning on a queue three orders of magnitude deeper than
+     the service traces above. Timing gauge only (no gate rule: it is
+     wall-clock). *)
+  let backlog =
+    List.init 1000 (fun i ->
+        {
+          Sch.jb_id = i;
+          jb_tenant = Printf.sprintf "t%d" (i mod 8);
+          jb_priority = i mod 3;
+          jb_submit_s = float_of_int (i / 100);
+          jb_payload = ();
+        })
+  in
+  let backlog_tenants =
+    List.init 8 (fun i -> Sch.tenant (Printf.sprintf "t%d" i))
+  in
+  let t_backlog = Unix.gettimeofday () in
+  let backlog_done =
+    Sch.run ~slots:4 ~tenants:backlog_tenants
+      ~execute:(fun _ ~attempt:_ -> Ok 0.01)
+      backlog
+  in
+  let backlog_s = Unix.gettimeofday () -. t_backlog in
+  assert (List.length backlog_done = 1000);
+  Tvm_obs.Metrics.set_gauge "bench.sched.backlog_1k_s" backlog_s;
   let pct name p =
     match Tvm_obs.Metrics.percentile name p with Some v -> v | None -> nan
   in
@@ -225,8 +323,13 @@ let bench_serve () =
     (pct "tvmd.completion_s" 99.);
   Printf.printf "  repeat compile: cold %.3fs -> warm %.3fs (%.1fx)\n"
     cold_compile warm_compile speedup;
-  Printf.printf "  schedule identical at -j1 vs -j%d: %b\n" !bench_jobs
-    identical
+  Printf.printf "  schedule identical at -j1 vs -j%d (slots 2 and 4): %b\n"
+    !bench_jobs (identical && identical4);
+  Printf.printf "  virtual makespan: slots 1 %.3fs -> slots 4 %.3fs (%.1fx)\n"
+    (makespan s1) (makespan s4) concurrent_speedup;
+  Printf.printf "  store compaction reclaimed %.0f%%\n"
+    (100. *. compact_ratio);
+  Printf.printf "  1000-job backlog dispatched in %.3fs (wall)\n" backlog_s
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)

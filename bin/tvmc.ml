@@ -476,8 +476,16 @@ let submit_cmd =
       value & opt float 0.
       & info [ "at" ] ~doc:"Arrival time on the virtual clock (seconds)")
   in
+  let share =
+    Arg.(
+      value & flag
+      & info [ "share" ]
+          ~doc:
+            "Opt into the shared cross-tenant cache scope instead of the \
+             tenant's private one")
+  in
   let run op workload target trials method_name seed jobs tenant weight quota
-      priority submit_s =
+      priority submit_s share =
     let op =
       try Tvm_spec.Job_spec.op_of_name op
       with Invalid_argument m ->
@@ -491,27 +499,55 @@ let submit_cmd =
     print_endline
       (Tvm_serve.Tvmd.to_string
          (Tvm_serve.Tvmd.request ~tenant ~weight ?quota ~priority
-            ~submit_s spec))
+            ~submit_s ~share spec))
   in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
          "Print a tvmd request envelope (single-line JSON) for OP on \
           WORKLOAD. Collect envelopes into a jobs file and feed it to `tvmc \
-          serve`.")
+          serve`, or drop it into a spool directory watched by `tvmc serve \
+          --spool`.")
     Term.(
       const run $ op $ workload $ target $ trials $ method_ $ seed $ jobs_arg
-      $ tenant $ weight $ quota $ priority $ submit_s)
+      $ tenant $ weight $ quota $ priority $ submit_s $ share)
 
 (* ---- serve ---- *)
 
 let serve_cmd =
   let jobs_file =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "jobs-file" ] ~docv:"FILE"
           ~doc:"Request envelopes, one JSON line per job (see `tvmc submit`)")
+  in
+  let spool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Streaming mode: watch DIR for envelope files, serve each batch \
+             as it arrives and archive consumed files to DIR/archive. Drain \
+             and exit when a file named `stop` appears (or on SIGINT / \
+             SIGTERM after the current batch). Exactly one of $(b,--jobs-file) \
+             and $(b,--spool) is required.")
+  in
+  let poll_s =
+    Arg.(
+      value & opt float 0.05
+      & info [ "poll-s" ] ~docv:"SECONDS"
+          ~doc:"Spool scan interval between empty scans (wall clock)")
+  in
+  let compact_above =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "compact-above" ] ~docv:"BYTES"
+          ~doc:
+            "Compact the store on startup when it exceeds BYTES (drops \
+             superseded done/tuned/cache records; see `tvmc store compact`)")
   in
   let store =
     Arg.(
@@ -543,46 +579,133 @@ let serve_cmd =
       & info [ "results" ] ~docv:"FILE"
           ~doc:"Write per-job result lines here instead of stdout")
   in
-  let run jobs_file store slots max_jobs results trace_out metrics_out =
+  let run jobs_file spool poll_s compact_above store slots max_jobs results
+      trace_out metrics_out =
     with_obs ~trace_out ~metrics_out @@ fun () ->
-    let requests =
-      In_channel.with_open_text jobs_file In_channel.input_lines
-      |> List.filter (fun l -> String.trim l <> "")
-      |> List.map Tvm_serve.Tvmd.of_string
+    let report outcome =
+      Printf.eprintf
+        "[tvmd] %d jobs: %d executed, %d restored from store, %d failed\n%!"
+        (List.length outcome.Tvm_serve.Tvmd.oc_lines)
+        outcome.Tvm_serve.Tvmd.oc_executed outcome.Tvm_serve.Tvmd.oc_restored
+        outcome.Tvm_serve.Tvmd.oc_failed
     in
-    let outcome =
-      Tvm_serve.Tvmd.serve ~slots ?store ?max_jobs requests
-    in
-    (match results with
-    | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            List.iter
-              (fun l -> Out_channel.output_string oc (l ^ "\n"))
-              outcome.Tvm_serve.Tvmd.oc_lines)
-    | None -> List.iter print_endline outcome.Tvm_serve.Tvmd.oc_lines);
-    Printf.eprintf "[tvmd] %d jobs: %d executed, %d restored from store, %d failed\n%!"
-      (List.length outcome.Tvm_serve.Tvmd.oc_lines)
-      outcome.Tvm_serve.Tvmd.oc_executed outcome.Tvm_serve.Tvmd.oc_restored
-      outcome.Tvm_serve.Tvmd.oc_failed;
-    if outcome.Tvm_serve.Tvmd.oc_failed > 0 then exit 1
+    match (jobs_file, spool) with
+    | None, None | Some _, Some _ ->
+        prerr_endline "tvmc serve: exactly one of --jobs-file and --spool is required";
+        exit 2
+    | Some jobs_file, None ->
+        let requests =
+          In_channel.with_open_text jobs_file In_channel.input_lines
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map Tvm_serve.Tvmd.of_string
+        in
+        let outcome =
+          Tvm_serve.Tvmd.serve ~slots ?store ?max_jobs ?compact_above requests
+        in
+        (match results with
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                List.iter
+                  (fun l -> Out_channel.output_string oc (l ^ "\n"))
+                  outcome.Tvm_serve.Tvmd.oc_lines)
+        | None -> List.iter print_endline outcome.Tvm_serve.Tvmd.oc_lines);
+        report outcome;
+        if outcome.Tvm_serve.Tvmd.oc_failed > 0 then exit 1
+    | None, Some dir ->
+        let interrupted = ref false in
+        let handler = Sys.Signal_handle (fun _ -> interrupted := true) in
+        (try
+           Sys.set_signal Sys.sigint handler;
+           Sys.set_signal Sys.sigterm handler
+         with Invalid_argument _ | Sys_error _ -> ());
+        let failed = ref 0 in
+        let emit lines =
+          match results with
+          | Some path ->
+              let oc =
+                open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+              in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+          | None -> List.iter print_endline lines
+        in
+        let on_batch i outcome =
+          Printf.eprintf "[tvmd] batch %d\n%!" i;
+          emit outcome.Tvm_serve.Tvmd.oc_lines;
+          report outcome;
+          failed := !failed + outcome.Tvm_serve.Tvmd.oc_failed
+        in
+        let batches =
+          Tvm_serve.Tvmd.serve_spool ~slots ?store ?compact_above ~poll_s
+            ~stopped:(fun () -> !interrupted)
+            ~dir ~on_batch ()
+        in
+        Printf.eprintf "[tvmd] spool drained: %d batches\n%!" batches;
+        if !failed > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the tvmd multi-tenant service over a jobs file: weighted \
-          fair-share scheduling across tenants, job-level retries, durable \
-          warm-restartable state. Deterministic: a fixed jobs file gives a \
-          byte-identical results file at any -j, cold or warm.")
+         "Run the tvmd multi-tenant service over a jobs file (one-shot) or a \
+          spool directory (streaming): weighted fair-share scheduling across \
+          tenants up to --slots concurrent lanes, per-tenant cache isolation, \
+          job-level retries, durable warm-restartable state. Deterministic: a \
+          fixed jobs file gives a byte-identical results file at any -j and \
+          any --slots, cold or warm.")
     Term.(
-      const run $ jobs_file $ store $ slots $ max_jobs $ results
-      $ trace_out_arg $ metrics_out_arg)
+      const run $ jobs_file $ spool $ poll_s $ compact_above $ store $ slots
+      $ max_jobs $ results $ trace_out_arg $ metrics_out_arg)
+
+(* ---- store ---- *)
+
+let store_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"The store file to compact")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "threshold" ] ~docv:"BYTES"
+          ~doc:"Only compact when the store exceeds BYTES")
+  in
+  let compact_cmd =
+    let run file threshold =
+      match
+        Tvm_autotune.Store.compact ~rules:Tvm_serve.Tvmd.store_rules
+          ~threshold_bytes:threshold file
+      with
+      | None ->
+          Printf.printf "%s: below threshold or missing, not compacted\n" file
+      | Some (before, after) ->
+          Printf.printf "%s: %d -> %d bytes (%.0f%% smaller)\n" file before
+            after
+            (100. *. (1. -. (float_of_int after /. float_of_int (max 1 before))))
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a tvmd store dropping superseded records: done records \
+            keep the freshest copy per job fingerprint, tuned configurations \
+            and compile-cache features keep the first copy per key, trial \
+            logs are kept in full. Atomic: writes a temp file then renames \
+            over the original.")
+      Term.(const run $ file $ threshold)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Durable-store maintenance")
+    [ compact_cmd ]
 
 let main =
   Cmd.group
     (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
     [
       compile_cmd; tune_cmd; profile_cmd; report_cmd; devices_cmd; submit_cmd;
-      serve_cmd;
+      serve_cmd; store_cmd;
     ]
 
 let () =

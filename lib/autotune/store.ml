@@ -184,6 +184,42 @@ let load_db path ~into =
   !loaded
 
 (* ------------------------------------------------------------------ *)
+(* Scoped trial logs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let db_scoped_kind = "db.scoped"
+
+let flush_db_scope path ~scope ~from db =
+  let records = Tuner.Db.records db in
+  let total = List.length records in
+  if total > from then begin
+    let fresh = List.filteri (fun i _ -> i >= from) records in
+    append_block path ~kind:db_scoped_kind
+      (String.escaped scope :: List.map db_record_out fresh)
+  end;
+  total
+
+let load_db_scope path ~scope ~into =
+  let loaded = ref 0 in
+  List.iter
+    (fun b ->
+      if b.b_kind = db_scoped_kind then
+        match b.b_records with
+        | tag :: records when Scanf.unescaped tag = scope -> (
+            match List.map db_record_in records with
+            | parsed ->
+                List.iter
+                  (fun (key, cfg, result) ->
+                    Tuner.Db.add into key cfg result;
+                    incr loaded)
+                  parsed
+            | exception e ->
+                reject path ("bad db record (" ^ Printexc.to_string e ^ ")"))
+        | _ -> ())
+    (load_blocks path);
+  !loaded
+
+(* ------------------------------------------------------------------ *)
 (* Tuned-configuration cache                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -215,6 +251,29 @@ let load_tuned path =
         | exception e ->
             reject path ("bad tuned record (" ^ Printexc.to_string e ^ ")");
             [])
+    (load_blocks path)
+
+let tuned_scoped_kind = "tuned.scoped"
+
+let append_tuned_scope path ~scope entries =
+  if entries <> [] then
+    append_block path ~kind:tuned_scoped_kind
+      (String.escaped scope :: List.map tuned_out entries)
+
+let load_tuned_scope path ~scope =
+  List.concat_map
+    (fun b ->
+      if b.b_kind <> tuned_scoped_kind then []
+      else
+        match b.b_records with
+        | tag :: records when Scanf.unescaped tag = scope -> (
+            match List.map tuned_in records with
+            | parsed -> parsed
+            | exception e ->
+                reject path
+                  ("bad tuned record (" ^ Printexc.to_string e ^ ")");
+                [])
+        | _ -> [])
     (load_blocks path)
 
 (* ------------------------------------------------------------------ *)
@@ -283,3 +342,138 @@ let load_cache path ~scope ~into =
         | _ -> ())
     (load_blocks path);
   !added
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type keep = Keep_all | First_per_key | Last_per_key
+
+type rule = { rl_kind : string; rl_scoped : bool; rl_keep : keep }
+
+let default_rules =
+  [
+    { rl_kind = db_kind; rl_scoped = false; rl_keep = Keep_all };
+    { rl_kind = db_scoped_kind; rl_scoped = true; rl_keep = Keep_all };
+    { rl_kind = tuned_kind; rl_scoped = false; rl_keep = First_per_key };
+    { rl_kind = tuned_scoped_kind; rl_scoped = true; rl_keep = First_per_key };
+    { rl_kind = cache_kind; rl_scoped = true; rl_keep = First_per_key };
+  ]
+
+exception Injected_crash
+
+(* A record's dedup key is its first tab-separated field. *)
+let record_key line =
+  match String.index_opt line '\t' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let dedup_records keep records =
+  match keep with
+  | Keep_all -> records
+  | First_per_key ->
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun r ->
+          let k = record_key r in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        records
+  | Last_per_key ->
+      let seen = Hashtbl.create 64 in
+      List.rev
+        (List.filter
+           (fun r ->
+             let k = record_key r in
+             if Hashtbl.mem seen k then false
+             else begin
+               Hashtbl.add seen k ();
+               true
+             end)
+           (List.rev records))
+
+let block_to_string ~kind records =
+  let body = String.concat "\n" records in
+  Printf.sprintf "%sv1 kind=%s records=%d checksum=%s\n%s" header_prefix kind
+    (List.length records) (checksum body)
+    (if records = [] then "" else body ^ "\n")
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  in_channel_length ic
+
+let compact ?(rules = default_rules) ?(threshold_bytes = 0)
+    ?crash_after_bytes ?(crash_before_rename = false) path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let before = file_size path in
+    if before < threshold_bytes then None
+    else begin
+      let rule_for kind =
+        match List.find_opt (fun r -> r.rl_kind = kind) rules with
+        | Some r -> r
+        | None -> { rl_kind = kind; rl_scoped = false; rl_keep = Keep_all }
+      in
+      (* Group live records by (kind, scope tag), preserving both the
+         groups' first-appearance order and record order within a
+         group — every loader is order-sensitive only within its own
+         (kind, scope). Unruled kinds keep every record. *)
+      let groups : (string * string option, string list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref [] in
+      let add_group key records =
+        match Hashtbl.find_opt groups key with
+        | Some acc -> acc := List.rev_append records !acc
+        | None ->
+            Hashtbl.add groups key (ref (List.rev records));
+            order := key :: !order
+      in
+      List.iter
+        (fun b ->
+          let rule = rule_for b.b_kind in
+          if rule.rl_scoped then
+            match b.b_records with
+            | tag :: records -> add_group (b.b_kind, Some tag) records
+            | [] -> ()
+          else add_group (b.b_kind, None) b.b_records)
+        (load_blocks path);
+      let buf = Buffer.create (before / 2) in
+      List.iter
+        (fun (kind, tag) ->
+          let records =
+            List.rev !(Hashtbl.find groups (kind, tag))
+            |> dedup_records (rule_for kind).rl_keep
+          in
+          let records =
+            match tag with Some t -> t :: records | None -> records
+          in
+          if records <> [] then
+            Buffer.add_string buf (block_to_string ~kind records))
+        (List.rev !order);
+      let out = Buffer.contents buf in
+      let tmp = path ^ ".compact.tmp" in
+      let write n =
+        let oc = open_out_bin tmp in
+        Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+        output_string oc (String.sub out 0 n);
+        flush oc
+      in
+      (match crash_after_bytes with
+      | Some n when n < String.length out ->
+          write n;
+          raise Injected_crash
+      | _ -> ());
+      write (String.length out);
+      if crash_before_rename then raise Injected_crash;
+      Sys.rename tmp path;
+      Obs_metrics.incr "store.compactions";
+      Obs_metrics.incr "store.compacted_bytes"
+        ~by:(float_of_int (max 0 (before - String.length out)));
+      Some (before, String.length out)
+    end
+  end

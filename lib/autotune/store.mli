@@ -3,10 +3,12 @@
     append-only block format:
 
     - [db] blocks: {!Tuner.Db} trial records, so an interrupted tuning
-      run resumes from its measurement log ([spec.replay]);
+      run resumes from its measurement log ([spec.replay]) —
+      [db.scoped] is the same record format tagged with an isolation
+      scope ([tvmd]'s per-tenant private logs);
     - [tuned] blocks: the compiler's tuned-configuration cache
       ({!Compiler.tuned_entries}), so repeat compiles skip tuning
-      wholesale;
+      wholesale — [tuned.scoped] is the per-scope variant;
     - [cache] blocks: {!Compile_cache} feature entries (programs are
       never serialized — they re-lower on demand; features are the
       expensive part of prediction).
@@ -62,6 +64,19 @@ val flush_db : string -> from:int -> Tuner.Db.t -> int
     records loaded. *)
 val load_db : string -> into:Tuner.Db.t -> int
 
+(** {2 Scoped trial logs (kind ["db.scoped"])}
+
+    Same records as ["db"] blocks, but the block's first record is an
+    escaped scope tag — the unit of [tvmd]'s per-tenant isolation. A
+    legacy untagged ["db"] block reads as the shared scope. *)
+
+(** [flush_db] for one scope's private log. *)
+val flush_db_scope : string -> scope:string -> from:int -> Tuner.Db.t -> int
+
+(** Replay every valid ["db.scoped"] block tagged [scope] into
+    [into]; returns the number of records loaded. *)
+val load_db_scope : string -> scope:string -> into:Tuner.Db.t -> int
+
 (** {2 Tuned-configuration cache (kind ["tuned"])} *)
 
 (** Append tuned-cache entries (see {!Compiler.tuned_entries}) as one
@@ -73,6 +88,18 @@ val append_tuned : string -> (string * Cfg_space.config * float) list -> unit
 
 (** All tuned entries from every valid [tuned] block, file order. *)
 val load_tuned : string -> (string * Cfg_space.config * float) list
+
+(** {2 Scoped tuned caches (kind ["tuned.scoped"])} *)
+
+(** [append_tuned] for one scope's private tuned cache (first record
+    is the escaped scope tag). *)
+val append_tuned_scope :
+  string -> scope:string -> (string * Cfg_space.config * float) list -> unit
+
+(** All tuned entries from every valid ["tuned.scoped"] block tagged
+    [scope], file order. *)
+val load_tuned_scope :
+  string -> scope:string -> (string * Cfg_space.config * float) list
 
 (** {2 Compile caches (kind ["cache"])} *)
 
@@ -87,3 +114,52 @@ val save_cache : string -> scope:string -> ?from:int -> Compile_cache.t -> int
 (** Merge every valid [cache] block whose tag is [scope] into [into];
     returns entries added. *)
 val load_cache : string -> scope:string -> into:Compile_cache.t -> int
+
+(** {2 Compaction}
+
+    An append-only store accumulates superseded records: refreshed
+    [done] envelopes, duplicate tuned entries, cache entries re-saved
+    across restarts. [compact] rewrites the live contents to a
+    temporary file and atomically renames it over the original, so a
+    crash at any instant leaves either the old file or the new one —
+    never a half-written store.
+
+    What "live" means is per record kind, supplied as rules: keep
+    every record (trial logs are replay history), the first record per
+    key (first-wins loaders: tuned entries, cache entries) or the last
+    (last-wins loaders: [tvmd]'s [done] records). A record's key is
+    its first tab-separated field; scoped kinds dedupe within their
+    scope tag. Blocks of the same kind (and scope) coalesce into one,
+    preserving record order, and corrupt blocks are dropped — loading
+    the compacted file yields exactly what loading the original did. *)
+
+type keep =
+  | Keep_all  (** coalesce only; every record survives *)
+  | First_per_key  (** first-wins loaders *)
+  | Last_per_key  (** last-wins loaders *)
+
+type rule = { rl_kind : string; rl_scoped : bool; rl_keep : keep }
+
+(** Rules for the kinds this module owns: [db]/[db.scoped] keep all,
+    [tuned]/[tuned.scoped] and [cache] keep first per key. Kinds
+    without a rule (a caller's private blocks) keep every record. *)
+val default_rules : rule list
+
+exception Injected_crash
+(** Raised by {!compact} at the requested fault-injection point
+    (test-only). *)
+
+(** [compact path] rewrites the store; returns [Some (before_bytes,
+    after_bytes)] or [None] when the file is missing or smaller than
+    [threshold_bytes]. [crash_after_bytes n] dies (raises
+    {!Injected_crash}) after writing [n] bytes of the temporary file;
+    [crash_before_rename] dies after the full write but before the
+    atomic rename — both leave the original untouched, and a later
+    compact overwrites the stale temporary. *)
+val compact :
+  ?rules:rule list ->
+  ?threshold_bytes:int ->
+  ?crash_after_bytes:int ->
+  ?crash_before_rename:bool ->
+  string ->
+  (int * int) option

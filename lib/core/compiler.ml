@@ -29,8 +29,14 @@ exception Validation_failed of string * Tvm_tir.Validate.violation list
 (** Raised by {!build} when [spec.validate] is set and the named
     kernel's lowered program has provable defects. *)
 
-(** Tuning cache: workload signature → (best config, best noise-free time). *)
-let tuned_cache : (string, Cfg_space.config * float) Hashtbl.t = Hashtbl.create 64
+(** Tuning cache: workload signature → (best config, best noise-free
+    time). The default instance is process-global (the paper's shared
+    database); callers needing isolation — [tvmd]'s private-by-default
+    tenants — pass their own instance to {!build}. *)
+type tuned_cache = (string, Cfg_space.config * float) Hashtbl.t
+
+let create_tuned_cache () : tuned_cache = Hashtbl.create 64
+let tuned_cache : tuned_cache = create_tuned_cache ()
 
 let clear_cache () =
   Hashtbl.reset tuned_cache;
@@ -38,17 +44,16 @@ let clear_cache () =
 
 (** Tuned-cache contents, sorted by signature — what the persistent
     store serializes so a warm restart skips repeat tuning. *)
-let tuned_entries () =
-  Hashtbl.fold (fun sig_ (cfg, t) acc -> (sig_, cfg, t) :: acc) tuned_cache []
+let tuned_entries ?(cache = tuned_cache) () =
+  Hashtbl.fold (fun sig_ (cfg, t) acc -> (sig_, cfg, t) :: acc) cache []
   |> List.sort compare
 
 (** Preload the tuned cache (a store load on daemon startup). Existing
     in-process entries win: they were tuned live by this process. *)
-let restore_tuned entries =
+let restore_tuned ?(cache = tuned_cache) entries =
   List.iter
     (fun (sig_, cfg, t) ->
-      if not (Hashtbl.mem tuned_cache sig_) then
-        Hashtbl.add tuned_cache sig_ (cfg, t))
+      if not (Hashtbl.mem cache sig_) then Hashtbl.add cache sig_ (cfg, t))
     entries
 
 let workload_signature (graph : G.t) (g : Fusion.group) target =
@@ -110,8 +115,8 @@ type build_result = {
     [spec] supplies every knob ({!Job_spec.t}); [db] is a shared
     measurement log the tuning runs record into (and, with
     [spec.replay], resume from). *)
-let build ?(spec = Job_spec.default) ?db (graph : G.t) (target : Target.t) :
-    build_result =
+let build ?(spec = Job_spec.default) ?db ?(tuned = tuned_cache) (graph : G.t)
+    (target : Target.t) : build_result =
   Trace.with_span "compile" ~attrs:[ ("target", Target.name target) ] @@ fun () ->
   let groups =
     Trace.with_span "phase.fusion" (fun () ->
@@ -152,7 +157,7 @@ let build ?(spec = Job_spec.default) ?db (graph : G.t) (target : Target.t) :
           else None
         in
         let best_cfg, _best_time =
-          match Hashtbl.find_opt tuned_cache signature with
+          match Hashtbl.find_opt tuned signature with
           | Some hit ->
               Metrics.incr "compiler.cache_hits";
               hit
@@ -187,7 +192,7 @@ let build ?(spec = Job_spec.default) ?db (graph : G.t) (target : Target.t) :
                       invalid_arg
                         ("compiler: no valid default configuration for " ^ signature)
               in
-              Hashtbl.replace tuned_cache signature result;
+              Hashtbl.replace tuned signature result;
               result
         in
         let stmt, time_s, lowering_hit =
@@ -282,8 +287,8 @@ let build ?(spec = Job_spec.default) ?db (graph : G.t) (target : Target.t) :
   }
 
 (** Build + wrap in a graph executor ([runtime.create] of §2). *)
-let build_executor ?spec ?db graph target =
-  let result = build ?spec ?db graph target in
+let build_executor ?spec ?db ?tuned graph target =
+  let result = build ?spec ?db ?tuned graph target in
   let exec =
     Tvm_runtime.Graph_executor.create ~graph:result.graph ~groups:result.groups
       ~module_:result.module_ ()

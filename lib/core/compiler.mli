@@ -23,6 +23,14 @@ type build_result = {
   tuning_trials_run : int;
 }
 
+type tuned_cache
+(** A tuned-configuration cache: workload signature → (best config,
+    best model time). [build] defaults to one process-global instance
+    — the paper's shared history database; a caller needing isolation
+    ([tvmd]'s private-by-default tenants) creates its own. *)
+
+val create_tuned_cache : unit -> tuned_cache
+
 (** Compile a graph for a target: the paper's
     [graph, lib, params = t.compiler.build (graph, target, params)].
 
@@ -30,11 +38,14 @@ type build_result = {
     seed, host domains, device fleet and fault/retry policy, cache
     policy ({!Tvm_spec.Job_spec.t}). [db] is a shared measurement log
     the per-kernel tuning runs record into and, with [spec.replay],
-    resume from. Deterministic: a fixed spec gives bit-identical
-    results at any [spec.jobs]. *)
+    resume from. [tuned] selects the tuned-configuration cache
+    consulted and filled (default: the process-global one).
+    Deterministic: a fixed spec gives bit-identical results at any
+    [spec.jobs]. *)
 val build :
   ?spec:Tvm_spec.Job_spec.t ->
   ?db:Tvm_autotune.Tuner.Db.t ->
+  ?tuned:tuned_cache ->
   Tvm_graph.Graph_ir.t ->
   Target.t ->
   build_result
@@ -43,6 +54,7 @@ val build :
 val build_executor :
   ?spec:Tvm_spec.Job_spec.t ->
   ?db:Tvm_autotune.Tuner.Db.t ->
+  ?tuned:tuned_cache ->
   Tvm_graph.Graph_ir.t ->
   Target.t ->
   build_result * Tvm_runtime.Graph_executor.t
@@ -53,11 +65,16 @@ val clear_cache : unit -> unit
 
 (** Tuned-cache contents — (workload signature, best configuration,
     best model time), sorted by signature — what the persistent store
-    serializes so a warm restart skips repeat tuning. *)
+    serializes so a warm restart skips repeat tuning. [cache] defaults
+    to the process-global instance. *)
 val tuned_entries :
-  unit -> (string * Tvm_autotune.Cfg_space.config * float) list
+  ?cache:tuned_cache ->
+  unit ->
+  (string * Tvm_autotune.Cfg_space.config * float) list
 
-(** Preload the tuned cache (a store load on daemon startup). Existing
+(** Preload a tuned cache (a store load on daemon startup). Existing
     in-process entries win: they were tuned live by this process. *)
 val restore_tuned :
-  (string * Tvm_autotune.Cfg_space.config * float) list -> unit
+  ?cache:tuned_cache ->
+  (string * Tvm_autotune.Cfg_space.config * float) list ->
+  unit

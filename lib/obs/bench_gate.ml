@@ -129,6 +129,11 @@ let default_rules =
        so the tolerances only absorb histogram bucket granularity. *)
     rule "gauges" "bench.serve.warm_speedup" ~dir:Higher_better ~tol:0.5;
     rule "gauges" "bench.serve.identical_schedule" ~dir:Exact ~tol:0.;
+    (* Concurrent-lane virtual-makespan speedup (slots 1 vs 4) and the
+       fraction of a restart-churned store that compaction reclaims —
+       both virtual/deterministic, tolerances absorb trace tweaks. *)
+    rule "gauges" "tvmd.concurrent_speedup" ~dir:Higher_better ~tol:0.5;
+    rule "gauges" "store.compact_ratio" ~dir:Higher_better ~tol:0.15;
     rule "histograms" "tvmd.queue_wait_s" ~field:"p90" ~dir:Lower_better
       ~tol:0.5;
     rule "histograms" "tvmd.completion_s" ~field:"p50" ~dir:Lower_better

@@ -18,9 +18,17 @@
     inside a task raises {!Nested_parallelism} — at every domain
     count, so a nest bug cannot hide at [-j 1].
 
+    {!run_lanes} is the one sanctioned two-level shape: coarse lanes
+    (e.g. [tvmd] executing independent job streams) whose tasks may
+    themselves call [parallel_map] — but only through a {e sequential}
+    pool. A multi-domain [parallel_map] from inside a lane still
+    raises {!Nested_parallelism}, at every lane width, so true nested
+    fan-out remains impossible.
+
     Metrics: [par.domains] (gauge, last pool created), [par.tasks]
-    (counter), [par.steal_idle_s] (histogram of the time the caller
-    waited on straggler domains after finishing its own share). *)
+    (counter), [par.lane_tasks] (counter), [par.steal_idle_s]
+    (histogram of the time the caller waited on straggler domains
+    after finishing its own share). *)
 
 exception Nested_parallelism
 
@@ -40,6 +48,17 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [map_list t f xs] = [List.map f xs], order preserved. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run_lanes t f xs] = [Array.map f xs] with the tasks spread over
+    [min (domains t) (Array.length xs)] lane domains by index
+    stealing. Unlike {!parallel_map} tasks, a lane task is allowed to
+    call [parallel_map] on a {e sequential} pool (the semantics are
+    plain [Array.map], so no nested fan-out happens); a multi-domain
+    pool inside a lane raises {!Nested_parallelism} as usual, and so
+    does [run_lanes] itself from inside any task or lane. Result
+    order, and the lowest-index exception rule, match
+    {!parallel_map}. *)
+val run_lanes : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [parallel_reduce t ~map ~combine ~init xs] maps in parallel, then
     folds [combine] over the mapped values {e in input-index order} on

@@ -30,11 +30,46 @@ type 'a completion = {
   cp_error : string option;
 }
 
-(* Per-tenant accounting while a trace runs. *)
-type tenant_state = {
+(* A pairing heap: O(1) insert/find-min, amortized O(log n)
+   delete-min. Keys are (-priority, id) pairs — unique because ids
+   are — so the min is the dispatch-ordered head of a tenant's ready
+   queue and ties cannot arise. *)
+module Pheap = struct
+  type 'a t = Empty | Node of (int * int) * 'a * 'a t list
+
+  let empty = Empty
+  let is_empty = function Empty -> true | _ -> false
+
+  let merge a b =
+    match (a, b) with
+    | Empty, t | t, Empty -> t
+    | Node (ka, va, ca), Node (kb, vb, cb) ->
+        if ka <= kb then Node (ka, va, b :: ca) else Node (kb, vb, a :: cb)
+
+  let insert k v t = merge (Node (k, v, [])) t
+
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ t ] -> t
+    | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (_, v, cs) -> Some (v, merge_pairs cs)
+end
+
+(* Per-tenant accounting while a trace runs. Pending jobs are indexed
+   per tenant — [ts_future] sorted by arrival, [ts_ready] a heap in
+   dispatch order — so a dispatch never rescans the whole backlog, and
+   [ts_running] is pruned of finished entries at every step so a
+   long-lived daemon's state stays bounded by what is actually in
+   flight. *)
+type 'a tenant_state = {
   ts_cfg : tenant;
   mutable ts_vwork : float;  (** accumulated service / weight *)
   mutable ts_running : float list;  (** finish times of in-flight jobs *)
+  mutable ts_future : 'a job list;  (** not yet arrived; submit asc, id asc *)
+  mutable ts_ready : 'a job Pheap.t;  (** arrived; (-priority, id) heap *)
 }
 
 (* One job's attempt loop: service and backoff both charge the virtual
@@ -73,60 +108,123 @@ let run ?(slots = 1) ?(retry = Retry_policy.default) ?(stop = fun () -> false)
     ~(tenants : tenant list) ~execute (jobs : 'a job list) :
     'a completion list =
   let slots = max 1 slots in
-  let states : (string, tenant_state) Hashtbl.t = Hashtbl.create 8 in
+  let by_name : (string, 'a tenant_state) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun tn ->
       if tn.tn_weight <= 0. then
         invalid_arg ("scheduler: non-positive weight for tenant " ^ tn.tn_name);
-      Hashtbl.replace states tn.tn_name
-        { ts_cfg = tn; ts_vwork = 0.; ts_running = [] })
+      Hashtbl.replace by_name tn.tn_name
+        {
+          ts_cfg = tn;
+          ts_vwork = 0.;
+          ts_running = [];
+          ts_future = [];
+          ts_ready = Pheap.empty;
+        })
     tenants;
   let state_of j =
-    match Hashtbl.find_opt states j.jb_tenant with
+    match Hashtbl.find_opt by_name j.jb_tenant with
     | Some s -> s
     | None -> invalid_arg ("scheduler: unknown tenant " ^ j.jb_tenant)
   in
   List.iter (fun j -> ignore (state_of j)) jobs;
-  let remaining = ref (List.sort (fun a b -> compare a.jb_id b.jb_id) jobs) in
+  (* Deterministic tenant iteration order for the fair-share argmin. *)
+  let states =
+    Hashtbl.fold (fun _ ts acc -> ts :: acc) by_name []
+    |> List.sort (fun a b -> compare a.ts_cfg.tn_name b.ts_cfg.tn_name)
+    |> Array.of_list
+  in
+  (* Index the trace up front: per tenant, arrivals in submit order. *)
+  List.iter
+    (fun j -> (state_of j).ts_future <- j :: (state_of j).ts_future)
+    jobs;
+  Array.iter
+    (fun ts ->
+      ts.ts_future <-
+        List.sort
+          (fun a b -> compare (a.jb_submit_s, a.jb_id) (b.jb_submit_s, b.jb_id))
+          ts.ts_future)
+    states;
+  let pending = ref (List.length jobs) in
   let slot_free = Array.make slots 0. in
   let completions = ref [] in
-  let under_quota ts ~at =
+  let running_now = ref 0 and running_peak = ref 0 in
+  let move_arrived ts ~now =
+    let rec go () =
+      match ts.ts_future with
+      | j :: rest when j.jb_submit_s <= now ->
+          ts.ts_future <- rest;
+          ts.ts_ready <- Pheap.insert (-j.jb_priority, j.jb_id) j ts.ts_ready;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (* Drop finish times the virtual clock has passed: [now] never
+     decreases across iterations (every slot's free time only grows),
+     so an entry [<= now] can never again satisfy an [> at] test in
+     [under_quota] or feed [next_event] — pruning it is free, and it
+     is what keeps a 10k-job stream's state bounded by true in-flight
+     work instead of the whole history. *)
+  let prune ts ~now =
+    match ts.ts_running with
+    | [] -> ()
+    | l ->
+        let kept = List.filter (fun f -> f > now) l in
+        running_now := !running_now - (List.length l - List.length kept);
+        ts.ts_running <- kept
+  in
+  let under_quota ts =
     match ts.ts_cfg.tn_quota with
     | None -> true
-    | Some q ->
-        List.length (List.filter (fun f -> f > at) ts.ts_running) < q
+    | Some q -> List.length ts.ts_running < q
   in
-  (* The next virtual instant at which the picture can change: a
-     pending submission arrives or a running job finishes (releasing
-     its tenant's quota). *)
+  (* The next virtual instant at which the picture can change: the
+     earliest pending arrival (each tenant's future head) or the
+     earliest in-flight finish (releasing its tenant's quota). *)
   let next_event ~after =
-    let cands =
-      List.filter_map
-        (fun j -> if j.jb_submit_s > after then Some j.jb_submit_s else None)
-        !remaining
-      @ Hashtbl.fold
-          (fun _ ts acc ->
-            List.filter (fun f -> f > after) ts.ts_running @ acc)
-          states []
-    in
-    List.fold_left Float.min Float.infinity cands
+    Array.fold_left
+      (fun acc ts ->
+        let acc =
+          match ts.ts_future with
+          | j :: _ when j.jb_submit_s > after -> Float.min acc j.jb_submit_s
+          | _ -> acc
+        in
+        List.fold_left
+          (fun acc f -> if f > after then Float.min acc f else acc)
+          acc ts.ts_running)
+      Float.infinity states
   in
   let continue = ref true in
-  while !remaining <> [] && !continue do
+  while !pending > 0 && !continue do
     if stop () then continue := false
     else begin
       (* Earliest free slot (lowest index on ties — deterministic). *)
       let slot = ref 0 in
       Array.iteri (fun i f -> if f < slot_free.(!slot) then slot := i) slot_free;
       let now = slot_free.(!slot) in
-      let eligible =
-        List.filter
-          (fun j ->
-            j.jb_submit_s <= now && under_quota (state_of j) ~at:now)
-          !remaining
-      in
-      match eligible with
-      | [] ->
+      Array.iter
+        (fun ts ->
+          move_arrived ts ~now;
+          prune ts ~now)
+        states;
+      (* Weighted fair share: the eligible tenant (ready job, quota
+         headroom) with the least accumulated virtual work per unit
+         weight goes next. *)
+      let best = ref None in
+      Array.iter
+        (fun ts ->
+          if (not (Pheap.is_empty ts.ts_ready)) && under_quota ts then
+            match !best with
+            | None -> best := Some ts
+            | Some b ->
+                let kb = b.ts_vwork /. b.ts_cfg.tn_weight
+                and ks = ts.ts_vwork /. ts.ts_cfg.tn_weight in
+                if ks < kb || (ks = kb && ts.ts_cfg.tn_name < b.ts_cfg.tn_name)
+                then best := Some ts)
+        states;
+      match !best with
+      | None ->
           (* Nothing runnable yet: park this slot at the next event. *)
           let t = next_event ~after:now in
           if t = Float.infinity then
@@ -134,49 +232,23 @@ let run ?(slots = 1) ?(retry = Retry_policy.default) ?(stop = fun () -> false)
                nothing running — a configuration error (quota 0). *)
             invalid_arg "scheduler: stalled (tenant quota 0?)"
           else slot_free.(!slot) <- t
-      | _ ->
-          (* Weighted fair share: the eligible tenant with the least
-             accumulated virtual work per unit weight goes next. *)
-          let ts =
-            List.fold_left
-              (fun best j ->
-                let s = state_of j in
-                match best with
-                | None -> Some s
-                | Some b ->
-                    let kb = b.ts_vwork /. b.ts_cfg.tn_weight
-                    and ks = s.ts_vwork /. s.ts_cfg.tn_weight in
-                    if
-                      ks < kb
-                      || (ks = kb && s.ts_cfg.tn_name < b.ts_cfg.tn_name)
-                    then Some s
-                    else best)
-              None eligible
-            |> Option.get
+      | Some ts ->
+          (* Within the tenant: priority, then FIFO by id — the heap
+             order. *)
+          let job, rest =
+            match Pheap.pop ts.ts_ready with
+            | Some (j, rest) -> (j, rest)
+            | None -> assert false
           in
-          (* Within the tenant: priority, then FIFO by id. *)
-          let job =
-            List.fold_left
-              (fun best j ->
-                if j.jb_tenant <> ts.ts_cfg.tn_name then best
-                else
-                  match best with
-                  | None -> Some j
-                  | Some b ->
-                      if
-                        j.jb_priority > b.jb_priority
-                        || (j.jb_priority = b.jb_priority && j.jb_id < b.jb_id)
-                      then Some j
-                      else best)
-              None eligible
-            |> Option.get
-          in
-          remaining := List.filter (fun j -> j.jb_id <> job.jb_id) !remaining;
+          ts.ts_ready <- rest;
+          decr pending;
           let attempts, service, error = attempt_loop ~retry ~execute job in
           let finish = now +. service in
           slot_free.(!slot) <- finish;
           ts.ts_vwork <- ts.ts_vwork +. (service /. ts.ts_cfg.tn_weight);
           ts.ts_running <- finish :: ts.ts_running;
+          incr running_now;
+          if !running_now > !running_peak then running_peak := !running_now;
           completions :=
             {
               cp_job = job;
@@ -191,4 +263,5 @@ let run ?(slots = 1) ?(retry = Retry_policy.default) ?(stop = fun () -> false)
             :: !completions
     end
   done;
+  Tvm_obs.Metrics.set_gauge "sched.running_peak" (float_of_int !running_peak);
   List.rev !completions

@@ -21,7 +21,16 @@
     exponential backoff charged to the virtual clock, an attempt whose
     service exceeds [retry.timeout_s] counts as a timeout, and a job
     that exhausts its attempts completes with [cp_error] set — the
-    scheduler itself never raises on a failing job. *)
+    scheduler itself never raises on a failing job.
+
+    The implementation is built for long traces: pending jobs are
+    indexed per tenant (a submit-ordered arrival list feeding a
+    priority-then-FIFO heap), so each dispatch costs O(tenants +
+    log pending) rather than a rescan of the whole backlog, and
+    finished entries are pruned from the in-flight lists as the
+    virtual clock passes them, so resident state is bounded by true
+    concurrency — the [sched.running_peak] gauge records the high
+    water mark of retained in-flight entries for a run. *)
 
 type tenant = {
   tn_name : string;

@@ -7,17 +7,44 @@
     or profile), and accounts per-tenant usage through labeled
     {!Tvm_obs.Metrics}.
 
+    {2 Isolation}
+
+    Tuning state is private by default: each tenant gets its own
+    {!Tvm_autotune.Tuner.Db} trial log, tuned-configuration cache and
+    per-template {!Tvm_autotune.Compile_cache} — one tenant's history
+    never changes another's results or bills. An envelope with
+    [share = true] opts into the communal [shared] scope instead (the
+    paper's cross-workload history database). The scope is also the
+    unit of concurrency: one scope's jobs execute sequentially in
+    submission order, different scopes run on different lanes.
+
+    {2 Concurrency}
+
+    Execution is two-phase. Phase one fans the live jobs' isolation
+    scopes out over up to [slots] lane domains
+    ({!Tvm_par.Pool.run_lanes}) and memoizes each job's (service,
+    summary); phase two replays the memoized results through the
+    sequential virtual-clock scheduler on the coordinator — the PR 4
+    replay-on-coordinator pattern — so the authoritative schedule,
+    accounting and results file are byte-identical at any lane count
+    and any [-j]. Within a lane, ops run with sequential host
+    parallelism ([jobs = 1]): tvmd parallelizes across jobs, not
+    within one. A retried job observes its one memoized execution on
+    every attempt.
+
     {2 Durability}
 
     With [~store] set, every piece of expensive state is flushed to
     the versioned on-disk {!Tvm_autotune.Store} incrementally, after
     each completed job:
 
-    - the shared {!Tvm_autotune.Tuner.Db} trial log (so an interrupted
-      tuning job resumes via [spec.replay] instead of re-measuring);
-    - the compiler's tuned-configuration cache (so a repeat compile of
-      an already-tuned workload runs zero trials);
-    - per-template {!Tvm_autotune.Compile_cache} feature entries;
+    - the scope's {!Tvm_autotune.Tuner.Db} trial log (so an
+      interrupted tuning job resumes via [spec.replay] instead of
+      re-measuring), as scope-tagged [db.scoped] blocks;
+    - the scope's tuned-configuration cache ([tuned.scoped] blocks, so
+      a repeat compile of an already-tuned workload runs zero trials);
+    - per-template {!Tvm_autotune.Compile_cache} feature entries,
+      tagged [<scope>|<template>];
     - a [done] record per completed job: its fingerprint, charged
       service time and result summary.
 
@@ -25,8 +52,11 @@
     [done] record is not re-executed — its recorded service time is
     injected into the scheduler, so the restarted run's schedule (and
     every other job's latency) is byte-identical to an uninterrupted
-    run. Corrupt or version-mismatched store blocks are skipped with a
-    warning, never a crash.
+    run, and the record is re-appended as a freshness refresh (the
+    superseded copies are what {!Tvm_autotune.Store.compact} drops,
+    using {!store_rules}). Legacy untagged [db]/[tuned] blocks load
+    into the [shared] scope. Corrupt or version-mismatched store
+    blocks are skipped with a warning, never a crash.
 
     {2 Determinism}
 
@@ -42,6 +72,7 @@ type request = {
   rq_quota : int option;  (** max in-flight jobs for this tenant *)
   rq_priority : int;
   rq_submit_s : float;  (** arrival on the virtual clock *)
+  rq_share : bool;  (** opt into the shared cross-tenant cache scope *)
   rq_spec : Tvm_spec.Job_spec.t;
 }
 
@@ -51,19 +82,25 @@ val request :
   ?quota:int ->
   ?priority:int ->
   ?submit_s:float ->
+  ?share:bool ->
   Tvm_spec.Job_spec.t ->
   request
 
 (** Single-line JSON envelope:
-    [{"tenant":…,"weight":…,"quota":…,"priority":…,"submit_s":…,"spec":{…}}].
+    [{"tenant":…,"weight":…,"quota":…,"priority":…,"submit_s":…,"share":…,"spec":{…}}].
     Floats print with full precision, so [of_string (to_string r)]
     round-trips and fingerprints are stable across processes. *)
 val to_string : request -> string
 
 (** Inverse of {!to_string}; missing fields take defaults (tenant
-    ["default"], weight 1, no quota, priority 0, submit 0). Raises
-    [Failure] on malformed JSON. *)
+    ["default"], weight 1, no quota, priority 0, submit 0, share
+    false). Raises [Failure] on malformed JSON. *)
 val of_string : string -> request
+
+(** {!Tvm_autotune.Store.compact} rules covering every kind a [tvmd]
+    store contains: the standard rules plus last-wins [done] records
+    keyed by fingerprint. *)
+val store_rules : Tvm_autotune.Store.rule list
 
 type outcome = {
   oc_lines : string list;
@@ -76,13 +113,18 @@ type outcome = {
   oc_failed : int;  (** jobs that exhausted their retry budget *)
 }
 
-(** Run a request trace to completion (or until [max_jobs] live jobs
-    have finished — the kill switch the restart test uses).
+(** Run a request trace to completion.
 
-    [slots] is the number of executor lanes (default 2). [store] names
-    the durable store file: loaded on entry, flushed after every
-    completed job. [retry] is the job-level reliability policy
-    (default {!Tvm_rpc.Retry_policy.default}).
+    [slots] is the number of executor lanes, both virtual (scheduler
+    slots) and physical (phase-one lane domains; default 2). [store]
+    names the durable store file: loaded on entry, flushed after every
+    completed job. [max_jobs] is the kill switch the restart test
+    uses: at most that many live (un-restored) jobs execute, taken in
+    submission (id) order; the rest are abandoned without a results
+    line. [retry] is the job-level reliability policy (default
+    {!Tvm_rpc.Retry_policy.default}). [compact_above] compacts the
+    store on entry when it exceeds that many bytes (never mid-run, so
+    incremental flush counters stay honest).
 
     Also records service metrics: [tvmd.queue_wait_s] and
     [tvmd.completion_s] histograms (p50/p90/p99 in the metrics dump),
@@ -93,5 +135,38 @@ val serve :
   ?store:string ->
   ?max_jobs:int ->
   ?retry:Tvm_rpc.Retry_policy.t ->
+  ?compact_above:int ->
   request list ->
   outcome
+
+(** Watch a spool directory and serve envelope files as they arrive —
+    the streaming request source.
+
+    Each scan picks up every regular file in [dir] (dotfiles, the
+    [stop] file and subdirectories excluded), sorted by filename —
+    deterministic ingestion order. A non-empty scan is one batch: the
+    files' envelope lines (malformed lines are skipped with a warning)
+    are served as one trace via {!serve}, [on_batch] receives the
+    batch index and outcome, and the files are then moved to
+    [dir/archive/]. The durable store carries state across batches, so
+    a re-dropped envelope is answered from its [done] record.
+
+    The loop exits when a file named [stop] exists in [dir] and a
+    final scan finds no pending envelopes (graceful drain), when
+    [stopped] returns true (a signal flag — the current batch still
+    finishes), or after [max_scans] scans. Between empty scans it
+    sleeps [poll_s] (default 0.05 s) of wall time — the only wall
+    clock in the daemon; everything inside a batch stays virtual.
+    Returns the number of batches served. *)
+val serve_spool :
+  ?slots:int ->
+  ?store:string ->
+  ?retry:Tvm_rpc.Retry_policy.t ->
+  ?compact_above:int ->
+  ?poll_s:float ->
+  ?max_scans:int ->
+  ?stopped:(unit -> bool) ->
+  dir:string ->
+  on_batch:(int -> outcome -> unit) ->
+  unit ->
+  int

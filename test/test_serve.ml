@@ -406,7 +406,7 @@ let test_scheduler_policies () =
 let test_request_roundtrip () =
   let r =
     Tvmd.request ~tenant:"alpha" ~weight:2. ~quota:3 ~priority:1
-      ~submit_s:0.25
+      ~submit_s:0.25 ~share:true
       (Job_spec.make ~op:Job_spec.Tune ~workload:"C1" ~trials:8
          ~method_name:"random" ~jobs:2 ())
   in
@@ -417,7 +417,7 @@ let test_request_roundtrip () =
   Alcotest.(check bool)
     "defaults fill in" true
     (d.Tvmd.rq_tenant = "default" && d.Tvmd.rq_weight = 1.
-    && d.Tvmd.rq_quota = None
+    && d.Tvmd.rq_quota = None && d.Tvmd.rq_share = false
     && d.Tvmd.rq_spec = Job_spec.default)
 
 (* The restart contract: kill tvmd mid-trace, restart on the same
@@ -463,6 +463,190 @@ let test_tvmd_restart () =
   Alcotest.(check (list string))
     "warm results identical" full.Tvmd.oc_lines warm.Tvmd.oc_lines
 
+(* The dispatch loop must prune its in-flight bookkeeping as the
+   virtual clock passes each finish — a long stream may never
+   accumulate per-job state. 10k jobs across 4 tenants at 4 slots: the
+   in-flight peak is the slot count, not the stream length. *)
+let test_scheduler_bounded_state () =
+  Metrics.reset ();
+  let n = 10_000 in
+  let jobs =
+    List.init n (fun i ->
+        {
+          Sched.jb_id = i;
+          jb_tenant = Printf.sprintf "t%d" (i mod 4);
+          jb_priority = i mod 3;
+          jb_submit_s = float_of_int i /. 10.;
+          jb_payload = ();
+        })
+  in
+  let tenants = List.init 4 (fun i -> Sched.tenant (Printf.sprintf "t%d" i)) in
+  let cs =
+    Sched.run ~slots:4 ~tenants ~execute:(fun _ ~attempt:_ -> Ok 1.0) jobs
+  in
+  Alcotest.(check int) "all complete" n (List.length cs);
+  let peak =
+    Option.value ~default:infinity (Metrics.get "sched.running_peak")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "in-flight state bounded by slots (peak %.0f)" peak)
+    true (peak <= 4.)
+
+(* Compaction: superseded records drop per rule, unruled kinds keep
+   everything, and a crash at any injected point — mid-write or just
+   before the atomic rename — leaves the original store intact. *)
+let test_store_compaction () =
+  with_store @@ fun path ->
+  let rules =
+    [
+      {
+        Store.rl_kind = "first";
+        rl_scoped = false;
+        rl_keep = Store.First_per_key;
+      };
+      { Store.rl_kind = "last"; rl_scoped = false; rl_keep = Store.Last_per_key };
+    ]
+  in
+  Store.append_block path ~kind:"first" [ "k1\tv1"; "k2\tv1" ];
+  Store.append_block path ~kind:"raw" [ "r1"; "r2" ];
+  Store.append_block path ~kind:"first" [ "k1\tv2"; "k3\tv1" ];
+  Store.append_block path ~kind:"last" [ "a\t1"; "b\t1" ];
+  Store.append_block path ~kind:"last" [ "a\t2" ];
+  Store.append_block path ~kind:"raw" [ "r3" ];
+  let before = In_channel.with_open_bin path In_channel.input_all in
+  (try
+     ignore (Store.compact ~rules ~crash_after_bytes:8 path);
+     Alcotest.fail "expected injected crash"
+   with Store.Injected_crash -> ());
+  Alcotest.(check string) "crash mid-write loses nothing" before
+    (In_channel.with_open_bin path In_channel.input_all);
+  (try
+     ignore (Store.compact ~rules ~crash_before_rename:true path);
+     Alcotest.fail "expected injected crash"
+   with Store.Injected_crash -> ());
+  Alcotest.(check string) "crash before rename loses nothing" before
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* Below the size threshold nothing happens at all. *)
+  Alcotest.(check bool)
+    "below threshold: untouched" true
+    (Store.compact ~rules ~threshold_bytes:1_000_000 path = None);
+  (* The real pass shrinks the file to exactly the live records. *)
+  (match Store.compact ~rules path with
+  | None -> Alcotest.fail "compaction skipped"
+  | Some (b, a) ->
+      Alcotest.(check int) "before is the old size" (String.length before) b;
+      Alcotest.(check bool) "shrinks" true (a < b));
+  let records kind =
+    Store.load_blocks path
+    |> List.filter (fun b -> b.Store.b_kind = kind)
+    |> List.concat_map (fun b -> b.Store.b_records)
+  in
+  Alcotest.(check (list string))
+    "first-wins dedup"
+    [ "k1\tv1"; "k2\tv1"; "k3\tv1" ]
+    (records "first");
+  Alcotest.(check (list string))
+    "last-wins dedup" [ "b\t1"; "a\t2" ] (records "last");
+  Alcotest.(check (list string))
+    "unruled kinds keep every record" [ "r1"; "r2"; "r3" ] (records "raw");
+  (* Idempotent: a second pass finds nothing left to drop. *)
+  match Store.compact ~rules path with
+  | None -> Alcotest.fail "second pass skipped"
+  | Some (b2, a2) -> Alcotest.(check int) "idempotent" b2 a2
+
+(* The streaming spool must be just another way of feeding the same
+   deterministic service: a drained batch produces the exact lines a
+   one-shot jobs-file run over the same envelopes does, consumed files
+   move to the archive, and malformed lines are skipped not fatal. *)
+let test_tvmd_spool () =
+  let dir = Filename.temp_file "tvmspool" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then (
+      Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p)
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let tune_spec workload =
+    Job_spec.make ~op:Job_spec.Tune ~workload ~trials:8 ~method_name:"random"
+      ~jobs:2 ()
+  in
+  let trace =
+    [
+      Tvmd.request ~tenant:"alpha" ~weight:2. ~submit_s:0. (tune_spec "C1");
+      Tvmd.request ~tenant:"beta" ~submit_s:0.1 (tune_spec "C2");
+    ]
+  in
+  Out_channel.with_open_text (Filename.concat dir "00-a.req") (fun oc ->
+      output_string oc (Tvmd.to_string (List.nth trace 0) ^ "\n"));
+  Out_channel.with_open_text (Filename.concat dir "01-b.req") (fun oc ->
+      output_string oc (Tvmd.to_string (List.nth trace 1) ^ "\n");
+      output_string oc "this is not an envelope\n");
+  (* Stop file pre-armed: the loop serves the pending batch, sees the
+     drained spool, and exits. *)
+  Out_channel.with_open_text (Filename.concat dir "stop") ignore;
+  let outcomes = ref [] in
+  let batches =
+    Tvmd.serve_spool ~slots:2 ~dir
+      ~on_batch:(fun _ o -> outcomes := o :: !outcomes)
+      ()
+  in
+  Alcotest.(check int) "one batch" 1 batches;
+  let spooled =
+    match !outcomes with [ o ] -> o | _ -> Alcotest.fail "one outcome"
+  in
+  Alcotest.(check int) "malformed line skipped, jobs served" 2
+    (List.length spooled.Tvmd.oc_lines);
+  let direct = Tvmd.serve ~slots:2 trace in
+  Alcotest.(check (list string))
+    "spool batch identical to jobs-file run" direct.Tvmd.oc_lines
+    spooled.Tvmd.oc_lines;
+  let left = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  Alcotest.(check (list string)) "spool dir drained" [ "archive"; "stop" ] left;
+  let archived =
+    Sys.readdir (Filename.concat dir "archive")
+    |> Array.to_list |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "envelopes archived" [ "00-a.req"; "01-b.req" ] archived
+
+(* Tenant isolation: private scopes never share tuning state — two
+   tenants compiling the same network each pay the full tuning cost;
+   opting into the shared scope lets the second ride the first's tuned
+   configurations. *)
+let test_tvmd_isolation () =
+  let spec =
+    Job_spec.make ~op:Job_spec.Compile ~workload:"dqn" ~trials:4
+      ~method_name:"random" ~jobs:2 ()
+  in
+  let service (o : Tvmd.outcome) id =
+    List.find_map
+      (fun (c : Tvmd.request Sched.completion) ->
+        if c.Sched.cp_job.Sched.jb_id = id then Some c.Sched.cp_service_s
+        else None)
+      o.Tvmd.oc_completions
+    |> Option.get
+  in
+  let trace share =
+    [
+      Tvmd.request ~tenant:"alpha" ~submit_s:0. ~share spec;
+      Tvmd.request ~tenant:"beta" ~submit_s:0. ~share spec;
+    ]
+  in
+  let private_ = Tvmd.serve ~slots:2 (trace false) in
+  Alcotest.(check int) "both tenants execute" 2 private_.Tvmd.oc_executed;
+  Alcotest.(check (float 1e-9))
+    "private scopes: both pay full tuning" (service private_ 0)
+    (service private_ 1);
+  let shared = Tvmd.serve ~slots:2 (trace true) in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared scope: second compile rides the first (%.3f vs %.3f)"
+       (service shared 1) (service shared 0))
+    true
+    (service shared 1 < service shared 0 /. 2.)
+
 let suite =
   [
     Alcotest.test_case "Job_spec JSON round trip" `Quick test_job_spec_roundtrip;
@@ -491,4 +675,12 @@ let suite =
       test_request_roundtrip;
     Alcotest.test_case "tvmd kill/restart: byte-identical results" `Slow
       test_tvmd_restart;
+    Alcotest.test_case "scheduler: in-flight state bounded on 10k-job stream"
+      `Quick test_scheduler_bounded_state;
+    Alcotest.test_case "store compaction: rules, crash safety, idempotence"
+      `Quick test_store_compaction;
+    Alcotest.test_case "tvmd spool: identical to jobs-file, archive, drain"
+      `Slow test_tvmd_spool;
+    Alcotest.test_case "tvmd tenant isolation vs shared scope" `Slow
+      test_tvmd_isolation;
   ]
