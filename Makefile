@@ -1,8 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
 .PHONY: all build test check check-fault check-validate check-par check-cache \
-  check-journal check-serve check-spool check-compact check-bench bench-json \
-  bench-baseline clean
+  check-journal check-serve check-spool check-compact check-fleet check-bench \
+  bench-json bench-baseline clean
 
 all: build
 
@@ -188,6 +188,36 @@ check-compact: build
 	  --results _build/check-compact/r_compacted
 	cmp _build/check-compact/r_cold _build/check-compact/r_compacted
 
+# Sharded-fleet gate: the fleet test suite, then tvmc on a 1000-device
+# 20%-faulty fleet with speculation. The tuning log AND the journal
+# must be byte-identical at -j1 vs -j8; the log must additionally be
+# byte-identical across shard counts (4 vs 16) and with speculation
+# off (placement-invariant results — only the journal's placement
+# fields may differ across those).
+check-fleet: build
+	dune exec test/test_main.exe -- test fleet
+	mkdir -p _build/check-fleet
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --fleet 1000 \
+	  --shards 16 --fault-rate 0.2 --speculate -j 1 \
+	  --tune-log _build/check-fleet/j1.log \
+	  --journal-out _build/check-fleet/j1.jsonl
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --fleet 1000 \
+	  --shards 16 --fault-rate 0.2 --speculate -j 8 \
+	  --tune-log _build/check-fleet/j8.log \
+	  --journal-out _build/check-fleet/j8.jsonl
+	cmp _build/check-fleet/j1.log _build/check-fleet/j8.log
+	cmp _build/check-fleet/j1.jsonl _build/check-fleet/j8.jsonl
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --fleet 1000 \
+	  --shards 4 --fault-rate 0.2 --speculate -j 4 \
+	  --tune-log _build/check-fleet/shards4.log
+	cmp _build/check-fleet/j1.log _build/check-fleet/shards4.log
+	dune exec bin/tvmc.exe -- tune C7 --trials 40 --seed 5 --fleet 1000 \
+	  --shards 16 --fault-rate 0.2 -j 4 \
+	  --tune-log _build/check-fleet/nospec.log
+	cmp _build/check-fleet/j1.log _build/check-fleet/nospec.log
+	dune exec bench/main.exe -- --quick --json _build/check-fleet/obs.json \
+	  fleet
+
 # Benchmark regression gate: rerun the gated scopes and compare the
 # metrics dump against the committed BENCH_obs.json baseline under
 # Bench_gate.default_rules (exits nonzero on regression). When a
@@ -197,10 +227,10 @@ check-bench: build
 	mkdir -p _build/check-bench
 	dune exec bench/main.exe -- --quick -j 4 \
 	  --json _build/check-bench/obs.json --baseline BENCH_obs.json \
-	  partune lower cache serve
+	  partune lower cache serve fleet
 
 check: build test check-fault check-validate check-par check-cache \
-  check-journal check-serve check-spool check-compact check-bench
+  check-journal check-serve check-spool check-compact check-fleet check-bench
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the
@@ -212,7 +242,7 @@ bench-json:
 # the gate itself, so the comparison is apples to apples).
 bench-baseline:
 	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json \
-	  partune lower cache serve
+	  partune lower cache serve fleet
 
 clean:
 	dune clean

@@ -5,7 +5,8 @@
     Usage: [main.exe [--quick] [--json FILE] [--baseline FILE] [-j N]
     [exp ...]] where [exp] is one of fig4 fig6 fig7 fig10 fig12 fig14
     fig15 fig16 fig17 fig18 fig19 fig21 table1 table2 ablations partune
-    lower cache micro all (default: all). [-j N] sets the domain/device
+    lower cache serve fleet micro all (default: all). [-j N] sets the
+    domain/device
     count the [partune] throughput comparison scales to (default 4).
 
     [--json FILE] dumps the observability metrics registry (including
@@ -332,6 +333,100 @@ let bench_serve () =
   Printf.printf "  1000-job backlog dispatched in %.3fs (wall)\n" backlog_s
 
 (* ------------------------------------------------------------------ *)
+(* Measurement fleet                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Fl = Tvm_rpc.Fleet
+
+(* Fleet scaling: one fixed synthetic workload dispatched to sharded
+   fleets of 8/64/256/1000 heterogeneous devices. Everything is
+   virtual-clock ([Fleet.simulate]), so the makespans, the scaling
+   efficiency ((T(8)/T(256)) / (usable(256)/usable(8))), the steal rate
+   and the speculation speedup are all deterministic and gate-able. *)
+let bench_fleet () =
+  E.banner "Measurement fleet: sharded scaling, stealing, speculation";
+  let kind = Tvm_rpc.Device_pool.Gpu_dev Tvm_sim.Machine.titan_x in
+  let n_jobs = 2000 in
+  (* Deterministic spread of model times around ~77 ms: with per-job
+     dispatch 0.05 s and 3 repeats, one job charges ~0.28 s. *)
+  let costs =
+    Array.init n_jobs (fun i ->
+        0.06 +. (0.04 *. float_of_int (i mod 7) /. 7.))
+  in
+  let run_at d =
+    let f = Fl.session (Fl.catalog (Fl.mixed_kinds d)) in
+    let r = Fl.simulate f ~kind ~cost_s:costs in
+    assert (Array.length r = n_jobs);
+    (Fl.makespan f, Fl.usable f ~kind, Fl.stats f)
+  in
+  let sizes = [ 8; 64; 256; 1000 ] in
+  let results = List.map (fun d -> (d, run_at d)) sizes in
+  List.iter
+    (fun (d, (mk, usable, st)) ->
+      Tvm_obs.Metrics.set_gauge
+        (Printf.sprintf "bench.fleet.makespan_%d" d)
+        mk;
+      Printf.printf
+        "  %4d devices (%3d usable, %2d shards): makespan %8.2f s, %4d \
+         steals (%4d jobs moved)\n"
+        d usable st.Fl.fs_shards mk st.Fl.fs_steals st.Fl.fs_stolen_jobs)
+    results;
+  let span d = match List.assoc d results with mk, _, _ -> mk in
+  let usable_at d = match List.assoc d results with _, u, _ -> u in
+  let perfect = float_of_int (usable_at 256) /. float_of_int (usable_at 8) in
+  let efficiency = span 8 /. span 256 /. perfect in
+  Tvm_obs.Metrics.set_gauge "bench.fleet.scaling_efficiency" efficiency;
+  Printf.printf "  scaling efficiency 8 -> 256 devices: %.2f (perfect = 1.0)\n"
+    efficiency;
+  (* Work stealing under imbalance: a homogeneous-kind fleet whose
+     first shard is made of 4x-slow devices. Batched dispatch hands
+     every shard an equal slice, so the fast shards must drain the slow
+     shard's backlog for the makespan to stay near the fast-device
+     bound. *)
+  let steal_rate =
+    let roster =
+      List.init 64 (fun i -> (kind, if i < 8 then 4.0 else 1.0))
+    in
+    let f = Fl.session (Fl.catalog ~shards:8 roster) in
+    let r = Fl.simulate f ~kind ~cost_s:costs in
+    assert (Array.length r = n_jobs);
+    let st = Fl.stats f in
+    Printf.printf
+      "  imbalanced 64-device fleet: makespan %.2f s, %d steals moved %d \
+       of %d jobs\n"
+      (Fl.makespan f) st.Fl.fs_steals st.Fl.fs_stolen_jobs n_jobs;
+    100. *. float_of_int st.Fl.fs_stolen_jobs /. float_of_int n_jobs
+  in
+  Tvm_obs.Metrics.set_gauge "bench.fleet.steal_rate" steal_rate;
+  Printf.printf "  steal rate under imbalance: %.1f%% of jobs moved shard\n"
+    steal_rate;
+  (* Speculation: a 64-device fleet with one 12x straggler of the
+     target kind. Speculation must cut the straggler-dominated tail of
+     the makespan without changing a single result. *)
+  let spec_jobs = 300 in
+  let spec_costs = Array.sub costs 0 spec_jobs in
+  let run_spec speculate =
+    let f =
+      Fl.session
+        (Fl.catalog ~speculate (Fl.mixed_kinds ~straggler:0 64))
+    in
+    let r = Fl.simulate f ~kind ~cost_s:spec_costs in
+    (Fl.makespan f, r, Fl.stats f)
+  in
+  let mk_off, r_off, _ = run_spec false in
+  let mk_on, r_on, st_on = run_spec true in
+  let spec_speedup = mk_off /. Float.max 1e-9 mk_on in
+  let identical = r_off = r_on in
+  Tvm_obs.Metrics.set_gauge "bench.fleet.speculation_speedup" spec_speedup;
+  Tvm_obs.Metrics.set_gauge "bench.fleet.spec_identical"
+    (if identical then 1. else 0.);
+  Printf.printf
+    "  straggler makespan: %.2f s -> %.2f s with speculation (%.2fx, %d \
+     launched / %d won); results %s\n"
+    mk_off mk_on spec_speedup st_on.Fl.fs_spec_launched st_on.Fl.fs_spec_wins
+    (if identical then "identical" else "DIFFER (bug!)")
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,6 +460,7 @@ let experiments : (string * (unit -> unit)) list =
     ("lower", fun () -> ignore (Fm.bench_lower ()));
     ("cache", fun () -> ignore (Fm.bench_cache ()));
     ("serve", bench_serve);
+    ("fleet", fun () -> bench_fleet ());
     ("micro", micro);
   ]
 

@@ -255,31 +255,98 @@ let tune_cmd =
             "Write the full trial history as JSON lines (one record per \
              measurement; byte-identical for a fixed seed at any -j)")
   in
+  let fleet =
+    Arg.(
+      value & opt int 0
+      & info [ "fleet" ]
+          ~doc:
+            "Measure on a sharded fleet of N simulated heterogeneous \
+             devices instead of the classic pool (0 = classic). Results \
+             are placement-invariant: the log is byte-identical across \
+             -j, $(b,--shards) and $(b,--speculate). With \
+             $(b,--straggler) the straggler is a 12x-slow device of the \
+             target kind (speculation bait), not a fault source.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Shards per device kind with $(b,--fleet) (0 = auto, about \
+             one per 32 devices)")
+  in
+  let speculate =
+    Arg.(
+      value & flag
+      & info [ "speculate" ]
+          ~doc:
+            "With $(b,--fleet): duplicate straggling measurements on an \
+             idle device; first finisher wins. Never changes results, \
+             only the simulated makespan.")
+  in
   let run workload trials method_name fault_rate max_retries timeout_ms seed
-      jobs devices straggler tune_log validate no_cache trace_out metrics_out
-      journal_out =
+      jobs devices fleet_n shards speculate straggler tune_log validate
+      no_cache trace_out metrics_out journal_out =
     with_obs ~journal_out ~trace_out ~metrics_out @@ fun () ->
     let spec =
       Tvm_spec.Job_spec.make ~op:Tvm_spec.Job_spec.Tune ~workload ~trials
         ~method_name ~seed ~jobs ~devices ~validate ~fault_rate ?straggler
-        ~max_retries ~timeout_s:(timeout_ms /. 1e3)
-        ~use_compile_cache:(not no_cache) ?tune_log ?trace_out ?metrics_out
-        ?journal_out ()
+        ~max_retries ~timeout_s:(timeout_ms /. 1e3) ~fleet:fleet_n ~shards
+        ~speculate ~use_compile_cache:(not no_cache) ?tune_log ?trace_out
+        ?metrics_out ?journal_out ()
     in
     let w = Workloads.find workload in
     let out = Tvm_experiments.Fig_e2e.conv_tensor w in
     let tpl = Tvm_autotune.Templates.gpu_flat ~name:("tvmc_" ^ workload) out in
-    let pool = Tvm_rpc.Device_pool.of_spec spec in
     let par = Tvm_par.Pool.create ~domains:jobs () in
-    let measure = Tvm_rpc.Device_pool.measure_fn pool ~kind_pred:(fun _ -> true) in
-    let measure_batch =
-      Tvm_rpc.Device_pool.batch_measure_fn ~par pool ~kind_pred:(fun _ -> true)
-    in
     let method_ = Tvm_autotune.Tuner.method_of_name method_name in
-    Printf.printf "tuning %s (%s) on %d x titan-x, %d trials, space %d, -j %d...\n%!"
-      (Workloads.to_string w) method_name (max 1 devices) trials
-      (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space)
-      jobs;
+    (* Classic pool and fleet expose the same measurement callbacks;
+       the fleet additionally widens the measurement batch to keep its
+       shards saturated. *)
+    let pool = ref None and fl = ref None in
+    let spec, measure, measure_batch =
+      if fleet_n > 0 then begin
+        let f = Tvm_rpc.Fleet.of_spec spec in
+        fl := Some f;
+        let kind = Tvm_rpc.Device_pool.kind_of_target spec.target in
+        let spec =
+          {
+            spec with
+            Tvm_spec.Job_spec.batch =
+              Tvm_rpc.Fleet.suggested_batch f ~kind ~base:spec.batch;
+          }
+        in
+        ( spec,
+          Tvm_rpc.Fleet.measure_fn f ~kind,
+          Tvm_rpc.Fleet.batch_measure_fn ~par f ~kind )
+      end
+      else begin
+        let p = Tvm_rpc.Device_pool.of_spec spec in
+        pool := Some p;
+        ( spec,
+          Tvm_rpc.Device_pool.measure_fn p ~kind_pred:(fun _ -> true),
+          Tvm_rpc.Device_pool.batch_measure_fn ~par p ~kind_pred:(fun _ -> true)
+        )
+      end
+    in
+    (match !fl with
+    | Some f ->
+        Printf.printf
+          "tuning %s (%s) on a %d-device fleet (%d shards%s), %d trials, \
+           batch %d, space %d, -j %d...\n\
+           %!"
+          (Workloads.to_string w) method_name (Tvm_rpc.Fleet.devices f)
+          (Tvm_rpc.Fleet.shard_count f)
+          (if speculate then ", speculative" else "")
+          trials spec.Tvm_spec.Job_spec.batch
+          (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space)
+          jobs
+    | None ->
+        Printf.printf
+          "tuning %s (%s) on %d x titan-x, %d trials, space %d, -j %d...\n%!"
+          (Workloads.to_string w) method_name (max 1 devices) trials
+          (Tvm_autotune.Cfg_space.size tpl.Tvm_autotune.Tuner.tpl_space)
+          jobs);
     let db = Tvm_autotune.Tuner.Db.create () in
     let res =
       Tvm_autotune.Tuner.tune ~spec ~db ~measure_batch ~method_ ~measure
@@ -302,11 +369,27 @@ let tune_cmd =
     let metric name =
       match Obs.Metrics.get name with Some v -> int_of_float v | None -> 0
     in
-    if fault_rate > 0. then
-      Printf.printf
-        "pool: %d retries, %d timeouts, %d crashes, %d unstable, %d quarantined\n"
-        (metric "pool.retries") (metric "pool.timeouts") (metric "pool.crashes")
-        (metric "pool.corrupt") (Tvm_rpc.Device_pool.quarantined_count pool);
+    (match !pool with
+    | Some p when fault_rate > 0. ->
+        Printf.printf
+          "pool: %d retries, %d timeouts, %d crashes, %d unstable, %d quarantined\n"
+          (metric "pool.retries") (metric "pool.timeouts")
+          (metric "pool.crashes") (metric "pool.corrupt")
+          (Tvm_rpc.Device_pool.quarantined_count p)
+    | _ -> ());
+    (match !fl with
+    | Some f ->
+        let s = Tvm_rpc.Fleet.stats f in
+        Printf.printf
+          "fleet: %d jobs, %d attempts, %d retries; %d steals (%d jobs \
+           moved); speculation %d launched / %d won / %d lost; makespan \
+           %.2f s\n"
+          s.Tvm_rpc.Fleet.fs_jobs s.Tvm_rpc.Fleet.fs_attempts
+          s.Tvm_rpc.Fleet.fs_retries s.Tvm_rpc.Fleet.fs_steals
+          s.Tvm_rpc.Fleet.fs_stolen_jobs s.Tvm_rpc.Fleet.fs_spec_launched
+          s.Tvm_rpc.Fleet.fs_spec_wins s.Tvm_rpc.Fleet.fs_spec_losses
+          (Tvm_rpc.Fleet.makespan f)
+    | None -> ());
     if validate then begin
       let stmt =
         tpl.Tvm_autotune.Tuner.tpl_instantiate res.Tvm_autotune.Tuner.best_config
@@ -324,9 +407,9 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Tune a single operator workload")
     Term.(
       const run $ workload $ trials $ method_ $ fault_rate $ max_retries
-      $ timeout_ms $ seed $ jobs_arg $ devices $ straggler $ tune_log
-      $ validate_arg $ no_compile_cache_arg $ trace_out_arg $ metrics_out_arg
-      $ journal_out_arg)
+      $ timeout_ms $ seed $ jobs_arg $ devices $ fleet $ shards $ speculate
+      $ straggler $ tune_log $ validate_arg $ no_compile_cache_arg
+      $ trace_out_arg $ metrics_out_arg $ journal_out_arg)
 
 (* ---- profile ---- *)
 

@@ -43,21 +43,38 @@ let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
     let seen_scores : (Cfg_space.config * Cfg_space.config * float) list ref =
       ref []
     in
-    let note cfg score =
-      (* Non-finite predictions (NaN from an untrained model, -inf for
-         rejected configs) must not enter the candidate pool: NaN breaks
-         the final sort and either would surface junk configs. Keys are
-         the canonical configuration (structural, collision-free) — an
-         int-hash key here once let distinct configs shadow each
-         other. *)
+    (* A walk re-proposes configs constantly (a rejected move leaves
+       [cur] in place, so [mutate] keeps drawing from the same
+       neighbourhood), and canonicalization + prediction dominate the
+       propose phase. Memo both per chain, keyed by the canonical
+       config: the predictor is pure within a batch, so a cache hit
+       returns the identical score, and only the *first* sighting per
+       chain is recorded — exactly the entry the first-wins dedup at
+       the merge would have kept anyway. Chain-local tables keep the
+       fan-out race-free. *)
+    let score_memo : (Cfg_space.config, float) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let eval cfg =
       let k = Cfg_space.canonical cfg in
-      if Float.is_finite score && not (Hashtbl.mem visited k) then
-        seen_scores := (k, cfg, score) :: !seen_scores
+      match Hashtbl.find_opt score_memo k with
+      | Some s -> s
+      | None ->
+          let s = predict cfg in
+          Hashtbl.replace score_memo k s;
+          (* Non-finite predictions (NaN from an untrained model, -inf
+             for rejected configs) must not enter the candidate pool:
+             NaN breaks the final sort and either would surface junk
+             configs. Keys are the canonical configuration (structural,
+             collision-free) — an int-hash key here once let distinct
+             configs shadow each other. *)
+          if Float.is_finite s && not (Hashtbl.mem visited k) then
+            seen_scores := (k, cfg, s) :: !seen_scores;
+          s
     in
     let cur = ref chains.(ci) in
-    let cur_score = ref (predict !cur) in
+    let cur_score = ref (eval !cur) in
     let stuck = ref 0 in
-    note !cur !cur_score;
     for step = 1 to n_steps do
       let t = temp *. (1. -. (float_of_int step /. float_of_int (n_steps + 1))) in
       let cand =
@@ -69,8 +86,7 @@ let simulated_annealing ?(pool = Tvm_par.Pool.sequential) space rng
         end
         else Cfg_space.mutate space crng !cur
       in
-      let score = predict cand in
-      note cand score;
+      let score = eval cand in
       let accept =
         score > !cur_score
         || Random.State.float crng 1.

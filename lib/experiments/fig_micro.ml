@@ -318,8 +318,16 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
     let wall = Unix.gettimeofday () -. t0 in
     (res, Pool.makespan pool, wall)
   in
+  (* Host wall-clock spent proposing candidates (SA walks over the
+     cost model) across both runs: the explorer's hot path, kept honest
+     by a generous Lower_better gate rule. *)
+  let propose_s () =
+    Option.value ~default:0. (Tvm_obs.Metrics.get "tune.phase.propose_s")
+  in
+  let pr0 = propose_s () in
   let r1, fleet1, wall1 = run 1 in
   let rj, fleetj, wallj = run jobs in
+  let propose_total = Float.max 1e-9 (propose_s () -. pr0) in
   let thr fleet = float_of_int n_trials /. Float.max 1e-9 fleet in
   let speedup = thr fleetj /. thr fleet1 in
   let wall_speedup = wall1 /. Float.max 1e-9 wallj in
@@ -336,6 +344,9 @@ let partune ?(jobs = 4) ?(seed = 11) ?(n_trials = 160) () =
     "tuner throughput speedup: %.2fx (host wall %.2fx); best config %s\n"
     speedup wall_speedup
     (if identical then "identical" else "DIFFERS (bug!)");
+  Printf.printf "propose phase: %.4fs host wall across both runs\n"
+    propose_total;
+  Tvm_obs.Metrics.set_gauge "bench.partune.propose_s" propose_total;
   Tvm_obs.Metrics.set_gauge "bench.partune.throughput_j1" (thr fleet1);
   Tvm_obs.Metrics.set_gauge
     (Printf.sprintf "bench.partune.throughput_j%d" jobs)

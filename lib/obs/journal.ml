@@ -21,6 +21,9 @@ type entry =
       d_outcome : string;
       d_cost_s : float;
       d_queue_s : float;
+      d_shard : int;  (* -1 for the unsharded (legacy) pool *)
+      d_stolen : bool;
+      d_spec : bool;
     }
   | Measure of {
       m_uid : int;
@@ -65,11 +68,13 @@ let propose ~uid ~origin ~chain ~score ~config =
 let prepare ~uid ~cache ~valid =
   record (Prepare { q_uid = uid; q_cache = cache; q_valid = valid })
 
-let dispatch ~uid ~dev ~device ~attempt ~outcome ~cost_s ~queue_s =
+let dispatch ?(shard = -1) ?(stolen = false) ?(spec = false) ~uid ~dev ~device
+    ~attempt ~outcome ~cost_s ~queue_s () =
   record
     (Dispatch
        { d_uid = uid; d_dev = dev; d_device = device; d_attempt = attempt;
-         d_outcome = outcome; d_cost_s = cost_s; d_queue_s = queue_s })
+         d_outcome = outcome; d_cost_s = cost_s; d_queue_s = queue_s;
+         d_shard = shard; d_stolen = stolen; d_spec = spec })
 
 let measure ~uid ~status ~time_s ~attempts =
   record
@@ -115,12 +120,14 @@ let entry_to_line = function
   | Prepare { q_uid; q_cache; q_valid } ->
       Printf.sprintf {|{"ev":"prepare","uid":%d,"cache":%s,"valid":%b}|} q_uid
         (Json.escape q_cache) q_valid
-  | Dispatch { d_uid; d_dev; d_device; d_attempt; d_outcome; d_cost_s; d_queue_s }
-    ->
+  | Dispatch
+      { d_uid; d_dev; d_device; d_attempt; d_outcome; d_cost_s; d_queue_s;
+        d_shard; d_stolen; d_spec } ->
       Printf.sprintf
-        {|{"ev":"dispatch","uid":%d,"dev":%d,"device":%s,"attempt":%d,"outcome":%s,"cost_s":%s,"queue_s":%s}|}
+        {|{"ev":"dispatch","uid":%d,"dev":%d,"device":%s,"attempt":%d,"outcome":%s,"cost_s":%s,"queue_s":%s,"shard":%d,"stolen":%b,"spec":%b}|}
         d_uid d_dev (Json.escape d_device) d_attempt (Json.escape d_outcome)
-        (Json.num_string d_cost_s) (Json.num_string d_queue_s)
+        (Json.num_string d_cost_s) (Json.num_string d_queue_s) d_shard d_stolen
+        d_spec
   | Measure { m_uid; m_status; m_time_s; m_attempts } ->
       Printf.sprintf
         {|{"ev":"measure","uid":%d,"status":%s,"time_s":%s,"attempts":%d}|}
@@ -186,11 +193,19 @@ let parse_line line =
             let* outcome = str "outcome" in
             let* cost_s = num "cost_s" in
             let* queue_s = num "queue_s" in
+            (* Shard/steal/speculation fields arrived with the fleet;
+               journals written before then parse with the legacy
+               defaults. *)
+            let shard = Option.value ~default:(-1) (int_ "shard") in
+            let bool_ k d =
+              match Json.member k j with Some (Json.Bool b) -> b | _ -> d
+            in
             Some
               (Dispatch
                  { d_uid = uid; d_dev = dev; d_device = device;
                    d_attempt = attempt; d_outcome = outcome; d_cost_s = cost_s;
-                   d_queue_s = queue_s })
+                   d_queue_s = queue_s; d_shard = shard;
+                   d_stolen = bool_ "stolen" false; d_spec = bool_ "spec" false })
         | Some "measure" ->
             let* uid = int_ "uid" in
             let* status = str "status" in

@@ -53,6 +53,9 @@ type entry =
       d_outcome : string;
       d_cost_s : float;  (** simulated cost charged to the device *)
       d_queue_s : float;  (** simulated wait for the device to free up *)
+      d_shard : int;  (** shard that ran the attempt, [-1] legacy pool *)
+      d_stolen : bool;  (** job was stolen from another shard's backlog *)
+      d_spec : bool;  (** speculative duplicate of a straggling attempt *)
     }
   | Measure of {
       m_uid : int;
@@ -79,6 +82,9 @@ val propose :
   uid:int -> origin:string -> chain:int -> score:float -> config:string -> unit
 val prepare : uid:int -> cache:string -> valid:bool -> unit
 val dispatch :
+  ?shard:int ->
+  ?stolen:bool ->
+  ?spec:bool ->
   uid:int ->
   dev:int ->
   device:string ->
@@ -86,7 +92,13 @@ val dispatch :
   outcome:string ->
   cost_s:float ->
   queue_s:float ->
+  unit ->
   unit
+(** [shard]/[stolen]/[spec] default to the legacy pool's values
+    ([-1]/[false]/[false]); the sharded fleet fills them in. The
+    outcome vocabulary gains ["cancelled"] for a speculative twin
+    whose sibling finished first. *)
+
 val measure :
   uid:int -> status:string -> time_s:float option -> attempts:int -> unit
 

@@ -39,6 +39,18 @@ type chain_stat = {
   cs_best_s : float;  (** best measured time, [infinity] if none *)
 }
 
+(** Per-shard tallies, present only for fleet journals (dispatch
+    records carrying a shard id). *)
+type shard_stat = {
+  sh_shard : int;
+  sh_kind : string;
+  sh_attempts : int;
+  sh_ok : int;
+  sh_stolen : int;  (** attempts that arrived by work stealing *)
+  sh_cost_s : float;  (** total simulated seconds charged *)
+  sh_share : float;  (** fraction of the fleet's charged time *)
+}
+
 type t = {
   rp_runs : (string * string * int) list;  (** (name, method, trials) *)
   rp_trials : int;  (** measure records *)
@@ -53,6 +65,10 @@ type t = {
   rp_invalid : int;  (** prepare records with [valid = false] *)
   rp_slowest : trial_info list;  (** top-K slowest ok trials, desc *)
   rp_best : trial_info option;  (** fastest ok trial *)
+  rp_shards : shard_stat list;  (** by shard id; [] for pool journals *)
+  rp_stolen : int;  (** dispatches that ran on a stealing shard *)
+  rp_spec_wins : int;  (** speculative twins that finished first *)
+  rp_spec_losses : int;  (** twins cancelled by their primary *)
 }
 
 let median = function
@@ -79,6 +95,10 @@ let analyze ?(top = 5) (entries : Journal.entry list) : t =
   let chain_tally : (int, int * float) Hashtbl.t = Hashtbl.create 32 in
   let dev_tbl : (int, device_stat ref) Hashtbl.t = Hashtbl.create 8 in
   let trials = ref 0 and dispatches = ref 0 and retries = ref 0 in
+  let shard_tbl : (int, string * int * int * int * float) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stolen = ref 0 and spec_wins = ref 0 and spec_losses = ref 0 in
   let cache_hits = ref 0 and cache_misses = ref 0 and invalid = ref 0 in
   let measured : trial_info list ref = ref [] in
   let tally tbl k =
@@ -96,9 +116,37 @@ let analyze ?(top = 5) (entries : Journal.entry list) : t =
           (if q_cache = "hit" then incr cache_hits else incr cache_misses);
           if not q_valid then incr invalid
       | Journal.Dispatch
-          { d_dev; d_device; d_attempt; d_outcome; d_cost_s; d_queue_s; _ } ->
+          {
+            d_dev;
+            d_device;
+            d_attempt;
+            d_outcome;
+            d_cost_s;
+            d_queue_s;
+            d_shard;
+            d_stolen;
+            d_spec;
+            _;
+          } ->
           incr dispatches;
           if d_attempt > 0 then incr retries;
+          if d_stolen then incr stolen;
+          if d_spec then
+            if d_outcome = "cancelled" then incr spec_losses
+            else incr spec_wins;
+          if d_shard >= 0 then begin
+            let kind, att, ok, stl, cost =
+              Option.value
+                ~default:(d_device, 0, 0, 0, 0.)
+                (Hashtbl.find_opt shard_tbl d_shard)
+            in
+            Hashtbl.replace shard_tbl d_shard
+              ( kind,
+                att + 1,
+                (ok + if d_outcome = "ok" then 1 else 0),
+                (stl + if d_stolen then 1 else 0),
+                cost +. d_cost_s )
+          end;
           let ds =
             match Hashtbl.find_opt dev_tbl d_dev with
             | Some r -> r
@@ -222,6 +270,27 @@ let analyze ?(top = 5) (entries : Journal.entry list) : t =
     rp_invalid = !invalid;
     rp_slowest = slowest;
     rp_best = best;
+    rp_shards =
+      (let total_cost =
+         Hashtbl.fold (fun _ (_, _, _, _, c) acc -> acc +. c) shard_tbl 0.
+       in
+       Hashtbl.fold
+         (fun id (kind, att, ok, stl, cost) acc ->
+           {
+             sh_shard = id;
+             sh_kind = kind;
+             sh_attempts = att;
+             sh_ok = ok;
+             sh_stolen = stl;
+             sh_cost_s = cost;
+             sh_share = (if total_cost > 0. then cost /. total_cost else 0.);
+           }
+           :: acc)
+         shard_tbl []
+       |> List.sort (fun a b -> compare a.sh_shard b.sh_shard));
+    rp_stolen = !stolen;
+    rp_spec_wins = !spec_wins;
+    rp_spec_losses = !spec_losses;
   }
 
 let stragglers t = List.filter (fun d -> d.ds_straggler) t.rp_devices
@@ -280,6 +349,18 @@ let render (t : t) : string =
               d.ds_dev d.ds_name d.ds_mean_cost_s (100. *. d.ds_fail_rate)
               d.ds_timeouts d.ds_crashes d.ds_corrupt)
           ss
+  end;
+  if t.rp_shards <> [] then begin
+    p "\nfleet shards:\n";
+    p "  %-6s %-12s %8s %6s %8s %10s %6s\n" "shard" "kind" "attempts" "ok"
+      "stolen" "cost_s" "share";
+    List.iter
+      (fun s ->
+        p "  %-6d %-12s %8d %6d %8d %10.2f %5.1f%%\n" s.sh_shard s.sh_kind
+          s.sh_attempts s.sh_ok s.sh_stolen s.sh_cost_s (100. *. s.sh_share))
+      t.rp_shards;
+    p "  steals: %d stolen dispatches; speculation: %d wins, %d losses\n"
+      t.rp_stolen t.rp_spec_wins t.rp_spec_losses
   end;
   (match t.rp_best with
   | Some b ->

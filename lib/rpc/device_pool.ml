@@ -238,7 +238,7 @@ let submit ?(key = 0) ?(job = 0) t ~kind_pred ~(time_for : device -> float) ()
     if uid >= 0 then
       Tvm_obs.Journal.dispatch ~uid ~dev:dev.dev_id
         ~device:(kind_name dev.dev_kind) ~attempt ~outcome ~cost_s:cost
-        ~queue_s:queue_wait;
+        ~queue_s:queue_wait ();
     if Tvm_obs.Trace.enabled () then begin
       let lane = Tvm_obs.Trace.device_lane dev.dev_id in
       if uid >= 0 then

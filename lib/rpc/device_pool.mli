@@ -84,6 +84,11 @@ exception No_matching_device of string
     or quarantined — the pool is truly exhausted. *)
 exception No_healthy_device of string
 
+(** Model run time of a lowered kernel on a device kind. Pure in
+    (kind, program) — the function the batch paths precompute in
+    parallel, and the one the sharded {!Fleet} builds on. *)
+val kind_time : device_kind -> Tvm_tir.Stmt.t -> float
+
 (** Model run time of a lowered kernel on a device. *)
 val model_time : device -> Tvm_tir.Stmt.t -> float
 

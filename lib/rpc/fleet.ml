@@ -1,0 +1,944 @@
+(* See fleet.mli. The engine is an event-driven virtual-time scheduler
+   run entirely on the calling domain: pure model times are the only
+   thing computed in parallel, and every stateful decision (placement,
+   fault draws, steals, speculation, retries, journal records) replays
+   sequentially in a deterministic order — a min-heap of run
+   completions keyed (finish time, push sequence) with lazy
+   invalidation for cancelled twins. *)
+
+module Machine = Tvm_sim.Machine
+module Measure_result = Tvm_autotune.Measure_result
+module Stmt = Tvm_tir.Stmt
+module Journal = Tvm_obs.Journal
+module Metrics = Tvm_obs.Metrics
+
+type catalog = {
+  c_roster : (Device_pool.device_kind * float) array;
+  c_shards : int;  (* per kind; 0 = auto *)
+  c_noise : float;
+  c_repeats : int;
+  c_overhead_s : float;  (* once per device per batch *)
+  c_per_job_s : float;  (* per-job dispatch cost *)
+  c_fault_plan : Fault.plan;
+  c_retry : Retry_policy.t;
+  c_speculate : bool;
+  c_spec_factor : float;
+}
+
+type fdevice = {
+  fd_id : int;
+  fd_kname : string;
+  fd_speed : float;
+  fd_shard : int;
+  mutable fd_free_at : float;
+  mutable fd_epoch : int;  (* last batch whose upload overhead is paid *)
+  mutable fd_attempts : int;
+  mutable fd_busy_s : float;
+}
+
+(* Shard backlogs are two-list FIFO queues of flat job indices. *)
+type shard = {
+  sh_id : int;
+  sh_kname : string;
+  sh_ndevs : int;
+  mutable sh_front : int list;
+  mutable sh_back : int list;
+  mutable sh_qlen : int;
+  mutable sh_attempts : int;
+  mutable sh_stolen : int;  (* attempts that arrived by stealing *)
+}
+
+type t = {
+  cat : catalog;
+  devs : fdevice array;
+  shards : shard array;
+  salt : int;
+  mutable clock : float;
+  mutable epoch : int;
+  mutable jobs_submitted : int;
+  mutable attempts_n : int;
+  mutable steals : int;
+  mutable stolen_jobs : int;
+  mutable spec_launched : int;
+  mutable spec_wins : int;
+  mutable spec_losses : int;
+  mutable retries_n : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let catalog ?(noise = 0.02) ?(repeats = 3) ?(overhead_s = 0.5)
+    ?(per_job_s = 0.05) ?(fault_plan = Fault.none)
+    ?(retry = Retry_policy.default) ?(speculate = false) ?(spec_factor = 1.5)
+    ?(shards = 0) roster =
+  if roster = [] then invalid_arg "Fleet.catalog: empty roster";
+  {
+    c_roster = Array.of_list roster;
+    c_shards = shards;
+    c_noise = noise;
+    c_repeats = repeats;
+    c_overhead_s = overhead_s;
+    c_per_job_s = per_job_s;
+    c_fault_plan = fault_plan;
+    c_retry = retry;
+    c_speculate = speculate;
+    c_spec_factor = spec_factor;
+  }
+
+let palette =
+  [|
+    Device_pool.Gpu_dev Machine.titan_x;
+    Device_pool.Gpu_dev Machine.mali_t860;
+    Device_pool.Cpu_dev Machine.arm_a53;
+    Device_pool.Cpu_dev Machine.xeon_host;
+  |]
+
+let mixed_kinds ?(primary = Device_pool.Gpu_dev Machine.titan_x) ?straggler
+    ?(straggler_speed = 12.) n =
+  let pname = Device_pool.kind_name primary in
+  let others =
+    Array.of_list
+      (List.filter
+         (fun k -> Device_pool.kind_name k <> pname)
+         (Array.to_list palette))
+  in
+  let others = if Array.length others = 0 then [| primary |] else others in
+  List.init n (fun i ->
+      (* The straggler slot is forced to the primary kind: a slow
+         device only exercises speculation if it competes for the
+         target's jobs. *)
+      let k =
+        if straggler = Some i then primary
+        else if i mod 2 = 0 then primary
+        else others.((i / 2) mod Array.length others)
+      in
+      let speed =
+        if straggler = Some i then straggler_speed
+        else if i mod 13 = 6 then 2.0
+        else if i mod 7 = 3 then 1.4
+        else 1.0
+      in
+      (k, speed))
+
+let catalog_of_spec (spec : Tvm_spec.Job_spec.t) =
+  let primary = Device_pool.kind_of_target spec.target in
+  let n = max 1 spec.fleet in
+  let roster = mixed_kinds ~primary ?straggler:spec.straggler n in
+  let fault_plan =
+    (* Straggling in the fleet is modelled as slowness (speed factor),
+       not extra faults: per-device fault overrides cannot apply when
+       draws are keyed by job ordinal. *)
+    if spec.fault_rate > 0. then
+      Fault.transient ~seed:spec.seed ~rate:spec.fault_rate ()
+    else Fault.none
+  in
+  let retry =
+    {
+      Retry_policy.default with
+      Retry_policy.max_retries = spec.max_retries;
+      timeout_s = spec.timeout_s;
+    }
+  in
+  catalog ~fault_plan ~retry ~speculate:spec.speculate ~shards:spec.shards
+    roster
+
+let session ?(salt = 0) cat =
+  (* Group devices by kind name (sorted for a stable shard order), cut
+     each kind's devices into contiguous shards. *)
+  let knames =
+    Array.to_list cat.c_roster
+    |> List.map (fun (k, _) -> Device_pool.kind_name k)
+    |> List.sort_uniq compare
+  in
+  let shards = ref [] and devs = ref [] and sh_id = ref 0 in
+  List.iter
+    (fun kname ->
+      let members =
+        Array.to_list cat.c_roster
+        |> List.mapi (fun i kd -> (i, kd))
+        |> List.filter (fun (_, (k, _)) -> Device_pool.kind_name k = kname)
+      in
+      let nk = List.length members in
+      let n_sh =
+        if cat.c_shards > 0 then min cat.c_shards nk
+        else max 1 (min 16 (nk / 32))
+      in
+      let members = Array.of_list members in
+      for s = 0 to n_sh - 1 do
+        let lo = s * nk / n_sh and hi = (s + 1) * nk / n_sh in
+        let id = !sh_id in
+        incr sh_id;
+        let sdevs =
+          Array.init (hi - lo) (fun i ->
+              let roster_id, (_, speed) = members.(lo + i) in
+              {
+                fd_id = roster_id;
+                fd_kname = kname;
+                fd_speed = speed;
+                fd_shard = id;
+                fd_free_at = 0.;
+                fd_epoch = -1;
+                fd_attempts = 0;
+                fd_busy_s = 0.;
+              })
+        in
+        Array.iter (fun d -> devs := d :: !devs) sdevs;
+        shards :=
+          {
+            sh_id = id;
+            sh_kname = kname;
+            sh_ndevs = hi - lo;
+            sh_front = [];
+            sh_back = [];
+            sh_qlen = 0;
+            sh_attempts = 0;
+            sh_stolen = 0;
+          }
+          :: !shards
+      done)
+    knames;
+  {
+    cat;
+    devs =
+      Array.of_list (List.sort (fun a b -> compare a.fd_id b.fd_id) !devs);
+    shards =
+      Array.of_list (List.sort (fun a b -> compare a.sh_id b.sh_id) !shards);
+    salt;
+    clock = 0.;
+    epoch = 0;
+    jobs_submitted = 0;
+    attempts_n = 0;
+    steals = 0;
+    stolen_jobs = 0;
+    spec_launched = 0;
+    spec_wins = 0;
+    spec_losses = 0;
+    retries_n = 0;
+  }
+
+let of_spec ?salt (spec : Tvm_spec.Job_spec.t) =
+  session ~salt:(Option.value ~default:spec.seed salt) (catalog_of_spec spec)
+
+let devices t = Array.length t.devs
+
+let usable t ~kind =
+  let kname = Device_pool.kind_name kind in
+  Array.fold_left
+    (fun acc d -> if d.fd_kname = kname then acc + 1 else acc)
+    0 t.devs
+
+let shard_count t = Array.length t.shards
+
+let suggested_batch t ~kind ~base =
+  min 512 (max base (2 * usable t ~kind))
+
+let makespan t =
+  Array.fold_left (fun acc d -> Float.max acc d.fd_free_at) t.clock t.devs
+
+type shard_stat = {
+  ss_shard : int;
+  ss_kind : string;
+  ss_devices : int;
+  ss_attempts : int;
+  ss_stolen : int;
+  ss_busy_s : float;
+}
+
+type stats = {
+  fs_devices : int;
+  fs_shards : int;
+  fs_jobs : int;
+  fs_attempts : int;
+  fs_steals : int;
+  fs_stolen_jobs : int;
+  fs_spec_launched : int;
+  fs_spec_wins : int;
+  fs_spec_losses : int;
+  fs_retries : int;
+  fs_shard_stats : shard_stat list;
+}
+
+let stats t =
+  let busy = Array.make (Array.length t.shards) 0. in
+  Array.iter (fun d -> busy.(d.fd_shard) <- busy.(d.fd_shard) +. d.fd_busy_s) t.devs;
+  {
+    fs_devices = Array.length t.devs;
+    fs_shards = Array.length t.shards;
+    fs_jobs = t.jobs_submitted;
+    fs_attempts = t.attempts_n;
+    fs_steals = t.steals;
+    fs_stolen_jobs = t.stolen_jobs;
+    fs_spec_launched = t.spec_launched;
+    fs_spec_wins = t.spec_wins;
+    fs_spec_losses = t.spec_losses;
+    fs_retries = t.retries_n;
+    fs_shard_stats =
+      Array.to_list
+        (Array.map
+           (fun sh ->
+             {
+               ss_shard = sh.sh_id;
+               ss_kind = sh.sh_kname;
+               ss_devices = sh.sh_ndevs;
+               ss_attempts = sh.sh_attempts;
+               ss_stolen = sh.sh_stolen;
+               ss_busy_s = busy.(sh.sh_id);
+             })
+           t.shards);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The schedule engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A job's deterministic description. [jd_measured] already includes
+   the config-keyed noise; non-finite means the machine model rejected
+   the schedule. [jd_fid] is the fault identity: salt + submission
+   ordinal, so the fault sequence a job sees is independent of which
+   device, shard or steal schedule ran it. *)
+type jobdef = {
+  jd_measured : float;
+  jd_err : string option;  (* the model raised *)
+  jd_uid : int;  (* journal trial uid, -1 = untagged *)
+  jd_fid : int;
+}
+
+(* Per-(job, attempt) outcome: a pure function of the jobdef, so a
+   speculative twin replays exactly the outcome of its sibling. *)
+type joutcome =
+  | O_ok of float  (* measured seconds *)
+  | O_timeout  (* injected hang, killed at the budget *)
+  | O_crash
+  | O_corrupt of float  (* charged run seconds (outlier repeats) *)
+  | O_overrun  (* deterministically slower than the budget *)
+  | O_invalid
+  | O_error of string
+
+type run_rec = {
+  rn_job : int;
+  rn_attempt : int;
+  rn_spec : bool;
+  rn_stolen : bool;
+  rn_dev : fdevice;
+  rn_start : float;
+  rn_finish : float;
+  rn_outcome : joutcome;
+  mutable rn_dead : bool;  (* cancelled twin: skip its event *)
+}
+
+type jstate = {
+  js_home : int;  (* home shard id *)
+  mutable js_attempt : int;
+  mutable js_ready : float;  (* when it (re-)entered a queue *)
+  mutable js_stolen : bool;
+  mutable js_spec_used : bool;  (* one twin per attempt *)
+  mutable js_primary : run_rec option;
+  mutable js_twin : run_rec option;
+}
+
+(* Minimal binary min-heap on (finish, push-sequence). *)
+module Heap = struct
+  type elt = { h_t : float; h_seq : int; h_run : run_rec }
+  type h = { mutable a : elt array; mutable n : int; mutable seq : int }
+
+  let create () = { a = [||]; n = 0; seq = 0 }
+  let lt x y = x.h_t < y.h_t || (x.h_t = y.h_t && x.h_seq < y.h_seq)
+
+  let push h r ~at =
+    let e = { h_t = at; h_seq = h.seq; h_run = r } in
+    h.seq <- h.seq + 1;
+    if h.n = Array.length h.a then begin
+      let cap = max 64 (2 * h.n) in
+      let a' = Array.make cap e in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- e;
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0).h_run
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.n && lt h.a.(l) h.a.(!s) then s := l;
+        if r < h.n && lt h.a.(r) h.a.(!s) then s := r;
+        if !s = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      Some top.h_run
+    end
+end
+
+let median xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+
+let outcome_of t jd ~attempt =
+  match jd.jd_err with
+  | Some m -> O_error m
+  | None -> (
+      match Fault.draw t.cat.c_fault_plan ~dev_id:jd.jd_fid ~attempt with
+      | Fault.Died | Fault.Crash -> O_crash
+      | Fault.Timeout -> O_timeout
+      | (Fault.No_fault | Fault.Corrupt _) as o ->
+          if not (Float.is_finite jd.jd_measured) then O_invalid
+          else
+            let run = float_of_int t.cat.c_repeats *. jd.jd_measured in
+            (match o with
+            | Fault.Corrupt factor -> O_corrupt (run *. factor)
+            | _ ->
+                (* The budget check uses the unscaled cost: the budget
+                   bounds the measured kernel, host-side slowness does
+                   not — which keeps the verdict placement-invariant. *)
+                if t.cat.c_per_job_s +. run > t.cat.c_retry.Retry_policy.timeout_s
+                then O_overrun
+                else O_ok jd.jd_measured))
+
+(* Charged device-seconds for running [outcome] on [dev], excluding
+   batch-upload and steal-transfer surcharges. Speed scales everything
+   except budget kills, which the tracker enforces in wall time. *)
+let charge_on t dev = function
+  | O_ok m ->
+      (t.cat.c_per_job_s +. (float_of_int t.cat.c_repeats *. m)) *. dev.fd_speed
+  | O_corrupt run_s -> (t.cat.c_per_job_s +. run_s) *. dev.fd_speed
+  | O_crash -> t.cat.c_per_job_s *. dev.fd_speed
+  | O_timeout | O_overrun -> t.cat.c_retry.Retry_policy.timeout_s
+  | O_invalid | O_error _ -> 0.01
+
+let outcome_name = function
+  | O_ok _ -> "ok"
+  | O_timeout | O_overrun -> "timeout"
+  | O_crash -> "crash"
+  | O_corrupt _ -> "corrupt"
+  | O_invalid -> "invalid_config"
+  | O_error _ -> "error"
+
+let result_of ~attempts = function
+  | O_ok m -> Measure_result.ok ~attempts m
+  | O_timeout | O_overrun -> Measure_result.fail ~attempts Measure_result.Timeout
+  | O_crash -> Measure_result.fail ~attempts Measure_result.Crash
+  | O_corrupt _ ->
+      Measure_result.fail ~attempts
+        (Measure_result.Pool_error "unstable measurement")
+  | O_invalid -> Measure_result.fail ~attempts Measure_result.Invalid_config
+  | O_error m -> Measure_result.fail ~attempts (Measure_result.Pool_error m)
+
+let retryable = function
+  | O_timeout | O_crash | O_corrupt _ -> true
+  | O_ok _ | O_overrun | O_invalid | O_error _ -> false
+
+(* Run the schedule for flattened [defs], where batch [b] covers flat
+   indices [offsets.(b) .. offsets.(b+1)) and is pinned to kind
+   [knames.(b)]. Returns the flat result array. *)
+let run_defs t ~(knames : string array) ~(offsets : int array)
+    (defs : jobdef array) : Measure_result.t array =
+  let c = t.cat in
+  let n = Array.length defs in
+  let res : Measure_result.t option array = Array.make n None in
+  if n = 0 then [||]
+  else begin
+    t.epoch <- t.epoch + 1;
+    let epoch = t.epoch in
+    let submit_clock = t.clock in
+    let done_n = ref 0 in
+    let resolve j r =
+      res.(j) <- Some r;
+      incr done_n
+    in
+    (* Home-shard assignment: each batch's jobs are cut into contiguous
+       per-shard slices over the shards matching its kind (batched
+       dispatch). Batches with no matching shard fail whole. *)
+    let homes = Array.make n (-1) in
+    Array.iteri
+      (fun b kname ->
+        let lo = offsets.(b) and hi = offsets.(b + 1) in
+        let eligible =
+          Array.to_list t.shards |> List.filter (fun s -> s.sh_kname = kname)
+        in
+        match eligible with
+        | [] ->
+            for j = lo to hi - 1 do
+              resolve j
+                (Measure_result.fail
+                   (Measure_result.Pool_error
+                      ("fleet: no device of kind " ^ kname)))
+            done
+        | _ ->
+            let shs = Array.of_list eligible in
+            let k = Array.length shs in
+            let len = hi - lo in
+            for s = 0 to k - 1 do
+              for j = lo + (s * len / k) to lo + ((s + 1) * len / k) - 1 do
+                homes.(j) <- shs.(s).sh_id
+              done
+            done)
+      knames;
+    let states =
+      Array.init n (fun j ->
+          {
+            js_home = homes.(j);
+            js_attempt = 0;
+            js_ready = submit_clock;
+            js_stolen = false;
+            js_spec_used = false;
+            js_primary = None;
+            js_twin = None;
+          })
+    in
+    let total_queued = ref 0 in
+    let q_push sh j =
+      sh.sh_back <- j :: sh.sh_back;
+      sh.sh_qlen <- sh.sh_qlen + 1;
+      incr total_queued
+    in
+    let q_pop sh =
+      let take j rest =
+        sh.sh_qlen <- sh.sh_qlen - 1;
+        decr total_queued;
+        sh.sh_front <- rest;
+        Some j
+      in
+      match sh.sh_front with
+      | j :: rest -> take j rest
+      | [] -> (
+          match List.rev sh.sh_back with
+          | [] -> None
+          | j :: rest ->
+              sh.sh_back <- [];
+              take j rest)
+    in
+    (* Victim keeps the front (oldest) of its backlog; the thief takes
+       the tail half, oldest-first. *)
+    let q_steal victim ~take =
+      let all = victim.sh_front @ List.rev victim.sh_back in
+      let keep = victim.sh_qlen - take in
+      let rec split i acc = function
+        | rest when i = keep -> (List.rev acc, rest)
+        | x :: rest -> split (i + 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
+      in
+      let kept, taken = split 0 [] all in
+      victim.sh_front <- kept;
+      victim.sh_back <- [];
+      victim.sh_qlen <- keep;
+      total_queued := !total_queued - take;
+      taken
+    in
+    Array.iteri (fun j h -> if h >= 0 then q_push t.shards.(h) j) homes;
+    let events = Heap.create () in
+    (* Retry queue: (ready time, seq, job), kept sorted; ties resolve
+       by insertion order. *)
+    let retryq = ref [] and retry_seq = ref 0 in
+    let push_retry ~at j =
+      let seq = !retry_seq in
+      incr retry_seq;
+      (* Sorted by (ready time, insertion order); existing entries all
+         have a lower seq, so ties keep them first. *)
+      let rec ins = function
+        | ((t', _, _) as x) :: rest when t' <= at -> x :: ins rest
+        | rest -> (at, seq, j) :: rest
+      in
+      retryq := ins !retryq
+    in
+    let ok_costs = ref [] and ok_count = ref 0 in
+    (* Live primary runs, for the speculation scan (lazily pruned). *)
+    let active_runs = ref [] in
+    let launch dev j ~spec =
+      let st = states.(j) and jd = defs.(j) in
+      let attempt = st.js_attempt in
+      let oc = outcome_of t jd ~attempt in
+      let stolen = st.js_stolen in
+      let charge =
+        charge_on t dev oc
+        +. (if dev.fd_epoch <> epoch then begin
+              dev.fd_epoch <- epoch;
+              c.c_overhead_s *. dev.fd_speed
+            end
+            else 0.)
+        +. if stolen then 0.25 *. c.c_overhead_s *. dev.fd_speed else 0.
+      in
+      let charge = Float.max 1e-9 charge in
+      let start = t.clock in
+      let r =
+        {
+          rn_job = j;
+          rn_attempt = attempt;
+          rn_spec = spec;
+          rn_stolen = stolen;
+          rn_dev = dev;
+          rn_start = start;
+          rn_finish = start +. charge;
+          rn_outcome = oc;
+          rn_dead = false;
+        }
+      in
+      dev.fd_free_at <- r.rn_finish;
+      dev.fd_attempts <- dev.fd_attempts + 1;
+      let sh = t.shards.(dev.fd_shard) in
+      sh.sh_attempts <- sh.sh_attempts + 1;
+      if stolen then sh.sh_stolen <- sh.sh_stolen + 1;
+      t.attempts_n <- t.attempts_n + 1;
+      Metrics.incr "fleet.attempts";
+      if spec then begin
+        t.spec_launched <- t.spec_launched + 1;
+        Metrics.incr "fleet.spec_launched";
+        st.js_spec_used <- true;
+        st.js_twin <- Some r
+      end
+      else begin
+        Metrics.observe "fleet.queue_wait_s" (start -. st.js_ready);
+        st.js_primary <- Some r;
+        active_runs := r :: !active_runs
+      end;
+      Heap.push events r ~at:r.rn_finish
+    in
+    let try_local dev =
+      match q_pop t.shards.(dev.fd_shard) with
+      | Some j -> launch dev j ~spec:false; true
+      | None -> false
+    in
+    let try_steal dev =
+      let sh = t.shards.(dev.fd_shard) in
+      let victim =
+        Array.fold_left
+          (fun best s ->
+            if s.sh_id <> sh.sh_id && s.sh_kname = sh.sh_kname && s.sh_qlen > 0
+            then
+              match best with
+              | Some b when b.sh_qlen >= s.sh_qlen -> best
+              | _ -> Some s
+            else best)
+          None t.shards
+      in
+      match victim with
+      | None -> false
+      | Some v ->
+          let take = (v.sh_qlen + 1) / 2 in
+          let taken = q_steal v ~take in
+          List.iter
+            (fun j ->
+              states.(j).js_stolen <- true;
+              q_push sh j)
+            taken;
+          t.steals <- t.steals + 1;
+          t.stolen_jobs <- t.stolen_jobs + take;
+          Metrics.incr "fleet.steals";
+          Metrics.incr ~by:(float_of_int take) "fleet.stolen_jobs";
+          try_local dev
+    in
+    (* Speculative re-measurement: duplicate the in-flight run whose
+       charged time crosses [spec_factor × median completed ok cost]
+       (the PR-6 straggler heuristic, fleet-relative) and whose twin
+       would finish sooner here. The twin replays the same (job,
+       attempt) outcome — no new fault draw. *)
+    let try_speculate dev =
+      if (not c.c_speculate) || !ok_count < 3 then false
+      else begin
+        active_runs :=
+          List.filter
+            (fun r ->
+              (not r.rn_dead)
+              &&
+              match states.(r.rn_job).js_primary with
+              | Some r' -> r' == r
+              | None -> false)
+            !active_runs;
+        let med = median !ok_costs in
+        let threshold = c.c_spec_factor *. med in
+        let best = ref None in
+        List.iter
+          (fun r ->
+            let st = states.(r.rn_job) in
+            if
+              st.js_twin = None
+              && (not st.js_spec_used)
+              && r.rn_dev.fd_kname = dev.fd_kname
+              && r.rn_finish -. r.rn_start > threshold
+            then begin
+              let est =
+                charge_on t dev r.rn_outcome
+                +.
+                if dev.fd_epoch <> epoch then c.c_overhead_s *. dev.fd_speed
+                else 0.
+              in
+              (* Only duplicate when the twin would actually win. *)
+              if r.rn_finish > t.clock +. est then
+                match !best with
+                | Some b
+                  when b.rn_finish > r.rn_finish
+                       || (b.rn_finish = r.rn_finish && b.rn_job < r.rn_job) ->
+                    ()
+                | _ -> best := Some r
+            end)
+          !active_runs;
+        match !best with
+        | None -> false
+        | Some r ->
+            (* The twin reuses the primary's (job, attempt): the launch
+               recomputes the identical outcome, no new fault draw. *)
+            launch dev r.rn_job ~spec:true;
+            true
+      end
+    in
+    let fill_all () =
+      (* Local backlogs first, then stealing for the still-idle, then
+         speculation once every backlog is dry. Every launch makes the
+         device busy (charges are strictly positive), so each device
+         takes at most one job per pass. *)
+      Array.iter
+        (fun d -> if d.fd_free_at <= t.clock then ignore (try_local d))
+        t.devs;
+      if !total_queued > 0 then
+        Array.iter
+          (fun d -> if d.fd_free_at <= t.clock then ignore (try_steal d))
+          t.devs;
+      if c.c_speculate && !ok_count >= 3 then
+        Array.iter
+          (fun d -> if d.fd_free_at <= t.clock then ignore (try_speculate d))
+          t.devs
+    in
+    let drain_retries () =
+      let rec go () =
+        match !retryq with
+        | (at, _, j) :: rest when at <= t.clock ->
+            retryq := rest;
+            let st = states.(j) in
+            (* A resolved job's pending retry is dropped silently — in
+               particular it charges no backoff anywhere (the
+               twin-cancelled-mid-backoff fix). *)
+            if res.(j) = None then begin
+              st.js_ready <- at;
+              st.js_stolen <- false;
+              q_push t.shards.(st.js_home) j
+            end;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    let journal_rec r ~outcome ~cost =
+      let jd = defs.(r.rn_job) in
+      if jd.jd_uid >= 0 then
+        Journal.dispatch ~shard:r.rn_dev.fd_shard ~stolen:r.rn_stolen
+          ~spec:r.rn_spec ~uid:jd.jd_uid ~dev:r.rn_dev.fd_id
+          ~device:r.rn_dev.fd_kname ~attempt:r.rn_attempt ~outcome
+          ~cost_s:cost
+          ~queue_s:(r.rn_start -. states.(r.rn_job).js_ready)
+          ()
+    in
+    let process r =
+      let st = states.(r.rn_job) in
+      let j = r.rn_job in
+      r.rn_dev.fd_busy_s <- r.rn_dev.fd_busy_s +. (r.rn_finish -. r.rn_start);
+      journal_rec r ~outcome:(outcome_name r.rn_outcome)
+        ~cost:(r.rn_finish -. r.rn_start);
+      (* Cancel the slower twin: first result wins, the loser is
+         charged for the time it burned and freed now. *)
+      let other = if r.rn_spec then st.js_primary else st.js_twin in
+      (match other with
+      | Some tw when not tw.rn_dead ->
+          tw.rn_dead <- true;
+          tw.rn_dev.fd_busy_s <- tw.rn_dev.fd_busy_s +. (t.clock -. tw.rn_start);
+          tw.rn_dev.fd_free_at <- t.clock;
+          journal_rec tw ~outcome:"cancelled" ~cost:(t.clock -. tw.rn_start);
+          if tw.rn_spec then begin
+            t.spec_losses <- t.spec_losses + 1;
+            Metrics.incr "fleet.spec_losses"
+          end
+          else begin
+            t.spec_wins <- t.spec_wins + 1;
+            Metrics.incr "fleet.spec_wins"
+          end
+      | _ -> ());
+      st.js_primary <- None;
+      st.js_twin <- None;
+      Metrics.observe "fleet.job_cost_s" (r.rn_finish -. r.rn_start);
+      (match r.rn_outcome with
+      | O_timeout -> Metrics.incr "fleet.timeouts"
+      | O_overrun -> Metrics.incr "fleet.timeouts"
+      | O_crash -> Metrics.incr "fleet.crashes"
+      | O_corrupt _ -> Metrics.incr "fleet.corrupt"
+      | O_invalid -> Metrics.incr "fleet.invalid_configs"
+      | O_ok _ | O_error _ -> ());
+      let attempts = r.rn_attempt + 1 in
+      if retryable r.rn_outcome && r.rn_attempt < c.c_retry.Retry_policy.max_retries
+      then begin
+        st.js_attempt <- r.rn_attempt + 1;
+        st.js_spec_used <- false;
+        t.retries_n <- t.retries_n + 1;
+        Metrics.incr "fleet.retries";
+        push_retry ~at:(Retry_policy.retry_at c.c_retry ~now:t.clock ~attempt:r.rn_attempt) j
+      end
+      else begin
+        (match r.rn_outcome with
+        | O_ok m ->
+            ok_costs :=
+              (c.c_per_job_s +. (float_of_int c.c_repeats *. m)) :: !ok_costs;
+            incr ok_count
+        | _ -> ());
+        resolve j (result_of ~attempts r.rn_outcome)
+      end
+    in
+    fill_all ();
+    while !done_n < n do
+      match Heap.peek events with
+      | Some r when r.rn_dead -> ignore (Heap.pop events)
+      | ev -> (
+          let next_retry = match !retryq with (at, _, _) :: _ -> Some at | [] -> None in
+          match (ev, next_retry) with
+          | None, None -> failwith "Fleet: schedule stuck (no events, no retries)"
+          | Some r, Some at when at < r.rn_finish ->
+              t.clock <- Float.max t.clock at;
+              drain_retries ();
+              fill_all ()
+          | Some r, _ ->
+              ignore (Heap.pop events);
+              t.clock <- Float.max t.clock r.rn_finish;
+              process r;
+              drain_retries ();
+              fill_all ()
+          | None, Some at ->
+              t.clock <- Float.max t.clock at;
+              drain_retries ();
+              fill_all ())
+    done;
+    t.clock <- makespan t;
+    Metrics.set_gauge "fleet.makespan_s" t.clock;
+    Array.map (function Some r -> r | None -> assert false) res
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Submission fronts                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Build jobdefs for one batch: model times fan out over [par] in
+   contiguous chunks (thousands of sub-ms pure tasks), everything else
+   is assigned in input order on the caller. *)
+let defs_of_batch ?(par = Tvm_par.Pool.sequential) t ~kind
+    (jobs : (int * Stmt.t) array) : jobdef array =
+  let n = Array.length jobs in
+  let timed =
+    Tvm_par.Pool.parallel_init_chunked par n (fun i ->
+        let _, stmt = jobs.(i) in
+        match Device_pool.kind_time kind stmt with
+        | v -> Ok v
+        | exception e -> Error (Printexc.to_string e))
+  in
+  Array.init n (fun i ->
+      let key, _ = jobs.(i) in
+      let fid = t.salt + t.jobs_submitted + i in
+      match timed.(i) with
+      | Ok base ->
+          {
+            jd_measured =
+              base *. (1. +. (t.cat.c_noise *. Device_pool.noise_of_key key));
+            jd_err = None;
+            jd_uid = Journal.job_tag i;
+            jd_fid = fid;
+          }
+      | Error m ->
+          { jd_measured = Float.nan; jd_err = Some m; jd_uid = Journal.job_tag i;
+            jd_fid = fid })
+
+let measure_batch ?par t ~kind (jobs : (int * Stmt.t) array) :
+    Measure_result.t array =
+  let defs = defs_of_batch ?par t ~kind jobs in
+  t.jobs_submitted <- t.jobs_submitted + Array.length jobs;
+  Metrics.incr ~by:(float_of_int (Array.length jobs)) "fleet.jobs";
+  run_defs t
+    ~knames:[| Device_pool.kind_name kind |]
+    ~offsets:[| 0; Array.length jobs |]
+    defs
+
+let measure_batches ?par t
+    (batches : (Device_pool.device_kind * (int * Stmt.t) array) array) :
+    Measure_result.t array array =
+  (* Ordinals (and journal tags) run over the flattened input, in
+     batch order — exactly the ids the batches would get submitted one
+     by one, which is what makes multiplexing result-invariant. *)
+  let n_batches = Array.length batches in
+  let offsets = Array.make (n_batches + 1) 0 in
+  Array.iteri
+    (fun b (_, jobs) -> offsets.(b + 1) <- offsets.(b) + Array.length jobs)
+    batches;
+  let total = offsets.(n_batches) in
+  let defs_per_batch =
+    Array.mapi (fun b (kind, jobs) ->
+        let defs = defs_of_batch ?par t ~kind jobs in
+        (* Re-base fids and uids onto the flattened ordinals. *)
+        Array.mapi
+          (fun i d ->
+            { d with
+              jd_fid = t.salt + t.jobs_submitted + offsets.(b) + i;
+              jd_uid = Journal.job_tag (offsets.(b) + i) })
+          defs)
+      batches
+  in
+  let defs = Array.concat (Array.to_list defs_per_batch) in
+  t.jobs_submitted <- t.jobs_submitted + total;
+  Metrics.incr ~by:(float_of_int total) "fleet.jobs";
+  let knames =
+    Array.map (fun (k, _) -> Device_pool.kind_name k) batches
+  in
+  let flat_res = run_defs t ~knames ~offsets defs in
+  Array.mapi
+    (fun b (_, jobs) ->
+      Array.init (Array.length jobs) (fun i -> flat_res.(offsets.(b) + i)))
+    batches
+
+let simulate t ~kind ~(cost_s : float array) : Measure_result.t array =
+  let n = Array.length cost_s in
+  let defs =
+    Array.init n (fun i ->
+        {
+          jd_measured = cost_s.(i);
+          jd_err = None;
+          jd_uid = Journal.job_tag i;
+          jd_fid = t.salt + t.jobs_submitted + i;
+        })
+  in
+  t.jobs_submitted <- t.jobs_submitted + n;
+  Metrics.incr ~by:(float_of_int n) "fleet.jobs";
+  run_defs t
+    ~knames:[| Device_pool.kind_name kind |]
+    ~offsets:[| 0; n |]
+    defs
+
+let measure_fn t ~kind : Tvm_autotune.Tuner.measure_fn =
+ fun cfg stmt ->
+  (measure_batch t ~kind [| (Tvm_autotune.Cfg_space.hash cfg, stmt) |]).(0)
+
+let batch_measure_fn ?par t ~kind : Tvm_autotune.Tuner.batch_measure_fn =
+ fun jobs ->
+  measure_batch ?par t ~kind
+    (Array.map
+       (fun (cfg, stmt) -> (Tvm_autotune.Cfg_space.hash cfg, stmt))
+       jobs)

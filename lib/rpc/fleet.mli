@@ -1,0 +1,187 @@
+(** Sharded measurement fleet: the scale-out successor to the
+    single-tracker {!Device_pool} (§5.4 at fleet size).
+
+    A fleet simulates hundreds to thousands of heterogeneous devices
+    (mixed gpu/cpu/mali targets with per-device speed factors),
+    partitioned into {b per-kind shards}. Measurement batches are
+    dispatched as {b contiguous per-shard slices} (each device pays the
+    upload/RPC overhead once per batch, amortizing per-job
+    bookkeeping); an idle shard {b steals} the tail half of the deepest
+    backlog of a compatible shard — including backlogs belonging to
+    other concurrent tuning jobs when batches are multiplexed through
+    {!measure_batches}; and with speculation on, an idle device
+    {b duplicates} a straggling in-flight attempt (running cost beyond
+    [spec_factor ×] the median completed cost — PR 6's straggler
+    heuristic) on a faster device: first finisher wins, the twin is
+    cancelled and charged for the time it burned.
+
+    {b Determinism.} The engine inherits the replay-on-the-coordinator
+    pattern: pure model times fan out over a {!Tvm_par.Pool}, then the
+    whole virtual-time schedule (an event heap of run completions,
+    fault draws, retries, steals, speculation, journal records) replays
+    sequentially on the calling domain. On top of that, results are
+    made {e placement-invariant}:
+
+    - fault draws are keyed by the job's {e submission ordinal}, never
+      by the device that happens to run it;
+    - every job is pinned to one device {e kind} (the target's), so the
+      model time does not depend on which device wins the race;
+    - per-device speed factors scale only the {e charged} duration
+      (host-side slowness), never the measured value and never the
+      deterministic-overrun budget check;
+    - a speculative twin replays the {e same} (job, attempt) outcome —
+      no extra fault draw — and backoff is charged to the job's ready
+      time, not to a shared clock ({!Retry_policy.retry_at}), so a twin
+      cancelled mid-backoff charges nothing.
+
+    Consequently trial {e results} (and thus tuning logs) are
+    byte-identical across [-j], shard count, and speculation on/off;
+    the {e journal} additionally records placement (shard / stolen /
+    spec fields), so it is byte-identical across [-j] at any fixed
+    (shards, speculate) configuration.
+
+    Quarantine and device death are deliberately absent: a fleet
+    absorbs flaky devices by speed/steal/speculation instead of
+    removing capacity (and death keyed by job ordinal would make
+    results placement-dependent). *)
+
+module Machine = Tvm_sim.Machine
+module Measure_result = Tvm_autotune.Measure_result
+
+(** Immutable fleet description: the device roster and policies,
+    shareable across tuning jobs (tvmd keeps one per daemon). *)
+type catalog
+
+type t
+(** A fleet session: one virtual-time schedule over a catalog. Sessions
+    are cheap; concurrent tuning jobs each run their own salted session
+    of the shared catalog. *)
+
+val catalog :
+  ?noise:float ->
+  ?repeats:int ->
+  ?overhead_s:float ->
+  ?per_job_s:float ->
+  ?fault_plan:Fault.plan ->
+  ?retry:Retry_policy.t ->
+  ?speculate:bool ->
+  ?spec_factor:float ->
+  ?shards:int ->
+  (Device_pool.device_kind * float) list ->
+  catalog
+(** [catalog kinds] with [(kind, speed)] per device; [speed >= 1] is a
+    host-side slowness multiplier on charged time. [shards] is the
+    shard count per device kind (0 = auto, ~1 shard per 32 devices
+    capped at 16). [overhead_s] is paid once per device per batch
+    (batched dispatch); [per_job_s] is the per-job dispatch cost.
+    [spec_factor] (default 1.5) is the straggler threshold. *)
+
+val mixed_kinds :
+  ?primary:Device_pool.device_kind ->
+  ?straggler:int ->
+  ?straggler_speed:float ->
+  int ->
+  (Device_pool.device_kind * float) list
+(** A deterministic heterogeneous roster of [n] devices: every even
+    slot is [primary] (default Titan X), odd slots cycle through the
+    other kinds; mild deterministic speed variation, plus one
+    [straggler] device slowed by [straggler_speed] (default 12×) if
+    given. *)
+
+val catalog_of_spec : Tvm_spec.Job_spec.t -> catalog
+(** The catalog a spec with [fleet > 0] asks for: [spec.fleet] devices
+    from {!mixed_kinds} (primary from [spec.target], straggler from
+    [spec.straggler] — slowed, not fault-loaded), transient faults at
+    [spec.fault_rate] seeded by [spec.seed], retries/budget from
+    [spec.max_retries]/[spec.timeout_s], [spec.shards]/[spec.speculate]
+    as given. *)
+
+val session : ?salt:int -> catalog -> t
+(** Fresh schedule state over [cat]. [salt] (default 0) decorrelates
+    fault sequences between concurrent tuning jobs sharing a catalog;
+    results depend on it, so callers must derive it deterministically
+    (tvmd uses the job id). *)
+
+val of_spec : ?salt:int -> Tvm_spec.Job_spec.t -> t
+(** [session ?salt (catalog_of_spec spec)]; [salt] defaults to
+    [spec.seed]. *)
+
+val devices : t -> int
+
+val usable : t -> kind:Device_pool.device_kind -> int
+(** Devices whose kind matches [kind] by name. *)
+
+val shard_count : t -> int
+
+val suggested_batch : t -> kind:Device_pool.device_kind -> base:int -> int
+(** Measurement batch size that keeps the matching shards saturated:
+    [max base (2 × usable)], capped at 512. *)
+
+val makespan : t -> float
+(** Virtual time at which everything submitted so far has finished. *)
+
+type shard_stat = {
+  ss_shard : int;
+  ss_kind : string;
+  ss_devices : int;
+  ss_attempts : int;  (** attempts executed by this shard *)
+  ss_stolen : int;  (** ... of which arrived by stealing *)
+  ss_busy_s : float;  (** total charged device time *)
+}
+
+type stats = {
+  fs_devices : int;
+  fs_shards : int;
+  fs_jobs : int;  (** measurement jobs submitted *)
+  fs_attempts : int;
+  fs_steals : int;  (** steal transactions *)
+  fs_stolen_jobs : int;  (** jobs that changed shard *)
+  fs_spec_launched : int;
+  fs_spec_wins : int;  (** speculative twin finished first *)
+  fs_spec_losses : int;  (** twin cancelled, primary won *)
+  fs_retries : int;
+  fs_shard_stats : shard_stat list;
+}
+
+val stats : t -> stats
+
+val measure_batch :
+  ?par:Tvm_par.Pool.t ->
+  t ->
+  kind:Device_pool.device_kind ->
+  (int * Tvm_tir.Stmt.t) array ->
+  Measure_result.t array
+(** Measure a batch of (noise key, program) jobs on the shards matching
+    [kind]. Model times fan out over [par]
+    ({!Tvm_par.Pool.parallel_init_chunked}); the schedule replays on
+    the caller. Result [i] belongs to job [i] and is independent of
+    [par], shard count and speculation (see the determinism notes
+    above). With no matching device every job degrades to a
+    [Pool_error] result. *)
+
+val measure_batches :
+  ?par:Tvm_par.Pool.t ->
+  t ->
+  (Device_pool.device_kind * (int * Tvm_tir.Stmt.t) array) array ->
+  Measure_result.t array array
+(** Multiplex several batches (e.g. concurrent tuning jobs) through one
+    schedule so idle shards steal across job boundaries. Job ordinals —
+    and therefore fault draws and results — are assigned in input
+    order, so the results equal running each batch alone on a fresh
+    session in order: stealing never reorders the coordinator replay. *)
+
+val simulate :
+  t -> kind:Device_pool.device_kind -> cost_s:float array -> Measure_result.t array
+(** Drive the engine with synthetic model times instead of lowered
+    programs (no noise applied) — the fleet bench's workload. *)
+
+val measure_fn :
+  t -> kind:Device_pool.device_kind -> Tvm_autotune.Tuner.measure_fn
+
+val batch_measure_fn :
+  ?par:Tvm_par.Pool.t ->
+  t ->
+  kind:Device_pool.device_kind ->
+  Tvm_autotune.Tuner.batch_measure_fn
+(** Tuner-ready callbacks; noise keys from the config hash, exactly as
+    {!Device_pool.batch_measure_fn}. *)

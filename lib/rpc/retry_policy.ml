@@ -32,3 +32,18 @@ let default =
     [attempt] (0-based): [backoff_base_s *. backoff_mult ^ attempt]. *)
 let backoff_s t ~attempt =
   t.backoff_base_s *. (t.backoff_mult ** float_of_int attempt)
+
+(** Earliest simulated time the retry after failed attempt [attempt]
+    may dispatch, given the failure was observed at [now].
+
+    This is the {e job-local} form of backoff accounting: the pause is
+    charged to the job's ready time, never to a shared clock. The
+    distinction matters once a job can have two in-flight copies — with
+    speculation, charging backoff to the pool clock (as the classic
+    single-lane [Device_pool.submit] does, which is harmless there
+    because exactly one attempt is ever in flight) would bill the pause
+    once per copy; a speculative duplicate cancelled mid-backoff must
+    leave the clock untouched. The fleet coordinator therefore keys its
+    retry queue on [retry_at] and drops the ready entry silently if the
+    twin already resolved the job. *)
+let retry_at t ~now ~attempt = now +. backoff_s t ~attempt

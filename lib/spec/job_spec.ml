@@ -33,6 +33,9 @@ type t = {
   straggler : int option;
   max_retries : int;
   timeout_s : float;
+  fleet : int;
+  shards : int;
+  speculate : bool;
   journal_out : string option;
   trace_out : string option;
   metrics_out : string option;
@@ -61,6 +64,9 @@ let default =
     straggler = None;
     max_retries = 2;
     timeout_s = 10.;
+    fleet = 0;
+    shards = 0;
+    speculate = false;
     journal_out = None;
     trace_out = None;
     metrics_out = None;
@@ -77,12 +83,14 @@ let make ?(op = default.op) ?(workload = default.workload)
     ?(use_compile_cache = default.use_compile_cache)
     ?(replay = default.replay) ?(fault_rate = default.fault_rate) ?straggler
     ?(max_retries = default.max_retries) ?(timeout_s = default.timeout_s)
-    ?journal_out ?trace_out ?metrics_out ?tune_log () =
+    ?(fleet = default.fleet) ?(shards = default.shards)
+    ?(speculate = default.speculate) ?journal_out ?trace_out ?metrics_out
+    ?tune_log () =
   {
     op; workload; target; fusion; trials; method_name; seed; batch; sa_steps;
     n_chains; jobs; devices; validate; verbose; use_compile_cache; replay;
-    fault_rate; straggler; max_retries; timeout_s; journal_out; trace_out;
-    metrics_out; tune_log;
+    fault_rate; straggler; max_retries; timeout_s; fleet; shards; speculate;
+    journal_out; trace_out; metrics_out; tune_log;
   }
 
 let to_json t =
@@ -109,6 +117,9 @@ let to_json t =
       ("straggler", opt (fun n -> Json.Num (Float.of_int n)) t.straggler);
       ("max_retries", Json.Num (Float.of_int t.max_retries));
       ("timeout_s", Json.num t.timeout_s);
+      ("fleet", Json.Num (Float.of_int t.fleet));
+      ("shards", Json.Num (Float.of_int t.shards));
+      ("speculate", Json.Bool t.speculate);
       ("journal_out", opt (fun s -> Json.Str s) t.journal_out);
       ("trace_out", opt (fun s -> Json.Str s) t.trace_out);
       ("metrics_out", opt (fun s -> Json.Str s) t.metrics_out);
@@ -153,6 +164,9 @@ let of_json j =
     straggler = opt_int "straggler";
     max_retries = int "max_retries" d.max_retries;
     timeout_s = num "timeout_s" d.timeout_s;
+    fleet = int "fleet" d.fleet;
+    shards = int "shards" d.shards;
+    speculate = bool "speculate" d.speculate;
     journal_out = opt_str "journal_out";
     trace_out = opt_str "trace_out";
     metrics_out = opt_str "metrics_out";

@@ -68,6 +68,13 @@ type t = {
   straggler : int option;  (** device to overload with faults, if any *)
   max_retries : int;  (** extra measurement attempts after a fault *)
   timeout_s : float;  (** per-job budget on the simulated clock *)
+  fleet : int;
+      (** size of the sharded heterogeneous measurement fleet
+          ({!Tvm_rpc.Fleet}); 0 = use the classic [devices] pool *)
+  shards : int;  (** shards per device kind in the fleet, 0 = auto *)
+  speculate : bool;
+      (** duplicate straggling fleet measurements on an idle fast
+          device; never changes results, only the virtual makespan *)
   journal_out : string option;  (** flight-recorder JSONL sink *)
   trace_out : string option;  (** Chrome trace-event sink *)
   metrics_out : string option;  (** metrics-registry JSON sink *)
@@ -100,6 +107,9 @@ val make :
   ?straggler:int ->
   ?max_retries:int ->
   ?timeout_s:float ->
+  ?fleet:int ->
+  ?shards:int ->
+  ?speculate:bool ->
   ?journal_out:string ->
   ?trace_out:string ->
   ?metrics_out:string ->

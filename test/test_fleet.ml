@@ -1,0 +1,347 @@
+(* Sharded measurement fleet tests: placement-invariant results at
+   fleet scale (1000 heterogeneous devices, faults, concurrent batches),
+   work stealing that never reorders the coordinator replay,
+   speculative straggler re-measurement that cuts the makespan without
+   changing a result, and the job-local backoff accounting that makes
+   a twin cancelled mid-backoff free. *)
+
+open Tvm_tir
+module Par = Tvm_par.Pool
+module Cfg = Tvm_autotune.Cfg_space
+module Explorers = Tvm_autotune.Explorers
+module Tuner = Tvm_autotune.Tuner
+module Templates = Tvm_autotune.Templates
+module R = Tvm_autotune.Measure_result
+module Pool = Tvm_rpc.Device_pool
+module Fleet = Tvm_rpc.Fleet
+module Fault = Tvm_rpc.Fault
+module Retry = Tvm_rpc.Retry_policy
+module Machine = Tvm_sim.Machine
+module Journal = Tvm_obs.Journal
+module Report = Tvm_obs.Report
+module Tensor = Tvm_te.Tensor
+module Op = Tvm_te.Operators
+open Test_helpers
+
+let titan = Pool.Gpu_dev Machine.titan_x
+let xeon = Pool.Cpu_dev Machine.xeon_host
+
+(* A small pool of valid (noise key, program) jobs shared by the tests
+   (instantiating templates is the expensive part). *)
+let job_pool =
+  lazy
+    (let d = Tensor.placeholder "fl_d" (List.map Expr.int [ 1; 16; 8; 8 ]) in
+     let w = Tensor.placeholder "fl_w" (List.map Expr.int [ 16; 16; 3; 3 ]) in
+     let c = Op.conv2d ~name:"fl_conv" ~stride:1 d w in
+     let tpl = Templates.gpu_flat ~name:"fl_tpl" c in
+     let rng = Random.State.make [| 13 |] in
+     let rec valid n acc =
+       if List.length acc >= 12 || n = 0 then acc
+       else
+         let cfg = Cfg.random_config tpl.Tuner.tpl_space rng in
+         match (try Some (tpl.Tuner.tpl_instantiate cfg) with _ -> None) with
+         | Some s -> valid (n - 1) ((Cfg.hash cfg, s) :: acc)
+         | None -> valid (n - 1) acc
+     in
+     Array.of_list (List.rev (valid 400 [])))
+
+let batches_of sizes =
+  let pool = Lazy.force job_pool in
+  let np = Array.length pool in
+  List.mapi
+    (fun b (kind, size) ->
+      (kind, Array.init size (fun i -> pool.((i + (3 * b)) mod np))))
+    sizes
+  |> Array.of_list
+
+let faulty_catalog ?(speculate = false) ?shards ?straggler n =
+  Fleet.catalog ?shards ~speculate
+    ~fault_plan:(Fault.transient ~seed:11 ~rate:0.2 ())
+    (Fleet.mixed_kinds ?straggler n)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism at fleet scale                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* 1000 heterogeneous devices, 20% transient faults, three multiplexed
+   batches (two device kinds): results AND the journal must be
+   byte-identical at -j1 vs -j8. *)
+let test_fleet_deterministic_across_j () =
+  let sizes = [ (titan, 40); (xeon, 25); (titan, 35) ] in
+  let total = List.fold_left (fun a (_, s) -> a + s) 0 sizes in
+  let run jobs =
+    Journal.set_enabled true;
+    Journal.set_job_tags (Array.init total (fun i -> i));
+    let t = Fleet.session ~salt:5 (faulty_catalog ~speculate:true 1000) in
+    let par = Par.create ~domains:jobs () in
+    let res = Fleet.measure_batches ~par t (batches_of sizes) in
+    Journal.clear_job_tags ();
+    let lines = List.map Journal.entry_to_line (Journal.entries ()) in
+    Journal.set_enabled false;
+    (res, lines, Fleet.makespan t, Fleet.stats t)
+  in
+  let r1, l1, mk1, st1 = run 1 in
+  let r8, l8, mk8, st8 = run 8 in
+  checkb "results identical at -j1 vs -j8" (r1 = r8);
+  checkb "journal byte-identical at -j1 vs -j8" (l1 = l8);
+  checkb "makespan identical" (mk1 = mk8);
+  checkb "stats identical" (st1 = st8);
+  checkb "fleet really has 1000 devices"
+    (match st1.Fleet.fs_devices with 1000 -> true | _ -> false);
+  Alcotest.(check int)
+    "every job resolved" total
+    (Array.fold_left (fun a b -> a + Array.length b) 0 r1)
+
+(* Results (not journals: those record placement) must also be
+   invariant under shard count and speculation. *)
+let test_results_invariant_shards_spec () =
+  let sizes = [ (titan, 30); (xeon, 20) ] in
+  let run ?shards ?(speculate = false) () =
+    let t = Fleet.session ~salt:5 (faulty_catalog ~speculate ?shards 300) in
+    Fleet.measure_batches t (batches_of sizes)
+  in
+  let base = run ~shards:4 () in
+  checkb "results invariant under shard count"
+    (base = run ~shards:16 ());
+  checkb "results invariant under auto sharding" (base = run ());
+  checkb "results invariant under speculation"
+    (base = run ~shards:4 ~speculate:true ())
+
+(* Stealing never reorders the coordinator replay: multiplexing N
+   batches through one schedule returns exactly what submitting them
+   one by one to an identically-salted fresh session would. *)
+let multiplex_matches_sequential =
+  QCheck.Test.make ~name:"measure_batches = sequential measure_batch"
+    ~count:25
+    QCheck.(
+      triple (int_range 0 20) (int_range 0 20) (int_range 0 6))
+    (fun (n1, n2, salt) ->
+      let sizes = [ (titan, n1); (xeon, n2); (titan, (n1 + n2) mod 13) ] in
+      let batches = batches_of sizes in
+      let mux =
+        let t = Fleet.session ~salt (faulty_catalog 120) in
+        Fleet.measure_batches t batches
+      in
+      let seq =
+        let t = Fleet.session ~salt (faulty_catalog 120) in
+        Array.map
+          (fun (kind, jobs) -> Fleet.measure_batch t ~kind jobs)
+          batches
+      in
+      mux = seq)
+
+(* ------------------------------------------------------------------ *)
+(* Stealing and scaling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let costs n = Array.init n (fun i -> 0.06 +. (0.04 *. float_of_int (i mod 7) /. 7.))
+
+(* An all-slow shard must be drained by its siblings, and moving the
+   jobs must not change a single result. *)
+let test_stealing_rebalances () =
+  let roster = List.init 32 (fun i -> (titan, if i < 8 then 6.0 else 1.0)) in
+  let run roster =
+    let t = Fleet.session (Fleet.catalog ~shards:4 roster) in
+    let r = Fleet.simulate t ~kind:titan ~cost_s:(costs 400) in
+    (r, Fleet.makespan t, Fleet.stats t)
+  in
+  let r, mk, st = run roster in
+  checkb "steals happened" (st.Fleet.fs_steals > 0);
+  checkb "stolen jobs counted" (st.Fleet.fs_stolen_jobs > 0);
+  (* Without stealing the slow shard alone would hold its whole slice:
+     100 jobs x ~0.28 s x 6 = ~170 s. Stealing must beat that by a lot. *)
+  checkb
+    (Printf.sprintf "makespan %.1f s beats the no-steal bound" mk)
+    (mk < 60.);
+  let r_flat, _, _ = run (List.init 32 (fun _ -> (titan, 1.0))) in
+  checkb "stealing never changes results"
+    (Array.map (fun (x : R.t) -> (x.R.status, x.R.time_s)) r
+    = Array.map (fun (x : R.t) -> (x.R.status, x.R.time_s)) r_flat)
+
+let test_scaling_efficiency () =
+  let span d =
+    let t = Fleet.session (Fleet.catalog (Fleet.mixed_kinds d)) in
+    ignore (Fleet.simulate t ~kind:titan ~cost_s:(costs 2000));
+    (Fleet.makespan t, Fleet.usable t ~kind:titan)
+  in
+  let mk8, u8 = span 8 and mk256, u256 = span 256 in
+  let eff = mk8 /. mk256 /. (float_of_int u256 /. float_of_int u8) in
+  checkb
+    (Printf.sprintf "scaling efficiency %.2f >= 0.7 (8 -> 256 devices)" eff)
+    (eff >= 0.7)
+
+(* ------------------------------------------------------------------ *)
+(* Speculation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A 12x straggler of the target kind: speculation must cut the
+   straggler-dominated makespan by >= 1.5x and change nothing else. *)
+let test_speculation_beats_straggler () =
+  let run speculate =
+    let t =
+      Fleet.session
+        (Fleet.catalog ~speculate (Fleet.mixed_kinds ~straggler:0 64))
+    in
+    let r = Fleet.simulate t ~kind:titan ~cost_s:(costs 300) in
+    (r, Fleet.makespan t, Fleet.stats t)
+  in
+  let r_off, mk_off, _ = run false in
+  let r_on, mk_on, st_on = run true in
+  checkb "speculation changes no result" (r_off = r_on);
+  checkb "twins were launched" (st_on.Fleet.fs_spec_launched > 0);
+  checkb "twins won races" (st_on.Fleet.fs_spec_wins > 0);
+  checkb
+    (Printf.sprintf "speculation speedup %.2fx >= 1.5x"
+       (mk_off /. mk_on))
+    (mk_off >= 1.5 *. mk_on)
+
+(* The satellite-2 regression: a twin that replays a retryable fault is
+   cancelled mid-backoff when its primary resolves first. Backoff is
+   charged to the job's ready time (Retry_policy.retry_at), never to a
+   shared clock, so speculation must not add retries, must not change
+   results, and must not inflate the virtual clock — even on a fleet
+   where faults and twins interact constantly. *)
+let test_cancelled_twin_charges_nothing () =
+  let run speculate =
+    Journal.set_enabled true;
+    Journal.set_job_tags (Array.init 200 (fun i -> i));
+    let t =
+      Fleet.session ~salt:3
+        (faulty_catalog ~speculate ~straggler:0 64)
+    in
+    let r = Fleet.simulate t ~kind:titan ~cost_s:(costs 200) in
+    Journal.clear_job_tags ();
+    let entries = Journal.entries () in
+    Journal.set_enabled false;
+    (r, Fleet.makespan t, Fleet.stats t, entries)
+  in
+  let r_off, mk_off, st_off, _ = run false in
+  let r_on, mk_on, st_on, entries_on = run true in
+  checkb "results identical with twins racing faults" (r_off = r_on);
+  Alcotest.(check int)
+    "retry count identical: no backoff charged per copy"
+    st_off.Fleet.fs_retries st_on.Fleet.fs_retries;
+  let cancelled =
+    List.length
+      (List.filter
+         (function
+           | Journal.Dispatch { d_outcome = "cancelled"; _ } -> true
+           | _ -> false)
+         entries_on)
+  in
+  checkb "twins were cancelled mid-flight" (cancelled > 0);
+  Alcotest.(check int) "every cancellation tallied"
+    (st_on.Fleet.fs_spec_wins + st_on.Fleet.fs_spec_losses)
+    cancelled;
+  (* Speculation may only help the clock (a double-charged backoff
+     showed up here as a makespan inflation). *)
+  checkb
+    (Printf.sprintf "makespan %.2f s (spec) <= %.2f s (no spec)" mk_on mk_off)
+    (mk_on <= mk_off +. 1e-9)
+
+let test_retry_at_is_job_local () =
+  let p = Retry.default in
+  let at = Retry.retry_at p ~now:100. ~attempt:1 in
+  checkb "retry_at = now + backoff"
+    (Float.abs (at -. (100. +. Retry.backoff_s p ~attempt:1)) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Report integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_shard_tallies () =
+  Journal.set_enabled true;
+  Journal.set_job_tags (Array.init 400 (fun i -> i));
+  let roster = List.init 32 (fun i -> (titan, if i = 0 then 12.0 else 1.0)) in
+  let t = Fleet.session (Fleet.catalog ~shards:4 ~speculate:true roster) in
+  ignore (Fleet.simulate t ~kind:titan ~cost_s:(costs 400));
+  Journal.clear_job_tags ();
+  let rp = Report.analyze (Journal.entries ()) in
+  Journal.set_enabled false;
+  let st = Fleet.stats t in
+  checkb "report sees the shards" (List.length rp.Report.rp_shards = 4);
+  (* fs_stolen_jobs counts steal *events* (a job re-stolen counts per
+     hop); the journal records one dispatch per attempt. *)
+  checkb "report sees stolen dispatches" (rp.Report.rp_stolen > 0);
+  checkb "stolen dispatches bounded by steal events"
+    (rp.Report.rp_stolen <= st.Fleet.fs_stolen_jobs);
+  Alcotest.(check int) "report spec wins match fleet stats"
+    st.Fleet.fs_spec_wins rp.Report.rp_spec_wins;
+  Alcotest.(check int) "report spec losses match fleet stats"
+    st.Fleet.fs_spec_losses rp.Report.rp_spec_losses;
+  let total_share =
+    List.fold_left (fun a s -> a +. s.Report.sh_share) 0. rp.Report.rp_shards
+  in
+  checkb "shard utilization shares sum to 1"
+    (Float.abs (total_share -. 1.) < 1e-9);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "render has a fleet shards section"
+    (contains (Report.render rp) "fleet shards:")
+
+(* ------------------------------------------------------------------ *)
+(* SA propose memo (satellite 1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* On a 16-config space, 60 steps per chain must revisit configs
+   constantly; the chain-local memo caps predictor calls at the space
+   size while leaving the output untouched. *)
+let test_sa_propose_memo () =
+  let space =
+    Cfg.space
+      [
+        Cfg.knob "a" (List.init 4 (fun i -> i + 1));
+        Cfg.knob "b" (List.init 4 (fun i -> i + 1));
+      ]
+  in
+  let calls = ref 0 in
+  let predict_for_chain _ cfg =
+    incr calls;
+    Float.sin (float_of_int (Cfg.hash cfg land 0xFFFF))
+  in
+  let n_chains = 4 and n_steps = 60 in
+  let run () =
+    calls := 0;
+    let rng = Random.State.make [| 5 |] in
+    let state = Explorers.sa_init space rng ~n_chains in
+    let out =
+      Explorers.simulated_annealing space rng state ~predict_for_chain
+        ~visited:(Hashtbl.create 8) ~n_steps ~temp:1.0 ~batch:8
+    in
+    (out, !calls)
+  in
+  let out1, calls1 = run () in
+  let out2, calls2 = run () in
+  checkb "memoized walk is reproducible" (out1 = out2 && calls1 = calls2);
+  checkb
+    (Printf.sprintf "%d predictor calls <= %d distinct configs" calls1
+       (n_chains * Cfg.size space))
+    (calls1 <= n_chains * Cfg.size space);
+  checkb "far fewer calls than proposals"
+    (calls1 < n_chains * (n_steps + 1));
+  checkb "walk still yields candidates" (out1 <> [])
+
+let suite =
+  [
+    Alcotest.test_case "1000-device fleet: -j1 = -j8 (results + journal)"
+      `Quick test_fleet_deterministic_across_j;
+    Alcotest.test_case "results invariant under shards/speculation" `Quick
+      test_results_invariant_shards_spec;
+    QCheck_alcotest.to_alcotest multiplex_matches_sequential;
+    Alcotest.test_case "stealing rebalances without changing results" `Quick
+      test_stealing_rebalances;
+    Alcotest.test_case "scaling efficiency >= 0.7 at 8 -> 256" `Quick
+      test_scaling_efficiency;
+    Alcotest.test_case "speculation beats a 12x straggler >= 1.5x" `Quick
+      test_speculation_beats_straggler;
+    Alcotest.test_case "cancelled twin charges no backoff" `Quick
+      test_cancelled_twin_charges_nothing;
+    Alcotest.test_case "retry_at is job-local" `Quick test_retry_at_is_job_local;
+    Alcotest.test_case "report: shard/steal/speculation tallies" `Quick
+      test_report_shard_tallies;
+    Alcotest.test_case "sa propose memo caps predictor calls" `Quick
+      test_sa_propose_memo;
+  ]

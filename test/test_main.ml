@@ -21,4 +21,5 @@ let () =
       ("e2e", Test_e2e.suite);
       ("experiments", Test_experiments.suite);
       ("serve", Test_serve.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -336,7 +336,12 @@ let test_journal_roundtrip () =
       Journal.Prepare { q_uid = 1; q_cache = "miss"; q_valid = false };
       Journal.Dispatch
         { d_uid = 0; d_dev = 2; d_device = "gpu"; d_attempt = 1;
-          d_outcome = "timeout"; d_cost_s = 10.; d_queue_s = 0.25 };
+          d_outcome = "timeout"; d_cost_s = 10.; d_queue_s = 0.25;
+          d_shard = -1; d_stolen = false; d_spec = false };
+      Journal.Dispatch
+        { d_uid = 2; d_dev = 40; d_device = "gpu"; d_attempt = 0;
+          d_outcome = "cancelled"; d_cost_s = 0.3; d_queue_s = 0.;
+          d_shard = 5; d_stolen = true; d_spec = true };
       Journal.Measure
         { m_uid = 0; m_status = "ok"; m_time_s = Some 1.5e-4; m_attempts = 2 };
       Journal.Measure
@@ -487,7 +492,8 @@ let test_report_straggler () =
       add
         (Journal.Dispatch
            { d_uid = u; d_dev = dev; d_device = "gpu"; d_attempt = 0;
-             d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0. });
+             d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0.;
+             d_shard = -1; d_stolen = false; d_spec = false });
       add
         (Journal.Measure
            { m_uid = u; m_status = "ok";
@@ -507,11 +513,13 @@ let test_report_straggler () =
     add
       (Journal.Dispatch
          { d_uid = u; d_dev = 0; d_device = "gpu"; d_attempt = 0;
-           d_outcome = "timeout"; d_cost_s = 10.; d_queue_s = 0. });
+           d_outcome = "timeout"; d_cost_s = 10.; d_queue_s = 0.;
+           d_shard = -1; d_stolen = false; d_spec = false });
     add
       (Journal.Dispatch
          { d_uid = u; d_dev = 1; d_device = "gpu"; d_attempt = 1;
-           d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0.1 });
+           d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0.1;
+           d_shard = -1; d_stolen = false; d_spec = false });
     add
       (Journal.Measure
          { m_uid = u; m_status = "ok"; m_time_s = Some 0.002; m_attempts = 2 })
@@ -549,7 +557,8 @@ let test_report_clean_fleet () =
     add
       (Journal.Dispatch
          { d_uid = u; d_dev = u mod 4; d_device = "gpu"; d_attempt = 0;
-           d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0. });
+           d_outcome = "ok"; d_cost_s = 0.5; d_queue_s = 0.;
+           d_shard = -1; d_stolen = false; d_spec = false });
     add
       (Journal.Measure
          { m_uid = u; m_status = "ok"; m_time_s = Some 0.001; m_attempts = 1 })
