@@ -1,8 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate (build + tests).
 
 .PHONY: all build test check check-fault check-validate check-par check-cache \
-  check-journal check-serve check-spool check-compact check-fleet check-bench \
-  bench-json bench-baseline clean
+  check-journal check-serve check-servert check-spool check-compact \
+  check-fleet check-bench bench-json bench-baseline clean
 
 all: build
 
@@ -128,6 +128,25 @@ check-serve: build
 	cmp _build/check-serve/r_full _build/check-serve/r_warm
 	grep -q "4 restored from store" _build/check-serve/warm.stderr
 
+# Serving-executor gate: a deterministic trace from `tvmc traffic`
+# served by `tvmc serve-rt` at two model-load lane counts — the
+# results files must be byte-identical and every request must meet its
+# 50 ms SLO (--require-slo exits nonzero on any miss), then the
+# serving journal must round-trip through the `tvmc report` digest.
+check-servert: build
+	mkdir -p _build/check-servert
+	dune exec bin/tvmc.exe -- traffic --seed 5 --horizon 0.2 --tenants 8 \
+	  --rate 1200 --slo-ms 50 --out _build/check-servert/trace.txt
+	dune exec bin/tvmc.exe -- serve-rt --trace _build/check-servert/trace.txt \
+	  -j 1 --require-slo --results _build/check-servert/r_j1 \
+	  --journal-out _build/check-servert/journal.jsonl
+	dune exec bin/tvmc.exe -- serve-rt --trace _build/check-servert/trace.txt \
+	  -j 4 --require-slo --results _build/check-servert/r_j4
+	cmp _build/check-servert/r_j1 _build/check-servert/r_j4
+	dune exec bin/tvmc.exe -- report _build/check-servert/journal.jsonl \
+	  | tee _build/check-servert/digest.txt
+	grep -q "per-model latency" _build/check-servert/digest.txt
+
 # Streaming-spool gate: the same envelopes served from a spool
 # directory (stop file pre-armed, so the daemon drains one batch and
 # exits) and from a one-shot jobs file must produce byte-identical
@@ -227,10 +246,11 @@ check-bench: build
 	mkdir -p _build/check-bench
 	dune exec bench/main.exe -- --quick -j 4 \
 	  --json _build/check-bench/obs.json --baseline BENCH_obs.json \
-	  partune lower cache serve fleet
+	  partune lower cache serve serve_rt fleet
 
 check: build test check-fault check-validate check-par check-cache \
-  check-journal check-serve check-spool check-compact check-fleet check-bench
+  check-journal check-serve check-servert check-spool check-compact \
+  check-fleet check-bench
 
 # Machine-readable perf snapshot for the current tree (see README
 # "Observability"): runs the quick benchmark sweep and dumps the
@@ -242,7 +262,7 @@ bench-json:
 # the gate itself, so the comparison is apples to apples).
 bench-baseline:
 	dune exec bench/main.exe -- --quick -j 4 --json BENCH_obs.json \
-	  partune lower cache serve fleet
+	  partune lower cache serve serve_rt fleet
 
 clean:
 	dune clean

@@ -183,9 +183,10 @@ let compile_cmd =
       (Rt.kernels result.Tvm.Compiler.module_);
     Printf.printf "\nestimated end-to-end latency: %.3f ms\n"
       (1e3 *. Tvm_runtime.Graph_executor.estimated_time_s exec);
-    let pooled, naive = Tvm_runtime.Graph_executor.memory_stats exec in
+    let mem = Tvm_runtime.Graph_executor.memory_stats exec in
     Printf.printf "activation memory: %.2f MB (pooled) vs %.2f MB (naive)\n"
-      (pooled /. 1e6) (naive /. 1e6)
+      (float_of_int mem.Tvm_runtime.Graph_executor.pooled_bytes /. 1e6)
+      (float_of_int mem.Tvm_runtime.Graph_executor.naive_bytes /. 1e6)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a network end to end")
     Term.(
@@ -473,25 +474,44 @@ let report_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"JOURNAL"
-          ~doc:"Flight-recorder journal (JSON lines) written by --journal-out")
+          ~doc:
+            "Flight-recorder journal (JSON lines) written by --journal-out — \
+             a tuning journal or a serving journal from `serve-rt`")
   in
   let top =
     Arg.(value & opt int 5 & info [ "top" ] ~doc:"Slowest measured trials to list")
   in
   let run journal top =
-    let entries = Obs.Journal.load_jsonl journal in
-    if entries = [] then begin
+    let lines =
+      In_channel.with_open_text journal In_channel.input_lines
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    if lines = [] then begin
       Printf.eprintf "no journal records in %s\n" journal;
       exit 1
     end;
-    print_string (Obs.Report.render (Obs.Report.analyze ~top entries))
+    if Obs.Report.Serving.is_serving_line (List.hd lines) then
+      print_string
+        (Obs.Report.Serving.render
+           (Obs.Report.Serving.analyze (List.map Obs.Json.parse lines)))
+    else begin
+      let entries = Obs.Journal.load_jsonl journal in
+      if entries = [] then begin
+        Printf.eprintf "no journal records in %s\n" journal;
+        exit 1
+      end;
+      print_string (Obs.Report.render (Obs.Report.analyze ~top entries))
+    end
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Analyze a flight-recorder journal: per-device utilization and \
-          straggler detection, fault/retry attribution, per-status, \
-          per-origin and per-SA-chain breakdowns, slowest trials")
+         "Analyze a flight-recorder journal. Tuning journals get per-device \
+          utilization and straggler detection, fault/retry attribution, \
+          per-status, per-origin and per-SA-chain breakdowns, slowest trials. \
+          Serving journals (from `serve-rt --journal-out`) get the \
+          request-latency digest: per-model p50/p90/p99, the batch-size \
+          histogram, per-device placement tallies.")
     Term.(const run $ journal $ top)
 
 (* ---- devices ---- *)
@@ -783,12 +803,252 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Durable-store maintenance")
     [ compact_cmd ]
 
+(* ---- serving: traffic + serve-rt ---- *)
+
+module Traffic = Tvm_serve.Traffic
+module Srv = Tvm_serve.Model_server
+
+let split_csv s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let serving_models_arg =
+  Arg.(
+    value
+    & opt string "resnet18,mobilenet,lstm,dqn,dcgan"
+    & info [ "models" ] ~docv:"CSV"
+        ~doc:"Serving models (subset of resnet18,mobilenet,lstm,dqn,dcgan)")
+
+let tenants_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "tenants" ] ~doc:"Tenant count, round-robined over --models")
+
+let rate_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "rate" ] ~doc:"Per-tenant mean arrival rate (requests / virtual s)")
+
+let slo_ms_arg =
+  Arg.(
+    value & opt float 250.
+    & info [ "slo-ms" ] ~doc:"Per-request latency SLO (virtual ms)")
+
+let horizon_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "horizon" ] ~doc:"Arrival horizon (virtual seconds)")
+
+let traffic_seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Traffic seed")
+
+(** [--tenants N] round-robined over the model list, all with the same
+    rate and SLO — enough to exercise multi-model contention without a
+    tenant-spec file format. *)
+let make_tenants ~models ~tenants ~rate ~slo_ms =
+  if models = [] then invalid_arg "empty --models";
+  List.init (max 1 tenants) (fun i ->
+      Traffic.tenant
+        ~rate_hz:rate ~slo_s:(slo_ms /. 1e3)
+        ~model:(List.nth models (i mod List.length models))
+        (Printf.sprintf "tenant%d" i))
+
+let traffic_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the trace here instead of stdout")
+  in
+  let run models_csv tenants rate slo_ms horizon seed out =
+    let models = split_csv models_csv in
+    let reqs =
+      Traffic.generate ~seed ~horizon_s:horizon
+        (make_tenants ~models ~tenants ~rate ~slo_ms)
+    in
+    let lines = Traffic.to_lines reqs in
+    match out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+        Printf.eprintf "[traffic] %d requests written to %s\n%!"
+          (List.length reqs) path
+    | None -> List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Generate an open-loop serving trace: per-tenant exponential \
+          arrivals on the virtual clock, deterministic in (--seed, \
+          --tenants, --rate, --horizon). Feed to `serve-rt --trace`.")
+    Term.(
+      const run $ serving_models_arg $ tenants_arg $ rate_arg $ slo_ms_arg
+      $ horizon_arg $ traffic_seed_arg $ out)
+
+let serve_rt_cmd =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale model shapes (slower compiles)")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Request trace from `tvmc traffic` (default: generate one from \
+             --seed/--tenants/--rate/--horizon)")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~doc:"Dynamic-batching cap (1 disables batching)")
+  in
+  let max_delay_ms =
+    Arg.(
+      value & opt float 2.
+      & info [ "max-delay-ms" ]
+          ~doc:"Longest a request waits for batch-mates before launching")
+  in
+  let inflight =
+    Arg.(
+      value & opt int 8 & info [ "inflight" ] ~doc:"Concurrent batches admitted")
+  in
+  let no_hetero =
+    Arg.(
+      value & flag
+      & info [ "no-hetero" ]
+          ~doc:"Disable heterogeneous dispatch: every group runs on the gpu")
+  in
+  let lanes =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "lanes" ]
+          ~doc:
+            "Domains for parallel model loading. Never changes the schedule: \
+             results are byte-identical at any -j.")
+  in
+  let target =
+    Arg.(value & opt string "cuda" & info [ "target" ] ~doc:"cuda | arm | mali | llvm")
+  in
+  let results =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "results" ] ~docv:"FILE"
+          ~doc:"Write per-request completion lines (byte-comparable across -j)")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the serving journal (JSON lines): run header, per-model \
+             placements, per-batch and per-request records. Analyze with \
+             `tvmc report`.")
+  in
+  let require_slo =
+    Arg.(
+      value & flag
+      & info [ "require-slo" ] ~doc:"Exit 1 if any request misses its SLO")
+  in
+  let run models_csv full trace_file tenants rate slo_ms horizon seed max_batch
+      max_delay_ms inflight no_hetero lanes target results journal require_slo
+      trace_out metrics_out =
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    let model_names = split_csv models_csv in
+    let suite = Models.serving_suite ~full () in
+    let graphs =
+      List.map
+        (fun n ->
+          match List.assoc_opt n suite with
+          | Some g -> (n, g)
+          | None ->
+              invalid_arg
+                ("unknown serving model " ^ n
+               ^ " (resnet18|mobilenet|lstm|dqn|dcgan)"))
+        model_names
+    in
+    let cfg =
+      Srv.config ~max_batch
+        ~max_delay_s:(max_delay_ms /. 1e3)
+        ~max_inflight:inflight ~hetero:(not no_hetero) ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let server = Srv.load ~lanes ~target:(target_of_name target) cfg graphs in
+    Printf.eprintf "[serve-rt] %d models loaded in %.1fs (%d lanes)\n%!"
+      (List.length graphs)
+      (Unix.gettimeofday () -. t0)
+      lanes;
+    let reqs =
+      match trace_file with
+      | Some path ->
+          In_channel.with_open_text path In_channel.input_lines
+          |> List.filter (fun l -> String.trim l <> "")
+          |> Traffic.of_lines
+      | None ->
+          Traffic.generate ~seed ~horizon_s:horizon
+            (make_tenants ~models:model_names ~tenants ~rate ~slo_ms)
+    in
+    let o = Srv.run server reqs in
+    List.iter
+      (fun (m : Srv.model) ->
+        Printf.printf "placement %-12s %s   est %.3f ms/batch1\n" m.Srv.mv_name
+          (String.concat "  "
+             (List.map
+                (fun (d, n) -> Printf.sprintf "%s=%d" d n)
+                m.Srv.mv_placement))
+          (1e3 *. m.Srv.mv_time1_s))
+      (Srv.models server);
+    Printf.printf "requests %d  throughput %.1f req/s  makespan %.4f s\n"
+      (List.length o.Srv.oc_completions)
+      o.Srv.oc_throughput_rps o.Srv.oc_makespan_s;
+    Printf.printf "latency ms p50/p90/p99: %.3f / %.3f / %.3f   slo misses: %d\n"
+      (1e3 *. o.Srv.oc_p50_s) (1e3 *. o.Srv.oc_p90_s) (1e3 *. o.Srv.oc_p99_s)
+      o.Srv.oc_slo_misses;
+    Printf.printf
+      "mean batch %.2f  slab %.2f MB vs %.2f MB naive (%.0f%% saved, %d reuses)\n"
+      o.Srv.oc_mean_batch
+      (o.Srv.oc_slab_bytes /. 1e6)
+      (o.Srv.oc_naive_bytes /. 1e6)
+      (100. *. o.Srv.oc_slab_saving)
+      o.Srv.oc_slab_reuses;
+    (match results with
+    | Some path ->
+        Srv.write_results o path;
+        Printf.eprintf "[serve-rt] results written to %s\n%!" path
+    | None -> ());
+    (match journal with
+    | Some path ->
+        Srv.write_journal server o path;
+        Printf.eprintf "[serve-rt] journal written to %s\n%!" path
+    | None -> ());
+    if require_slo && o.Srv.oc_slo_misses > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-rt"
+       ~doc:
+         "Serve inference traffic across several compiled models on the \
+          simulated devices: dynamic batching under a max-batch/max-delay \
+          policy, cross-request activation slabs from a shared arena, and \
+          heterogeneous dispatch of fused groups across cpu+gpu+vdla. \
+          Deterministic: a fixed trace gives byte-identical --results at any \
+          -j.")
+    Term.(
+      const run $ serving_models_arg $ full $ trace_file $ tenants_arg
+      $ rate_arg $ slo_ms_arg $ horizon_arg $ traffic_seed_arg $ max_batch
+      $ max_delay_ms $ inflight $ no_hetero $ lanes $ target $ results
+      $ journal $ require_slo $ trace_out_arg $ metrics_out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "tvmc" ~version:"1.0" ~doc:"OCaml TVM reproduction driver")
     [
       compile_cmd; tune_cmd; profile_cmd; report_cmd; devices_cmd; submit_cmd;
-      serve_cmd; store_cmd;
+      serve_cmd; store_cmd; traffic_cmd; serve_rt_cmd;
     ]
 
 let () =

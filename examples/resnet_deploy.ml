@@ -44,9 +44,11 @@ let () =
   Printf.printf "  Tensorflow %8.3f ms\n" (1e3 *. tf);
 
   (* Memory planning effect (§3's static memory planner). *)
-  let pooled, naive = Exec.memory_stats exec in
+  let mem = Exec.memory_stats exec in
+  let mb b = float_of_int b /. 1e6 in
   Printf.printf "\nactivation memory: %.2f MB pooled vs %.2f MB naive (%.1fx)\n"
-    (pooled /. 1e6) (naive /. 1e6) (naive /. Float.max 1. pooled);
+    (mb mem.Exec.pooled_bytes) (mb mem.Exec.naive_bytes)
+    (mb mem.Exec.naive_bytes /. Float.max 1e-6 (mb mem.Exec.pooled_bytes));
 
   (* Same model compiled for the embedded CPU. *)
   let _result2, exec2 =

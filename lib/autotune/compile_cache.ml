@@ -54,6 +54,8 @@ let find ?(record = true) t cfg =
   if record then record_lookup t (Option.is_some found);
   found
 
+let record_hit t = record_lookup t true
+
 (* Drop the stmt of the oldest stmt-holding entry until the budget
    holds: programs dominate the cache's footprint, so the FIFO bound
    applies to retained stmts only — features stay (re-deriving them is

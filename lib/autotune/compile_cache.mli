@@ -62,6 +62,17 @@ val keeps_stmts : t -> bool
     once). *)
 val find : ?record:bool -> t -> Cfg_space.config -> entry option
 
+(** Count a hit against [t] for a lookup that was made with
+    [record:false] — the two-tier pattern probes the shared tier
+    silently and then must either count the hit here or fall through
+    to {!find_or_compile} on the local tier (which records its own
+    verdict), so each logical query counts exactly once. Without this
+    the metrics invert as the shared tier warms up: the steady state
+    where almost every query is answered by the shared memo shows up
+    as a ~0% hit rate, because only the local-tier fallbacks (cold
+    misses) were ever counted. *)
+val record_hit : t -> unit
+
 (** Insert, first-wins; an entry holding a program upgrades an existing
     stmt-less entry in place (features untouched). *)
 val add : t -> Cfg_space.config -> entry -> unit

@@ -553,15 +553,19 @@ let tune ?(spec = Tvm_spec.Job_spec.default) ?db ?cache ?measure_batch
                 let seen = touched.(ci) in
                 fun cfg ->
                   Hashtbl.replace seen (Cfg_space.canonical cfg) ();
-                  (* Two-tier lookup: the shared memo first (read-only
-                     here, [record:false] so each logical query counts
-                     once), then the chain-local cache, compiling on a
-                     double miss. Chain winners keep their lowered
-                     program, so if this config is measured later the
-                     prepare phase skips instantiation entirely. *)
+                  (* Two-tier lookup: the shared memo first (probed
+                     with [record:false], the hit counted explicitly),
+                     then the chain-local cache, compiling on a double
+                     miss — [find_or_compile] records the local
+                     verdict, so each logical query counts exactly
+                     once. Chain winners keep their lowered program, so
+                     if this config is measured later the prepare phase
+                     skips instantiation entirely. *)
                   let entry =
                     match Compile_cache.find ~record:false memo cfg with
-                    | Some e -> e
+                    | Some e ->
+                        Compile_cache.record_hit memo;
+                        e
                     | None -> Compile_cache.find_or_compile local cfg ~compile
                   in
                   match Compile_cache.feats entry with

@@ -78,3 +78,102 @@ let plan (graph : Graph_ir.t) (groups : Fusion.group list) : plan =
     total_bytes = List.fold_left (fun acc (_, b) -> acc +. b) 0. slots;
     naive_bytes = !naive;
   }
+
+(** Cross-request slab arena: the serving-time generalization of the
+    per-graph plan above. Each in-flight request acquires one slab per
+    plan slot for the interval [dispatch, completion) on the virtual
+    clock and releases them on completion; released slabs are reused
+    by later (or concurrently staggered) requests of any model.
+
+    Slabs come in geometric size classes (4 KB × 1.25^c) and a request
+    is served from its own class or a bounded number of classes above
+    it (a borrowed slab is ≤ 1.25⁴ ≈ 2.4× the request) — never from an
+    arbitrarily bigger free slab. Bounded-fit prevents the capture pathology of
+    best-fit under mixed-model traffic, where large slabs get pinned
+    under small slots and the footprint ratchets past even the naive
+    peak, while still letting batch-size-scaled slots (whose sizes
+    churn with the coalescing) share slabs instead of minting a class
+    per batch size. The footprint is therefore close to the high-water
+    mark of simultaneously live bytes, not the sum over requests. Free
+    lists are LIFO per class: the arena is deterministic given the
+    acquire / release sequence, which itself is a pure function of the
+    virtual schedule. *)
+module Arena = struct
+  type slab = { sb_id : int; sb_class : int; sb_bytes : float }
+
+  type t = {
+    ar_free : (int, slab list) Hashtbl.t;  (** class → released slabs *)
+    mutable ar_next : int;
+    mutable ar_total : float;  (** arena footprint: all slab bytes *)
+    mutable ar_in_use : float;
+    mutable ar_peak : float;  (** high-water of in-use bytes *)
+    mutable ar_acquires : int;
+    mutable ar_reuses : int;
+    mutable ar_waste : float;  (** Σ (class size − requested) over acquires *)
+  }
+
+  let create () =
+    { ar_free = Hashtbl.create 32; ar_next = 0; ar_total = 0.; ar_in_use = 0.;
+      ar_peak = 0.; ar_acquires = 0; ar_reuses = 0; ar_waste = 0. }
+
+  let class_base = 4096.
+  let class_ratio = 1.25
+
+  let class_of bytes =
+    if bytes <= class_base then 0
+    else int_of_float (Float.ceil (Float.log (bytes /. class_base) /. Float.log class_ratio))
+
+  let class_bytes c = class_base *. (class_ratio ** float_of_int c)
+
+  (* How many classes above its own a request may borrow from:
+     1.25³ ≈ 1.95× its class size, so a borrowed slab is at most
+     1.25⁴ ≈ 2.4× the requested bytes. *)
+  let borrow_classes = 3
+
+  let acquire t ~bytes =
+    t.ar_acquires <- t.ar_acquires + 1;
+    let c = class_of bytes in
+    let rec take k =
+      if k > borrow_classes then None
+      else
+        match Hashtbl.find_opt t.ar_free (c + k) with
+        | Some (s :: rest) ->
+            Hashtbl.replace t.ar_free (c + k) rest;
+            Some s
+        | Some [] | None -> take (k + 1)
+    in
+    let slab =
+      match take 0 with
+      | Some s ->
+          t.ar_reuses <- t.ar_reuses + 1;
+          s
+      | None ->
+          t.ar_next <- t.ar_next + 1;
+          let sb = class_bytes c in
+          t.ar_total <- t.ar_total +. sb;
+          { sb_id = t.ar_next; sb_class = c; sb_bytes = sb }
+    in
+    t.ar_waste <- t.ar_waste +. (slab.sb_bytes -. bytes);
+    t.ar_in_use <- t.ar_in_use +. slab.sb_bytes;
+    if t.ar_in_use > t.ar_peak then t.ar_peak <- t.ar_in_use;
+    slab
+
+  let release t slab =
+    t.ar_in_use <- t.ar_in_use -. slab.sb_bytes;
+    let rest =
+      Option.value ~default:[] (Hashtbl.find_opt t.ar_free slab.sb_class)
+    in
+    Hashtbl.replace t.ar_free slab.sb_class (slab :: rest)
+
+  (** Acquire one slab per slot of [p], every slot size scaled by
+      [scale] (the coalesced batch size — activations grow linearly
+      along the batch axis). Returns the slabs for {!release_plan}. *)
+  let acquire_plan t (p : plan) ~scale =
+    List.map (fun (_, bytes) -> acquire t ~bytes:(bytes *. scale)) p.slots
+
+  let release_plan t slabs = List.iter (release t) slabs
+  let footprint_bytes t = t.ar_total
+  let peak_in_use_bytes t = t.ar_peak
+  let reuses t = t.ar_reuses
+  let acquires t = t.ar_acquires
+end

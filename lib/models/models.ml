@@ -230,6 +230,33 @@ let dcgan ?(batch = 1) ?(code_dim = 100) ?(base = 64) () =
   G.finalize b [ d4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving suite                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The five networks at serving-friendly scales, keyed by the names
+    [tvmd]/[tvmc] use — the model-server's default load set. [full]
+    selects the paper's full shapes instead (benchmarks); the default
+    reduced shapes keep CI compiles fast while preserving each
+    network's operator mix. *)
+let serving_suite ?(batch = 1) ?(full = false) () =
+  if full then
+    [
+      ("resnet18", resnet18 ~batch ());
+      ("mobilenet", mobilenet ~batch ());
+      ("lstm", lstm_lm ~batch ());
+      ("dqn", dqn ~batch ());
+      ("dcgan", dcgan ~batch ());
+    ]
+  else
+    [
+      ("resnet18", resnet18 ~batch ~input_hw:64 ~width:0.5 ~num_classes:64 ());
+      ("mobilenet", mobilenet ~batch ~input_hw:64 ~width:0.5 ~num_classes:64 ());
+      ("lstm", lstm_lm ~batch ~hidden:64 ~layers:1 ~vocab:256 ());
+      ("dqn", dqn ~batch ());
+      ("dcgan", dcgan ~batch ~base:16 ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Parameter generation                                                 *)
 (* ------------------------------------------------------------------ *)
 

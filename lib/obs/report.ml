@@ -377,3 +377,185 @@ let render (t : t) : string =
       t.rp_slowest
   end;
   Buffer.contents buf
+
+(** Request-latency digest over a serving journal (the [serve_rt.*]
+    JSONL written by the model server) — the serving counterpart of
+    {!analyze}: per-model latency percentiles, the batch-size
+    histogram, and each model's device placement tally. Pure over the
+    parsed lines, like {!analyze} over journal entries. *)
+module Serving = struct
+  type model_stat = {
+    sm_model : string;
+    sm_requests : int;
+    sm_mean_s : float;
+    sm_p50_s : float;
+    sm_p90_s : float;
+    sm_p99_s : float;
+    sm_slo_misses : int;
+  }
+
+  type t = {
+    sv_requests : int;
+    sv_throughput_rps : float;
+    sv_max_batch : int;
+    sv_slab_bytes : float;
+    sv_naive_bytes : float;
+    sv_models : model_stat list;  (** by model name *)
+    sv_batch_hist : (int * int) list;  (** batch size → batches *)
+    sv_placements : (string * (string * int) list) list;
+        (** model → device → groups *)
+  }
+
+  (** True when the first JSONL line of a file carries a [serve_rt.*]
+      kind — how [tvmc report] picks this digest over the fleet one. *)
+  let is_serving_line line =
+    match Json.member "kind" (Json.parse line) with
+    | Some (Json.Str k) ->
+        String.length k >= 9 && String.sub k 0 9 = "serve_rt."
+    | _ -> false
+    | exception _ -> false
+
+  let num ?(default = Float.nan) key obj =
+    match Option.bind (Json.member key obj) Json.to_num_opt with
+    | Some v -> v
+    | None -> default
+
+  let str ?(default = "?") key obj =
+    match Option.bind (Json.member key obj) Json.to_string_opt with
+    | Some s -> s
+    | None -> default
+
+  (* Exact nearest-rank percentile: the digest must match the server's
+     own bit-stable report, so no histogram approximation. *)
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan
+    else
+      let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+  let analyze (lines : Json.t list) : t =
+    let requests = ref 0 and throughput = ref 0. and max_batch = ref 0 in
+    let slab = ref Float.nan and naive = ref Float.nan in
+    let by_model : (string, float list ref * int ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let batch_hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let placements = ref [] in
+    List.iter
+      (fun obj ->
+        match Json.member "kind" obj with
+        | Some (Json.Str "serve_rt.run") ->
+            requests := int_of_float (num "requests" obj ~default:0.);
+            throughput := num "throughput_rps" obj ~default:0.;
+            max_batch := int_of_float (num "max_batch" obj ~default:0.);
+            slab := num "slab_bytes" obj;
+            naive := num "naive_bytes" obj
+        | Some (Json.Str "serve_rt.placement") ->
+            let model = str "model" obj in
+            let tally =
+              List.filter_map
+                (fun d ->
+                  Option.bind (Json.member d obj) Json.to_num_opt
+                  |> Option.map (fun n -> (d, int_of_float n)))
+                [ "cpu"; "gpu"; "vdla" ]
+            in
+            placements := (model, tally) :: !placements
+        | Some (Json.Str "serve_rt.batch") ->
+            let size = int_of_float (num "size" obj ~default:0.) in
+            Hashtbl.replace batch_hist size
+              (1 + Option.value ~default:0 (Hashtbl.find_opt batch_hist size))
+        | Some (Json.Str "serve_rt.request") ->
+            let model = str "model" obj in
+            let lat = num "latency_s" obj in
+            let ok = num "slo_ok" obj ~default:1. in
+            let lats, misses =
+              match Hashtbl.find_opt by_model model with
+              | Some e -> e
+              | None ->
+                  let e = (ref [], ref 0) in
+                  Hashtbl.replace by_model model e;
+                  e
+            in
+            lats := lat :: !lats;
+            if ok = 0. then incr misses
+        | _ -> ())
+      lines;
+    let models =
+      Hashtbl.fold
+        (fun model (lats, misses) acc ->
+          let a = Array.of_list !lats in
+          Array.sort compare a;
+          let n = Array.length a in
+          {
+            sm_model = model;
+            sm_requests = n;
+            sm_mean_s =
+              (if n = 0 then Float.nan
+               else Array.fold_left ( +. ) 0. a /. float_of_int n);
+            sm_p50_s = percentile a 50.;
+            sm_p90_s = percentile a 90.;
+            sm_p99_s = percentile a 99.;
+            sm_slo_misses = !misses;
+          }
+          :: acc)
+        by_model []
+      |> List.sort (fun a b -> compare a.sm_model b.sm_model)
+    in
+    {
+      sv_requests = !requests;
+      sv_throughput_rps = !throughput;
+      sv_max_batch = !max_batch;
+      sv_slab_bytes = !slab;
+      sv_naive_bytes = !naive;
+      sv_models = models;
+      sv_batch_hist =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) batch_hist []
+        |> List.sort compare;
+      sv_placements = List.sort compare !placements;
+    }
+
+  let render (t : t) : string =
+    let buf = Buffer.create 2048 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    p "serving report\n";
+    p "==============\n\n";
+    p "requests: %d  throughput: %.1f req/s  max batch: %d\n" t.sv_requests
+      t.sv_throughput_rps t.sv_max_batch;
+    if Float.is_finite t.sv_slab_bytes && Float.is_finite t.sv_naive_bytes
+    then
+      p "slab arena: %.2f MB vs %.2f MB naive (%.0f%% saved)\n"
+        (t.sv_slab_bytes /. 1e6) (t.sv_naive_bytes /. 1e6)
+        (100. *. (1. -. (t.sv_slab_bytes /. Float.max 1. t.sv_naive_bytes)));
+    if t.sv_models <> [] then begin
+      p "\nper-model latency:\n";
+      p "  %-12s %8s %10s %10s %10s %10s %10s\n" "model" "requests" "mean_ms"
+        "p50_ms" "p90_ms" "p99_ms" "slo_miss";
+      List.iter
+        (fun m ->
+          p "  %-12s %8d %10.3f %10.3f %10.3f %10.3f %10d\n" m.sm_model
+            m.sm_requests (1e3 *. m.sm_mean_s) (1e3 *. m.sm_p50_s)
+            (1e3 *. m.sm_p90_s) (1e3 *. m.sm_p99_s) m.sm_slo_misses)
+        t.sv_models
+    end;
+    if t.sv_batch_hist <> [] then begin
+      p "\nbatch sizes:\n";
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 t.sv_batch_hist in
+      List.iter
+        (fun (size, n) ->
+          p "  %2d: %5d batches %5.1f%%  %s\n" size n
+            (100. *. float_of_int n /. float_of_int (max 1 total))
+            (String.make (min 60 (60 * n / max 1 total)) '#'))
+        t.sv_batch_hist
+    end;
+    if t.sv_placements <> [] then begin
+      p "\nplacement (groups per device):\n";
+      List.iter
+        (fun (model, tally) ->
+          p "  %-12s %s\n" model
+            (String.concat "  "
+               (List.map (fun (d, n) -> Printf.sprintf "%s=%d" d n) tally)))
+        t.sv_placements
+    end;
+    Buffer.contents buf
+end

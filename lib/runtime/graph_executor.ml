@@ -201,4 +201,10 @@ let estimated_time_s t =
     0. t.groups
 
 (** Memory footprint comparison from the static plan. *)
-let memory_stats t = (t.plan.Mem_plan.total_bytes, t.plan.Mem_plan.naive_bytes)
+type memory_stats = { pooled_bytes : int; naive_bytes : int }
+
+let memory_stats t =
+  {
+    pooled_bytes = int_of_float t.plan.Mem_plan.total_bytes;
+    naive_bytes = int_of_float t.plan.Mem_plan.naive_bytes;
+  }

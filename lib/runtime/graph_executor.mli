@@ -46,5 +46,9 @@ val get_output : t -> int -> Tvm_nd.Ndarray.t
 (** Modelled end-to-end latency: kernel estimates + launch overhead. *)
 val estimated_time_s : t -> float
 
-(** (pooled bytes, naive bytes) of the activation memory plan. *)
-val memory_stats : t -> float * float
+(** Activation memory footprint of the static plan, in whole bytes
+    (tensor sizes are integral). Both values are also published as the
+    [mem.pooled_bytes] / [mem.naive_bytes] gauges at {!create}. *)
+type memory_stats = { pooled_bytes : int; naive_bytes : int }
+
+val memory_stats : t -> memory_stats

@@ -1,0 +1,93 @@
+(** Open-loop serving traffic: deterministic per-tenant arrival
+    processes for the model server.
+
+    Arrivals are open-loop (the generator never waits for responses —
+    the paper's serving scenario, where clients fire at their own
+    rate) with exponential inter-arrival gaps drawn from a
+    splitmix-style integer mixer of (seed, tenant lane, arrival
+    number) — the same construction {!Tvm_rpc.Fault} uses for fault
+    plans — so a given (seed, tenant set, horizon) produces exactly
+    the same request trace on every run, on every machine. *)
+
+type tenant = {
+  tf_name : string;
+  tf_model : string;  (** model the tenant's requests target *)
+  tf_rate_hz : float;  (** mean arrival rate (requests / virtual s) *)
+  tf_slo_s : float;  (** per-request latency SLO *)
+}
+
+let tenant ?(rate_hz = 50.) ?(slo_s = 0.25) ~model name =
+  if rate_hz <= 0. then invalid_arg "traffic: rate_hz must be positive";
+  if slo_s <= 0. then invalid_arg "traffic: slo_s must be positive";
+  { tf_name = name; tf_model = model; tf_rate_hz = rate_hz; tf_slo_s = slo_s }
+
+type request = {
+  rq_id : int;  (** global arrival order; ties broken by tenant name *)
+  rq_tenant : string;
+  rq_model : string;
+  rq_submit_s : float;  (** arrival on the virtual clock *)
+  rq_slo_s : float;
+}
+
+(* Integer mixer (splitmix-style, as in Fault.mix): avalanches its two
+   inputs so consecutive arrival numbers give independent draws. *)
+let mix a b =
+  let h = ref ((a * 0x9E3779B1) lxor (b * 0x85EBCA6B)) in
+  h := !h lxor (!h lsr 15);
+  h := !h * 0x2C1B3C6D;
+  h := !h lxor (!h lsr 12);
+  h := !h * 0x297A2D39;
+  h := !h lxor (!h lsr 15);
+  !h land max_int
+
+(** Uniform draw in [0,1) for (seed, tenant lane, arrival number). *)
+let unit_float ~seed ~lane ~n =
+  float_of_int (mix (mix seed lane) n land 0x3FFFFFFF)
+  /. float_of_int 0x40000000
+
+(** Generate every tenant's arrivals over [0, horizon_s), merged into
+    one submit-ordered trace with sequential ids. Pure in all
+    arguments. *)
+let generate ?(seed = 0) ~horizon_s tenants =
+  let per_tenant lane t =
+    let rec gen now n acc =
+      let u = unit_float ~seed ~lane ~n in
+      (* Inverse-CDF exponential gap; the clamp keeps log finite. *)
+      let gap = -.log (1. -. Float.min u 0.999999) /. t.tf_rate_hz in
+      let now = now +. gap in
+      if now >= horizon_s then List.rev acc
+      else
+        gen now (n + 1)
+          ({ rq_id = 0; rq_tenant = t.tf_name; rq_model = t.tf_model;
+             rq_submit_s = now; rq_slo_s = t.tf_slo_s }
+          :: acc)
+    in
+    gen 0. 0 []
+  in
+  List.concat (List.mapi per_tenant tenants)
+  |> List.sort (fun a b ->
+         compare (a.rq_submit_s, a.rq_tenant) (b.rq_submit_s, b.rq_tenant))
+  |> List.mapi (fun i r -> { r with rq_id = i })
+
+(* Tab-separated trace lines ([%h] floats round-trip exactly), so a
+   generated trace can be saved by [tvmc traffic] and replayed by
+   [tvmc serve-rt --trace]. *)
+
+let to_line r =
+  Printf.sprintf "%d\t%s\t%s\t%h\t%h" r.rq_id (String.escaped r.rq_tenant)
+    (String.escaped r.rq_model) r.rq_submit_s r.rq_slo_s
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ id; tenant; model; submit; slo ] ->
+      {
+        rq_id = int_of_string id;
+        rq_tenant = Scanf.unescaped tenant;
+        rq_model = Scanf.unescaped model;
+        rq_submit_s = float_of_string submit;
+        rq_slo_s = float_of_string slo;
+      }
+  | _ -> failwith ("traffic: bad trace line: " ^ line)
+
+let to_lines reqs = List.map to_line reqs
+let of_lines lines = List.map of_line lines

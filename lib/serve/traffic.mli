@@ -1,0 +1,34 @@
+(** Open-loop serving traffic: deterministic per-tenant arrival
+    processes driving {!Model_server}. Exponential inter-arrival gaps
+    come from a splitmix-style mixer of (seed, tenant, arrival number)
+    — the {!Tvm_rpc.Fault} seeding idiom — so a trace is a pure
+    function of its parameters. *)
+
+type tenant = {
+  tf_name : string;
+  tf_model : string;  (** model the tenant's requests target *)
+  tf_rate_hz : float;  (** mean arrival rate (requests / virtual s) *)
+  tf_slo_s : float;  (** per-request latency SLO *)
+}
+
+val tenant : ?rate_hz:float -> ?slo_s:float -> model:string -> string -> tenant
+
+type request = {
+  rq_id : int;  (** global arrival order; ties broken by tenant name *)
+  rq_tenant : string;
+  rq_model : string;
+  rq_submit_s : float;  (** arrival on the virtual clock *)
+  rq_slo_s : float;
+}
+
+(** Every tenant's arrivals over [0, horizon_s), merged submit-ordered
+    with sequential ids. Deterministic in (seed, tenants, horizon). *)
+val generate : ?seed:int -> horizon_s:float -> tenant list -> request list
+
+(** Exact round-trip trace lines ([tvmc traffic] output /
+    [tvmc serve-rt --trace] input). *)
+val to_line : request -> string
+
+val of_line : string -> request
+val to_lines : request list -> string list
+val of_lines : string list -> request list

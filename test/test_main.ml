@@ -11,6 +11,7 @@ let () =
       ("lower", Test_lower.suite);
       ("vthread+vdla", Test_vthread.suite);
       ("graph", Test_graph.suite);
+      ("memplan", Test_memplan.suite);
       ("layout", Test_layout.suite);
       ("autotune", Test_autotune.suite);
       ("par", Test_par.suite);
@@ -21,5 +22,6 @@ let () =
       ("e2e", Test_e2e.suite);
       ("experiments", Test_experiments.suite);
       ("serve", Test_serve.suite);
+      ("model_server", Test_model_server.suite);
       ("fleet", Test_fleet.suite);
     ]

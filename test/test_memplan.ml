@@ -1,0 +1,218 @@
+(* Memory-planner tests: the pooled assignment must never share a slot
+   between values whose live ranges overlap, and pooling can only help
+   (pooled ≤ naive) — checked across every Table-2 workload wrapped in
+   a conv+epilogue graph and every full model, under both fusion modes.
+   Plus the serving-time slab arena: bounded-fit reuse, footprint and
+   peak accounting, determinism. *)
+
+module G = Tvm_graph.Graph_ir
+module Attrs = Tvm_graph.Attrs
+module Fusion = Tvm_graph.Fusion
+module Mem_plan = Tvm_graph.Mem_plan
+module Models = Tvm_models.Models
+module Workloads = Tvm_models.Workloads
+open Test_helpers
+
+let () = Tvm_graph.Std_ops.register_all ()
+
+(* A Table-2 conv wrapped with enough structure to exercise the planner:
+   conv → bn → relu → pool, so fused and unfused partitions differ. *)
+let graph_of_workload (w : Workloads.conv) =
+  let b = G.builder () in
+  let data = G.input b "data" [ 1; w.Workloads.ic; w.Workloads.hw; w.Workloads.hw ] in
+  let weight =
+    if w.Workloads.depthwise then
+      G.param b "w" [ w.Workloads.ic; 1; w.Workloads.kernel; w.Workloads.kernel ]
+    else
+      G.param b "w"
+        [ w.Workloads.oc; w.Workloads.ic; w.Workloads.kernel; w.Workloads.kernel ]
+  in
+  let op = if w.Workloads.depthwise then "depthwise_conv2d" else "conv2d" in
+  let conv =
+    G.op b op ~name:w.Workloads.name
+      ~attrs:[ ("stride", Attrs.Int w.Workloads.stride); ("padding", Attrs.Str "same") ]
+      [ data; weight ]
+  in
+  let scale = G.param b "sc" [ w.Workloads.oc ] in
+  let shift = G.param b "sh" [ w.Workloads.oc ] in
+  let bn = G.op b "batch_norm" [ conv; scale; shift ] in
+  let relu = G.op b "relu" [ bn ] in
+  let pool =
+    G.op b "max_pool2d" ~attrs:[ ("pool", Attrs.Int 2); ("stride", Attrs.Int 2) ]
+      [ relu ]
+  in
+  G.finalize b [ pool ]
+
+let all_graphs () =
+  List.map (fun (w : Workloads.conv) -> (w.Workloads.name, graph_of_workload w))
+    Workloads.all
+  @ Models.serving_suite ()
+
+(* Recompute live ranges independently of the planner. A group output
+   is live from its producing step to the last step reading it; graph
+   outputs are pinned forever. *)
+let live_ranges graph groups =
+  let step_of = Hashtbl.create 16 in
+  List.iteri (fun i (g : Fusion.group) -> Hashtbl.replace step_of g.Fusion.g_output i) groups;
+  List.mapi
+    (fun step (g : Fusion.group) ->
+      let id = g.Fusion.g_output in
+      let last =
+        if G.is_output graph id then max_int
+        else
+          List.fold_left
+            (fun acc (r : Fusion.group) ->
+              if List.mem id r.Fusion.g_inputs then
+                max acc (Hashtbl.find step_of r.Fusion.g_output)
+              else acc)
+            step groups
+      in
+      (id, step, last))
+    groups
+
+let check_plan name graph groups =
+  let p = Mem_plan.plan graph groups in
+  let ranges = live_ranges graph groups in
+  (* Every group output gets a slot, every slot fits its tenants. *)
+  List.iter
+    (fun (id, _, _) ->
+      let slot =
+        match List.assoc_opt id p.Mem_plan.assignments with
+        | Some s -> s
+        | None -> Alcotest.failf "%s: node %d unassigned" name id
+      in
+      let bytes = List.assoc slot p.Mem_plan.slots in
+      checkb
+        (Printf.sprintf "%s: node %d fits slot %d" name id slot)
+        (bytes >= Mem_plan.node_bytes graph id))
+    ranges;
+  (* No two overlapping live ranges share a slot. *)
+  List.iter
+    (fun (a, sa, ea) ->
+      List.iter
+        (fun (b, sb, eb) ->
+          if a < b then
+            let slot_a = List.assoc a p.Mem_plan.assignments in
+            let slot_b = List.assoc b p.Mem_plan.assignments in
+            if slot_a = slot_b && sb <= ea && sa <= eb then
+              Alcotest.failf
+                "%s: nodes %d [%d,%d] and %d [%d,%d] overlap in slot %d" name a
+                sa ea b sb eb slot_a)
+        ranges)
+    ranges;
+  (* Pooling can only help, and the totals are consistent. *)
+  checkb
+    (Printf.sprintf "%s: pooled %.0f <= naive %.0f" name p.Mem_plan.total_bytes
+       p.Mem_plan.naive_bytes)
+    (p.Mem_plan.total_bytes <= p.Mem_plan.naive_bytes +. 1e-6);
+  let sum = List.fold_left (fun acc (_, b) -> acc +. b) 0. p.Mem_plan.slots in
+  checkb (name ^ ": total = sum of slots") (Float.abs (sum -. p.Mem_plan.total_bytes) < 1e-6)
+
+let test_no_overlap_all_graphs () =
+  List.iter
+    (fun (name, graph) ->
+      check_plan (name ^ "/fused") graph (Fusion.fuse graph);
+      check_plan (name ^ "/unfused") graph (Fusion.no_fusion graph))
+    (all_graphs ())
+
+let test_pooling_strictly_helps_on_models () =
+  (* On every real model the planner must actually reuse storage, not
+     just break even. *)
+  List.iter
+    (fun (name, graph) ->
+      let p = Mem_plan.plan graph (Fusion.fuse graph) in
+      checkb (name ^ ": pooling reuses storage")
+        (p.Mem_plan.total_bytes < p.Mem_plan.naive_bytes))
+    (Models.serving_suite ())
+
+(* ---- slab arena ---- *)
+
+module Arena = Mem_plan.Arena
+
+let test_arena_reuse () =
+  let a = Arena.create () in
+  let s1 = Arena.acquire a ~bytes:100_000. in
+  let fp1 = Arena.footprint_bytes a in
+  Arena.release a s1;
+  let s2 = Arena.acquire a ~bytes:100_000. in
+  Alcotest.(check int) "same slab reused" s1.Arena.sb_id s2.Arena.sb_id;
+  checkb "footprint unchanged on reuse" (Arena.footprint_bytes a = fp1);
+  Alcotest.(check int) "one reuse" 1 (Arena.reuses a);
+  (* A same-class smaller request may borrow it too. *)
+  Arena.release a s2;
+  let s3 = Arena.acquire a ~bytes:90_000. in
+  Alcotest.(check int) "borrowed one class down" s1.Arena.sb_id s3.Arena.sb_id
+
+let test_arena_no_capture () =
+  (* A free slab far larger than the request must NOT be captured:
+     bounded-fit allocates a fresh small slab instead. *)
+  let a = Arena.create () in
+  let big = Arena.acquire a ~bytes:10_000_000. in
+  Arena.release a big;
+  let small = Arena.acquire a ~bytes:8_192. in
+  checkb "big slab not captured by small request"
+    (small.Arena.sb_id <> big.Arena.sb_id);
+  checkb "small slab bounded" (small.Arena.sb_bytes < 2.5 *. 8_192.)
+
+let arena_invariants =
+  QCheck.Test.make ~name:"arena invariants under random acquire/release"
+    ~count:200
+    QCheck.(list (pair bool (int_range 1 2_000_000)))
+    (fun script ->
+      let a = Arena.create () in
+      let held = ref [] in
+      List.iter
+        (fun (do_release, bytes) ->
+          if do_release && !held <> [] then begin
+            let s = List.hd !held in
+            held := List.tl !held;
+            Arena.release a s
+          end
+          else begin
+            let b = float_of_int bytes in
+            let s = Arena.acquire a ~bytes:b in
+            (* Served slab fits and is within the bounded-fit factor. *)
+            if s.Arena.sb_bytes < b then QCheck.Test.fail_report "slab too small";
+            if s.Arena.sb_bytes > 2.45 *. Float.max 4096. b then
+              QCheck.Test.fail_report "bounded fit violated";
+            held := s :: !held
+          end)
+        script;
+      let in_use = List.fold_left (fun acc s -> acc +. s.Arena.sb_bytes) 0. !held in
+      (* Footprint covers the peak, and live bytes never exceed either. *)
+      Arena.peak_in_use_bytes a >= in_use -. 1e-6
+      && Arena.footprint_bytes a >= Arena.peak_in_use_bytes a -. 1e-6
+      && Arena.acquires a >= Arena.reuses a)
+
+let test_arena_deterministic () =
+  (* Same acquire/release script → identical slab ids and footprint. *)
+  let script a =
+    let s1 = Arena.acquire a ~bytes:50_000. in
+    let s2 = Arena.acquire a ~bytes:120_000. in
+    Arena.release a s1;
+    let s3 = Arena.acquire a ~bytes:48_000. in
+    let s4 = Arena.acquire a ~bytes:120_000. in
+    Arena.release a s2;
+    Arena.release a s3;
+    Arena.release a s4;
+    let s5 = Arena.acquire a ~bytes:120_000. in
+    List.map (fun s -> s.Arena.sb_id) [ s1; s2; s3; s4; s5 ]
+  in
+  let a1 = Arena.create () and a2 = Arena.create () in
+  Alcotest.(check (list int)) "slab ids repeat" (script a1) (script a2);
+  checkb "footprints repeat" (Arena.footprint_bytes a1 = Arena.footprint_bytes a2)
+
+let suite =
+  [
+    Alcotest.test_case "no live-range overlap, pooled <= naive (all graphs x both modes)"
+      `Quick test_no_overlap_all_graphs;
+    Alcotest.test_case "pooling strictly helps on every serving model" `Quick
+      test_pooling_strictly_helps_on_models;
+    Alcotest.test_case "arena: release then acquire reuses the slab" `Quick
+      test_arena_reuse;
+    Alcotest.test_case "arena: bounded fit never captures huge slabs" `Quick
+      test_arena_no_capture;
+    QCheck_alcotest.to_alcotest arena_invariants;
+    Alcotest.test_case "arena: deterministic given the script" `Quick
+      test_arena_deterministic;
+  ]

@@ -1,0 +1,151 @@
+(* Serving-executor tests: deterministic traffic, dynamic batching,
+   cross-request slab accounting, heterogeneous placement, and the
+   byte-identical-at-any-lane-count contract. *)
+
+module Traffic = Tvm_serve.Traffic
+module Srv = Tvm_serve.Model_server
+module Models = Tvm_models.Models
+open Test_helpers
+
+let () = Tvm_graph.Std_ops.register_all ()
+
+let tenants ~models ~n ~rate =
+  List.init n (fun i ->
+      Traffic.tenant ~rate_hz:rate ~slo_s:0.25
+        ~model:(List.nth models (i mod List.length models))
+        (Printf.sprintf "t%d" i))
+
+let test_traffic_deterministic () =
+  let ts = tenants ~models:[ "a"; "b" ] ~n:3 ~rate:100. in
+  let r1 = Traffic.generate ~seed:7 ~horizon_s:0.5 ts in
+  let r2 = Traffic.generate ~seed:7 ~horizon_s:0.5 ts in
+  checkb "same seed, same trace" (r1 = r2);
+  let r3 = Traffic.generate ~seed:8 ~horizon_s:0.5 ts in
+  checkb "different seed, different trace" (r1 <> r3);
+  (* Arrivals are submit-ordered with sequential ids inside the horizon. *)
+  List.iteri
+    (fun i (r : Traffic.request) ->
+      Alcotest.(check int) "sequential id" i r.Traffic.rq_id;
+      checkb "inside horizon" (r.Traffic.rq_submit_s >= 0. && r.Traffic.rq_submit_s < 0.5))
+    r1;
+  let sorted =
+    List.sort (fun (a : Traffic.request) b -> compare a.Traffic.rq_submit_s b.Traffic.rq_submit_s) r1
+  in
+  checkb "submit ordered" (List.map (fun (r : Traffic.request) -> r.Traffic.rq_submit_s) r1
+                           = List.map (fun (r : Traffic.request) -> r.Traffic.rq_submit_s) sorted)
+
+let test_traffic_roundtrip () =
+  let ts = tenants ~models:[ "resnet18" ] ~n:2 ~rate:200. in
+  let reqs = Traffic.generate ~seed:3 ~horizon_s:0.2 ts in
+  checkb "non-empty" (reqs <> []);
+  let reqs' = Traffic.of_lines (Traffic.to_lines reqs) in
+  checkb "exact text round trip" (reqs = reqs')
+
+(* Two conv models keep the serving tests fast while still exercising
+   cross-model arena sharing, per-model queues, and activation-heavy
+   plans where slab reuse matters. *)
+let small_suite () =
+  List.filter
+    (fun (n, _) -> n = "resnet18" || n = "mobilenet")
+    (Models.serving_suite ())
+
+let load ?(max_batch = 8) ?(hetero = true) ?(lanes = 1) () =
+  Srv.load ~lanes
+    (Srv.config ~max_batch ~max_delay_s:2e-3 ~max_inflight:8 ~hetero ())
+    (small_suite ())
+
+let saturating_trace () =
+  Traffic.generate ~seed:1 ~horizon_s:0.05
+    (tenants ~models:[ "resnet18"; "mobilenet" ] ~n:8 ~rate:2500.)
+
+let test_all_requests_complete () =
+  let server = load () in
+  let reqs = saturating_trace () in
+  let o = Srv.run server reqs in
+  Alcotest.(check int) "every request completes once" (List.length reqs)
+    (List.length o.Srv.oc_completions);
+  let ids = List.sort compare (List.map (fun c -> c.Srv.rc_id) o.Srv.oc_completions) in
+  checkb "ids are exactly the trace's"
+    (ids = List.map (fun (r : Traffic.request) -> r.Traffic.rq_id) reqs);
+  List.iter
+    (fun c ->
+      checkb "causal" (c.Srv.rc_start_s >= c.Srv.rc_submit_s -. 1e-12);
+      checkb "positive service" (c.Srv.rc_finish_s > c.Srv.rc_start_s);
+      checkb "latency consistent"
+        (Float.abs (c.Srv.rc_latency_s -. (c.Srv.rc_finish_s -. c.Srv.rc_submit_s)) < 1e-9);
+      checkb "batch bounded" (c.Srv.rc_batch_size >= 1 && c.Srv.rc_batch_size <= 8))
+    o.Srv.oc_completions;
+  (* Batches are model-homogeneous: a coalesced batch serves one model. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt tbl c.Srv.rc_batch with
+      | None -> Hashtbl.add tbl c.Srv.rc_batch c.Srv.rc_model
+      | Some m -> Alcotest.(check string) "homogeneous batch" m c.Srv.rc_model)
+    o.Srv.oc_completions
+
+let test_batching_speedup () =
+  let reqs = saturating_trace () in
+  let batched = Srv.run (load ~max_batch:8 ()) reqs in
+  let unbatched = Srv.run (load ~max_batch:1 ()) reqs in
+  checkb
+    (Printf.sprintf "batched %.0f rps >= 2x unbatched %.0f rps"
+       batched.Srv.oc_throughput_rps unbatched.Srv.oc_throughput_rps)
+    (batched.Srv.oc_throughput_rps >= 2. *. unbatched.Srv.oc_throughput_rps);
+  checkb "coalescing actually happened" (batched.Srv.oc_mean_batch > 2.)
+
+let test_slab_saving () =
+  let o = Srv.run (load ()) (saturating_trace ()) in
+  checkb
+    (Printf.sprintf "slab %.0f vs naive %.0f: saving %.2f >= 0.3"
+       o.Srv.oc_slab_bytes o.Srv.oc_naive_bytes o.Srv.oc_slab_saving)
+    (o.Srv.oc_slab_saving >= 0.3);
+  checkb "arena reused slabs across requests" (o.Srv.oc_slab_reuses > 0);
+  checkb "slab below naive" (o.Srv.oc_slab_bytes < o.Srv.oc_naive_bytes)
+
+let test_hetero_placement () =
+  let hetero = load ~hetero:true () in
+  let gpu_only = load ~hetero:false () in
+  List.iter
+    (fun (m : Srv.model) ->
+      let placed d = List.assoc d m.Srv.mv_placement in
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 m.Srv.mv_placement in
+      Alcotest.(check int) "all groups on gpu" total (placed "gpu"))
+    (Srv.models gpu_only);
+  (* With dispatch on, at least one model must actually split devices. *)
+  checkb "some model splits across devices"
+    (List.exists
+       (fun (m : Srv.model) ->
+         List.length (List.filter (fun (_, n) -> n > 0) m.Srv.mv_placement) > 1)
+       (Srv.models hetero));
+  (* Placement can only lower the modeled service time. *)
+  List.iter2
+    (fun (h : Srv.model) (g : Srv.model) ->
+      checkb (h.Srv.mv_name ^ ": hetero estimate not worse")
+        (h.Srv.mv_time1_s <= g.Srv.mv_time1_s +. 1e-12))
+    (Srv.models hetero) (Srv.models gpu_only)
+
+let test_lane_identical () =
+  let reqs = saturating_trace () in
+  let o1 = Srv.run (load ~lanes:1 ()) reqs in
+  let o4 = Srv.run (load ~lanes:4 ()) reqs in
+  checkb "results byte-identical at 1 vs 4 lanes"
+    (Srv.results_lines o1 = Srv.results_lines o4)
+
+let suite =
+  [
+    Alcotest.test_case "traffic: deterministic, ordered, sequential ids" `Quick
+      test_traffic_deterministic;
+    Alcotest.test_case "traffic: trace file round trip" `Quick
+      test_traffic_roundtrip;
+    Alcotest.test_case "serve: every request completes exactly once" `Quick
+      test_all_requests_complete;
+    Alcotest.test_case "serve: batched throughput >= 2x unbatched" `Quick
+      test_batching_speedup;
+    Alcotest.test_case "serve: cross-request slab saving >= 30%" `Quick
+      test_slab_saving;
+    Alcotest.test_case "serve: heterogeneous placement splits devices" `Quick
+      test_hetero_placement;
+    Alcotest.test_case "serve: byte-identical across lanes" `Slow
+      test_lane_identical;
+  ]
